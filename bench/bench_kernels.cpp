@@ -1,0 +1,132 @@
+// SpeedLLM -- Experiment E8: CPU kernel microbenchmarks (google-benchmark).
+//
+// Measures the host-side ground-truth kernels the functional simulation
+// runs on: fp32 matvec (serial + thread pool), int8 quantized matvec,
+// rmsnorm, softmax, and the full reference forward pass.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "llama/kernels.hpp"
+#include "llama/reference.hpp"
+#include "llama/weights.hpp"
+#include "quant/quant.hpp"
+
+namespace {
+
+using namespace speedllm;
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+void BM_MatMulSerial(benchmark::State& state) {
+  const std::int64_t d = state.range(0), n = state.range(1);
+  auto w = RandomVec(static_cast<std::size_t>(d * n), 1);
+  auto x = RandomVec(static_cast<std::size_t>(n), 2);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  for (auto _ : state) {
+    llama::MatMul(out, w, x, d, n, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * n);
+}
+BENCHMARK(BM_MatMulSerial)
+    ->Args({288, 288})
+    ->Args({768, 288})
+    ->Args({288, 768})
+    ->Args({32000, 288});
+
+void BM_MatMulThreaded(benchmark::State& state) {
+  const std::int64_t d = state.range(0), n = state.range(1);
+  auto w = RandomVec(static_cast<std::size_t>(d * n), 1);
+  auto x = RandomVec(static_cast<std::size_t>(n), 2);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  ThreadPool pool;
+  for (auto _ : state) {
+    llama::MatMul(out, w, x, d, n, &pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * n);
+}
+BENCHMARK(BM_MatMulThreaded)->Args({32000, 288})->Args({768, 288});
+
+void BM_MatMulQ8(benchmark::State& state) {
+  const std::int64_t d = state.range(0), n = state.range(1);
+  auto w = RandomVec(static_cast<std::size_t>(d * n), 1);
+  auto x = RandomVec(static_cast<std::size_t>(n), 2);
+  auto qw = quant::Quantize(w, Shape{d, n}, 48);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  for (auto _ : state) {
+    quant::MatMulQ8(out, *qw, x, d, n, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * n);
+}
+BENCHMARK(BM_MatMulQ8)->Args({288, 288})->Args({768, 288});
+
+void BM_RmsNorm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto x = RandomVec(n, 3);
+  auto gain = RandomVec(n, 4);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    llama::RmsNorm(out, x, gain);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RmsNorm)->Arg(288)->Arg(768);
+
+void BM_Softmax(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto base = RandomVec(n, 5);
+  std::vector<float> x(n);
+  for (auto _ : state) {
+    x = base;
+    llama::Softmax(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Softmax)->Arg(256)->Arg(32000);
+
+void BM_ReferenceForward(benchmark::State& state) {
+  auto config = llama::ModelConfig::Stories15M();
+  auto weights = llama::GenerateSyntheticWeights(config, 6);
+  ThreadPool pool;
+  llama::ReferenceModel model(weights, &pool);
+  std::int32_t pos = 0;
+  for (auto _ : state) {
+    if (pos >= config.seq_len) {
+      model.Reset();
+      pos = 0;
+    }
+    auto l = model.Forward(42, pos++);
+    benchmark::DoNotOptimize(l->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReferenceForward)->Unit(benchmark::kMillisecond);
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto x = RandomVec(n, 7);
+  std::vector<float> back(n);
+  for (auto _ : state) {
+    auto qt = quant::Quantize(x, Shape{static_cast<std::int64_t>(n)}, 64);
+    quant::Dequantize(*qt, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantizeRoundTrip)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

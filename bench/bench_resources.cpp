@@ -1,0 +1,70 @@
+// SpeedLLM -- Experiment E9: resource utilization report.
+//
+// The substitute for the Vitis HLS utilization table: LUT/FF/DSP/BRAM/
+// URAM charged by each variant against the XCU280 die, plus the program
+// shape (instructions, groups, on-chip footprint).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compiler/compiler.hpp"
+
+using namespace speedllm;
+
+int main(int argc, char** argv) {
+  auto cl_or = CommandLine::Parse(argc, argv, {"preset", "int8"});
+  if (!cl_or.ok()) {
+    std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
+    return 1;
+  }
+  auto config =
+      bench::PresetFromFlag(cl_or->GetString("preset", "stories15m"));
+  std::printf("== E9: U280 resource utilization (model %s) ==\n\n",
+              config.ToString().c_str());
+
+  Table table({"variant", "LUT", "FF", "DSP", "BRAM36", "URAM", "instrs",
+               "groups", "onchip_peak"});
+  auto add_variant = [&](const std::string& name,
+                         const compiler::CompilerOptions& opt) {
+    auto cr = compiler::Compile(config, opt, hw::U280Config::Default());
+    if (!cr.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   cr.status().ToString().c_str());
+      return;
+    }
+    auto pct = [&](hw::Resource r) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu (%.1f%%)",
+                    static_cast<unsigned long long>(cr->ledger.used(r)),
+                    100.0 * cr->ledger.utilization(r));
+      return std::string(buf);
+    };
+    table.AddRow();
+    table.Cell(name);
+    table.Cell(pct(hw::Resource::kLut));
+    table.Cell(pct(hw::Resource::kFf));
+    table.Cell(pct(hw::Resource::kDsp));
+    table.Cell(pct(hw::Resource::kBramBlock));
+    table.Cell(pct(hw::Resource::kUramBlock));
+    table.Cell(static_cast<std::int64_t>(cr->program.stats.num_instrs));
+    table.Cell(static_cast<std::int64_t>(cr->program.stats.num_groups));
+    table.Cell(FormatBytes(cr->program.stats.onchip_peak_bytes));
+  };
+
+  for (runtime::Variant v : runtime::PaperVariants()) {
+    add_variant(runtime::VariantName(v), runtime::OptionsFor(v));
+  }
+  if (cl_or->GetBool("int8", true)) {
+    auto opt = compiler::CompilerOptions::SpeedLLM();
+    opt.int8_weights = true;
+    opt.name = "SpeedLLM-int8";
+    add_variant(opt.name, opt);
+  }
+  table.Print();
+
+  auto cr = compiler::Compile(config, compiler::CompilerOptions::SpeedLLM(),
+                              hw::U280Config::Default());
+  if (cr.ok()) {
+    std::printf("\nfull ledger (SpeedLLM):\n%s", cr->ledger.Report().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// SpeedLLM -- Experiment E4: decode throughput (Sec. 3.2.1).
+//
+// "Throughput quantifies the decoding speed by calculating the ratio of
+// output tokens to the duration of the decode stage." Reports decode
+// tokens/s for every variant across generation lengths.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace speedllm;
+
+int main(int argc, char** argv) {
+  auto cl_or = CommandLine::Parse(argc, argv, {"preset", "prefill", "csv"});
+  if (!cl_or.ok()) {
+    std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
+    return 1;
+  }
+  const CommandLine& cl = cl_or.value();
+  auto config = bench::PresetFromFlag(cl.GetString("preset", "stories15m"));
+  const std::int32_t prefill =
+      static_cast<std::int32_t>(cl.GetInt("prefill", 16));
+
+  std::printf("== Sec 3.2.1: decode throughput (model %s, prefill %d) ==\n",
+              config.ToString().c_str(), prefill);
+  llama::Weights weights =
+      llama::GenerateSyntheticWeights(config, bench::kWeightSeed);
+
+  Table table({"decode_len", "variant", "decode_tok_per_s", "ms_per_token",
+               "speedup"});
+  for (std::int32_t decode : {16, 32, 64}) {
+    double base_tps = 0.0;
+    for (runtime::Variant v : runtime::PaperVariants()) {
+      auto m = bench::RunVariant(weights, v, prefill, decode);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s: %s\n", runtime::VariantName(v).c_str(),
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      double tps = m->decode_tokens_per_second();
+      if (v == runtime::Variant::kUnoptimized) base_tps = tps;
+      table.AddRow();
+      table.Cell(std::to_string(decode));
+      table.Cell(runtime::VariantName(v));
+      table.Cell(tps, 1);
+      table.Cell(1e3 / tps, 3);
+      table.Cell(tps / base_tps, 2);
+    }
+  }
+  if (cl.GetBool("csv", false)) {
+    std::fputs(table.ToCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// SpeedLLM -- shared helpers for the benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper (see
+// DESIGN.md per-experiment index). The helpers here build the synthetic
+// stories15M workload and run one variant end to end.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "runtime/device.hpp"
+#include "runtime/variants.hpp"
+
+namespace speedllm::bench {
+
+inline constexpr std::uint64_t kWeightSeed = 20240517;
+
+/// Parses the common bench flags (--preset, --seed).
+inline llama::ModelConfig PresetFromFlag(const std::string& preset) {
+  if (preset == "tiny") return llama::ModelConfig::Tiny();
+  if (preset == "stories110m") return llama::ModelConfig::Stories110M();
+  return llama::ModelConfig::Stories15M();
+}
+
+/// Deterministic prompt token ids (synthetic "story opening").
+inline std::vector<std::int32_t> MakePrompt(const llama::ModelConfig& config,
+                                            std::int32_t length) {
+  std::vector<std::int32_t> prompt;
+  prompt.reserve(length);
+  prompt.push_back(llama::kBosToken);
+  Rng rng(977);
+  for (std::int32_t i = 1; i < length; ++i) {
+    prompt.push_back(static_cast<std::int32_t>(
+        259 + rng.NextBounded(static_cast<std::uint64_t>(
+                  config.vocab_size - 259))));
+  }
+  return prompt;
+}
+
+/// Runs `variant` for one (prefill, decode) workload and returns metrics.
+inline StatusOr<runtime::InferenceMetrics> RunVariant(
+    const llama::Weights& weights, runtime::Variant variant,
+    std::int32_t prefill, std::int32_t decode,
+    const hw::U280Config& u280 = hw::U280Config::Default()) {
+  SPEEDLLM_ASSIGN_OR_RETURN(
+      runtime::AcceleratorDevice dev,
+      runtime::AcceleratorDevice::Create(weights, variant, u280));
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;  // greedy: identical token stream per variant
+  llama::Sampler sampler(sc);
+  SPEEDLLM_ASSIGN_OR_RETURN(
+      runtime::GenerationResult gen,
+      dev.Generate(MakePrompt(weights.config, prefill), decode, sampler));
+  return gen.metrics;
+}
+
+}  // namespace speedllm::bench

@@ -1,0 +1,79 @@
+// SpeedLLM example: detailed energy report.
+//
+// Breaks one generation's energy down by physical source (HBM traffic,
+// MPE arithmetic, on-chip SRAM, kernel-launch control, per-unit active /
+// idle, board static) for each accelerator variant -- the data behind
+// Fig. 2(b) and the place to look before believing any efficiency claim.
+//
+//   ./examples/energy_report [--decode 16] [--prefill 8]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "runtime/device.hpp"
+
+using namespace speedllm;
+
+int main(int argc, char** argv) {
+  auto cl_or = CommandLine::Parse(argc, argv, {"decode", "prefill", "preset"});
+  if (!cl_or.ok()) {
+    std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
+    return 1;
+  }
+  auto config = cl_or->GetString("preset", "stories15m") == "tiny"
+                    ? llama::ModelConfig::Tiny()
+                    : llama::ModelConfig::Stories15M();
+  const std::int32_t prefill =
+      static_cast<std::int32_t>(cl_or->GetInt("prefill", 8));
+  const std::int32_t decode =
+      static_cast<std::int32_t>(cl_or->GetInt("decode", 16));
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 42);
+
+  std::printf("== per-source energy report (model %s) ==\n\n",
+              config.ToString().c_str());
+  Table table({"variant", "hbm_mJ", "mac_mJ", "bram_mJ", "launch_mJ",
+               "active_mJ", "idle_mJ", "static_mJ", "dyn_total_mJ",
+               "tok_per_J"});
+  for (runtime::Variant v : runtime::PaperVariants()) {
+    auto dev = runtime::AcceleratorDevice::Create(weights, v,
+                                                  hw::U280Config::Default());
+    if (!dev.ok()) {
+      std::fprintf(stderr, "%s\n", dev.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::int32_t> prompt(static_cast<std::size_t>(prefill),
+                                     llama::kBosToken);
+    for (std::size_t i = 1; i < prompt.size(); ++i) {
+      prompt[i] = static_cast<std::int32_t>(300 + i * 7);
+    }
+    llama::SamplerConfig sc;
+    sc.temperature = 0.0f;
+    llama::Sampler sampler(sc);
+    auto gen = dev->Generate(prompt, decode, sampler);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    const auto& e = gen->metrics.energy;
+    table.AddRow();
+    table.Cell(runtime::VariantName(v));
+    table.Cell(e.hbm_j * 1e3, 2);
+    table.Cell((e.mac_j + e.sfu_j) * 1e3, 2);
+    table.Cell(e.bram_j * 1e3, 2);
+    table.Cell(e.launch_j * 1e3, 3);
+    table.Cell(e.unit_active_j * 1e3, 2);
+    table.Cell(e.unit_idle_j * 1e3, 2);
+    table.Cell(e.static_j * 1e3, 2);
+    table.Cell(e.dynamic_j() * 1e3, 2);
+    table.Cell(gen->metrics.tokens_per_joule(), 1);
+  }
+  table.Print();
+  std::printf(
+      "\nReading guide: HBM + MAC energy is work-proportional and nearly "
+      "variant-invariant; the serialized variants pay extra idle energy "
+      "for their longer runtime (this is the paper's 1.18x), while fusion "
+      "trims launch energy and activation HBM traffic (the 1.01x).\n");
+  return 0;
+}

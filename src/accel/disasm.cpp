@@ -1,0 +1,89 @@
+#include "accel/disasm.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace speedllm::accel {
+
+namespace {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kLaunch: return "launch";
+    case Opcode::kDmaLoad: return "load";
+    case Opcode::kDmaStore: return "store";
+    case Opcode::kCompute: return "compute";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatInstr(const Instr& instr) {
+  std::ostringstream out;
+  char head[96];
+  std::snprintf(head, sizeof(head), "%%%-5u %-7s %-8s %-28s", instr.id,
+                std::string(OpcodeName(instr.opcode)).c_str(),
+                std::string(UnitName(instr.unit)).c_str(),
+                instr.label.c_str());
+  out << head;
+  if (instr.opcode == Opcode::kDmaLoad || instr.opcode == Opcode::kDmaStore) {
+    out << " " << instr.bytes << "B ch[" << instr.channel_first << "+"
+        << instr.channel_count << ")";
+    if (instr.seq_scaled) out << " seq";
+  } else if (instr.opcode == Opcode::kCompute) {
+    if (instr.macs > 0) out << " " << instr.macs << " macs";
+    if (instr.sfu_ops > 0) out << " " << instr.sfu_ops << " sfu_ops";
+    if (instr.compute == ComputeKind::kMatMulTile) {
+      out << " rows[" << instr.row_begin << "," << instr.row_end << ")";
+    }
+    if (instr.seq_scaled) out << " seq";
+  }
+  if (!instr.deps.empty()) {
+    out << " deps={";
+    for (std::size_t i = 0; i < instr.deps.size(); ++i) {
+      if (i) out << ",";
+      out << "%" << instr.deps[i];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+std::string ProgramSummary(const Program& program) {
+  std::ostringstream out;
+  out << "program '" << program.exec.variant_name << "': "
+      << program.instrs.size() << " instrs, " << program.stats.num_groups
+      << " groups, weight stream "
+      << program.stats.weight_stream_bytes << " B/token, act spill "
+      << program.stats.act_spill_bytes << " B/token, on-chip peak "
+      << program.stats.onchip_peak_bytes << " B (budget "
+      << program.stats.onchip_budget_bytes << " B), pipeline="
+      << (program.exec.pipeline ? "on" : "off")
+      << " fusion=" << (program.exec.fusion ? "on" : "off")
+      << " reuse=" << (program.exec.memory_reuse ? "on" : "off");
+  return out.str();
+}
+
+std::string Disassemble(const Program& program, std::size_t max_instrs) {
+  std::ostringstream out;
+  out << ProgramSummary(program) << "\n";
+  std::int32_t current_group = -2;
+  std::size_t emitted = 0;
+  for (const Instr& instr : program.instrs) {
+    if (max_instrs != 0 && emitted >= max_instrs) {
+      out << "... (" << (program.instrs.size() - emitted)
+          << " more instructions)\n";
+      break;
+    }
+    if (instr.group != current_group) {
+      current_group = instr.group;
+      out << "; ---- group " << current_group << " ----\n";
+    }
+    out << "  " << FormatInstr(instr) << "\n";
+    ++emitted;
+  }
+  return out.str();
+}
+
+}  // namespace speedllm::accel

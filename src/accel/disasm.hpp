@@ -1,0 +1,25 @@
+// SpeedLLM -- program disassembler.
+//
+// Renders a compiled Program as human-readable text: per-group
+// instruction listings with stations, payloads, dependencies and tile
+// geometry, plus a summary header. Used by the trace_dump tool and by
+// tests that pin the emitted instruction structure.
+#pragma once
+
+#include <string>
+
+#include "accel/program.hpp"
+
+namespace speedllm::accel {
+
+/// One instruction, e.g.
+///   "%42 dma_in  load.l0.wq.t1        331776B ch[0+22) deps={%40,%38}".
+std::string FormatInstr(const Instr& instr);
+
+/// Whole-program listing. `max_instrs` truncates long programs (0 = all).
+std::string Disassemble(const Program& program, std::size_t max_instrs = 0);
+
+/// Compact one-line summary: variant, instrs, groups, bytes, footprint.
+std::string ProgramSummary(const Program& program);
+
+}  // namespace speedllm::accel

@@ -1,0 +1,17 @@
+#include "accel/isa.hpp"
+
+namespace speedllm::accel {
+
+std::string_view UnitName(Unit u) {
+  switch (u) {
+    case Unit::kDmaIn: return "dma_in";
+    case Unit::kDmaOut: return "dma_out";
+    case Unit::kMpe: return "mpe";
+    case Unit::kSfu: return "sfu";
+    case Unit::kCtrl: return "ctrl";
+    case Unit::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace speedllm::accel

@@ -1,0 +1,107 @@
+// SpeedLLM -- accelerator instruction set.
+//
+// The compiler lowers the decode graph to a static instruction list that
+// the executor both *computes* (functional results, validated against the
+// CPU reference) and *times* (discrete-event schedule on the U280 model).
+// Sequence-dependent work (KV-cache streaming, attention math) is encoded
+// worst-case and rescaled by the executor from the actual position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace speedllm::accel {
+
+/// Hardware station an instruction occupies.
+enum class Unit : int {
+  kDmaIn = 0,   // HBM -> on-chip
+  kDmaOut,      // on-chip -> HBM
+  kMpe,         // matrix processing engine (dot products)
+  kSfu,         // special function unit (norm/softmax/silu/rope/eltwise)
+  kCtrl,        // kernel-launch control
+  kCount,
+};
+
+std::string_view UnitName(Unit u);
+
+enum class Opcode {
+  kLaunch,    // kernel-launch overhead on kCtrl
+  kDmaLoad,   // stream a tensor (tile) from HBM into an on-chip buffer
+  kDmaStore,  // stream an on-chip buffer back to HBM
+  kCompute,   // run one tile / op on the MPE or SFU
+};
+
+/// What a kCompute instruction executes. Matmul tiles carry a row range;
+/// all other kinds operate on the whole op.
+enum class ComputeKind {
+  kNone,
+  kEmbedCopy,
+  kMatMulTile,
+  kRmsNorm,
+  kRope,
+  kKvWrite,
+  kAttScores,
+  kSoftmax,
+  kAttMix,
+  kSilu,
+  kEltAdd,
+  kEltMul,
+};
+
+using InstrId = std::uint32_t;
+
+struct Instr {
+  InstrId id = 0;
+  Opcode opcode = Opcode::kCompute;
+  Unit unit = Unit::kMpe;
+  graph::OpId op = -1;      // owning graph op (-1 for kLaunch)
+  std::int32_t group = -1;  // fused-group index
+
+  // --- DMA fields ---
+  graph::ValueId value = graph::kNoValue;  // tensor being moved
+  std::uint64_t bytes = 0;                 // worst-case payload
+  int channel_first = 0;                   // HBM channel group
+  int channel_count = 1;
+
+  // --- Compute fields ---
+  ComputeKind compute = ComputeKind::kNone;
+  std::int64_t row_begin = 0;  // matmul tile rows [row_begin, row_end)
+  std::int64_t row_end = 0;
+  std::int64_t macs = 0;     // worst-case MPE work
+  std::int64_t sfu_ops = 0;  // worst-case SFU element ops
+  std::uint64_t onchip_bytes = 0;  // on-chip buffer traffic for energy
+
+  /// True when bytes/macs/sfu_ops scale with (pos+1)/seq_len (KV-cache
+  /// streams and attention arithmetic).
+  bool seq_scaled = false;
+
+  /// Instruction ids that must complete before this one starts (data
+  /// dependencies and double-buffer anti-dependencies). The serialized
+  /// (non-pipelined) schedule additionally chains every instruction to
+  /// its predecessor.
+  std::vector<InstrId> deps;
+
+  std::string label;
+};
+
+/// One on-chip buffer placement decided by the allocator.
+struct BufferAlloc {
+  std::int32_t id = -1;
+  std::string purpose;       // "w_tile.l0.wq[0]", "act.l0.xb", ...
+  std::uint64_t offset = 0;  // byte offset in the on-chip arena
+  std::uint64_t bytes = 0;
+};
+
+/// Per-matmul tiling decision.
+struct TileInfo {
+  graph::OpId op = -1;
+  std::int64_t rows_per_tile = 0;
+  std::int64_t num_tiles = 0;
+  std::uint64_t tile_bytes = 0;
+  int num_buffers = 1;  // 1 = single buffer, 2 = double buffered
+};
+
+}  // namespace speedllm::accel

@@ -1,0 +1,99 @@
+#include "accel/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace speedllm::accel {
+
+namespace {
+
+std::vector<ProfileEntry> SortEntries(
+    std::map<std::string, ProfileEntry>&& by_key) {
+  std::vector<ProfileEntry> entries;
+  entries.reserve(by_key.size());
+  for (auto& [key, e] : by_key) entries.push_back(std::move(e));
+  std::sort(entries.begin(), entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.cycles != b.cycles) return a.cycles > b.cycles;
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+/// "l3.matmul.w1.t2" -> "matmul.w1"; "load.l0.wq.t7" -> "load.wq";
+/// strips a leading l<digits>. prefix (wherever it appears as a segment)
+/// and a trailing .t<digits> tile suffix.
+std::string BucketLabel(const std::string& label) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < label.size()) {
+    std::size_t dot = label.find('.', start);
+    std::string seg = label.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    bool is_layer = seg.size() >= 2 && seg[0] == 'l' &&
+                    seg.find_first_not_of("0123456789", 1) == std::string::npos;
+    bool is_tile = seg.size() >= 2 && seg[0] == 't' &&
+                   seg.find_first_not_of("0123456789", 1) == std::string::npos;
+    if (!is_layer && !is_tile) {
+      if (!out.empty()) out += '.';
+      out += seg;
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return out.empty() ? label : out;
+}
+
+}  // namespace
+
+std::vector<ProfileEntry> ProfileByStation(const sim::TraceRecorder& trace) {
+  std::map<std::string, ProfileEntry> by_key;
+  for (const auto& span : trace.spans()) {
+    ProfileEntry& e = by_key[span.station];
+    e.key = span.station;
+    e.cycles += span.end - span.start;
+    e.bytes += span.bytes;
+    e.ops += span.ops;
+    ++e.spans;
+  }
+  return SortEntries(std::move(by_key));
+}
+
+std::vector<ProfileEntry> ProfileByOperator(const sim::TraceRecorder& trace) {
+  std::map<std::string, ProfileEntry> by_key;
+  for (const auto& span : trace.spans()) {
+    std::string bucket = BucketLabel(span.label);
+    ProfileEntry& e = by_key[bucket];
+    e.key = bucket;
+    e.cycles += span.end - span.start;
+    e.bytes += span.bytes;
+    e.ops += span.ops;
+    ++e.spans;
+  }
+  return SortEntries(std::move(by_key));
+}
+
+std::string RenderProfile(const std::vector<ProfileEntry>& entries,
+                          sim::Cycles total_cycles) {
+  std::ostringstream out;
+  out << "key                              cycles      %     bytes       "
+         "ops    spans\n";
+  for (const auto& e : entries) {
+    double pct = total_cycles == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(e.cycles) /
+                           static_cast<double>(total_cycles);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-30s %9llu %5.1f %9llu %9llu %8llu\n",
+                  e.key.c_str(), static_cast<unsigned long long>(e.cycles),
+                  pct, static_cast<unsigned long long>(e.bytes),
+                  static_cast<unsigned long long>(e.ops),
+                  static_cast<unsigned long long>(e.spans));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace speedllm::accel

@@ -1,0 +1,36 @@
+// SpeedLLM -- per-operator cycle attribution.
+//
+// Aggregates an execution trace into a profile: busy cycles and bytes per
+// station and per operator label, sorted by cost. Answers "where do the
+// cycles go" -- the first question when tuning a variant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace speedllm::accel {
+
+struct ProfileEntry {
+  std::string key;            // station or label bucket
+  sim::Cycles cycles = 0;     // total busy cycles attributed
+  std::uint64_t bytes = 0;    // DMA payload attributed
+  std::uint64_t ops = 0;      // MACs/SFU ops attributed
+  std::uint64_t spans = 0;    // number of instructions
+};
+
+/// Busy cycles per station, descending.
+std::vector<ProfileEntry> ProfileByStation(const sim::TraceRecorder& trace);
+
+/// Cycles per label bucket, descending. Labels like "l3.matmul.w1.t2"
+/// are bucketed by stripping the layer prefix and tile suffix, so all
+/// layers/tiles of the same operator aggregate ("matmul.w1").
+std::vector<ProfileEntry> ProfileByOperator(const sim::TraceRecorder& trace);
+
+/// Renders entries as an aligned table with a % column over `total`.
+std::string RenderProfile(const std::vector<ProfileEntry>& entries,
+                          sim::Cycles total_cycles);
+
+}  // namespace speedllm::accel

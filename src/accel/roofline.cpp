@@ -1,0 +1,89 @@
+#include "accel/roofline.hpp"
+
+#include <algorithm>
+
+namespace speedllm::accel {
+
+namespace {
+
+std::uint64_t SeqScale(std::uint64_t amount, bool scaled, std::int32_t pos,
+                       std::int32_t seq_len) {
+  if (!scaled) return amount;
+  const std::uint64_t seq = static_cast<std::uint64_t>(seq_len);
+  const std::uint64_t steps = static_cast<std::uint64_t>(pos) + 1;
+  return (amount * steps + seq - 1) / seq;
+}
+
+}  // namespace
+
+RooflineEstimate AnalyzeRoofline(const Program& program,
+                                 const hw::U280Config& u280,
+                                 std::int32_t pos) {
+  RooflineEstimate e;
+  const std::int32_t seq = program.model.seq_len;
+
+  // The effective stream rate of a DMA instruction is its channel-group
+  // width; different instructions may use different widths, so integrate
+  // "channel-cycles" and divide by the widest width used (optimistic --
+  // still a valid lower bound).
+  double in_channel_cycles = 0.0, out_channel_cycles = 0.0;
+  int max_in_width = 1, max_out_width = 1;
+  const double bpc =
+      static_cast<double>(u280.hbm.bytes_per_cycle_per_channel);
+
+  for (const Instr& in : program.instrs) {
+    switch (in.opcode) {
+      case Opcode::kDmaLoad: {
+        std::uint64_t bytes = SeqScale(in.bytes, in.seq_scaled, pos, seq);
+        e.dma_in_bytes += bytes;
+        in_channel_cycles += static_cast<double>(bytes) / bpc;
+        max_in_width = std::max(max_in_width, in.channel_count);
+        break;
+      }
+      case Opcode::kDmaStore: {
+        std::uint64_t bytes = SeqScale(in.bytes, in.seq_scaled, pos, seq);
+        e.dma_out_bytes += bytes;
+        out_channel_cycles += static_cast<double>(bytes) / bpc;
+        max_out_width = std::max(max_out_width, in.channel_count);
+        break;
+      }
+      case Opcode::kCompute: {
+        e.macs += SeqScale(static_cast<std::uint64_t>(in.macs), in.seq_scaled,
+                           pos, seq);
+        e.sfu_ops += SeqScale(static_cast<std::uint64_t>(in.sfu_ops),
+                              in.seq_scaled, pos, seq);
+        break;
+      }
+      case Opcode::kLaunch:
+        break;
+    }
+  }
+
+  e.stream_in_cycles = static_cast<std::uint64_t>(
+      in_channel_cycles / static_cast<double>(max_in_width));
+  e.stream_out_cycles = static_cast<std::uint64_t>(
+      out_channel_cycles / static_cast<double>(max_out_width));
+  e.mpe_cycles =
+      (e.macs + program.exec.mpe_macs_per_cycle - 1) /
+      static_cast<std::uint64_t>(program.exec.mpe_macs_per_cycle);
+  e.sfu_cycles = (e.sfu_ops + program.exec.sfu_lanes - 1) /
+                 static_cast<std::uint64_t>(program.exec.sfu_lanes);
+
+  e.bound_cycles = e.stream_in_cycles;
+  e.bottleneck = "dma_in";
+  if (e.stream_out_cycles > e.bound_cycles) {
+    e.bound_cycles = e.stream_out_cycles;
+    e.bottleneck = "dma_out";
+  }
+  if (e.mpe_cycles > e.bound_cycles) {
+    e.bound_cycles = e.mpe_cycles;
+    e.bottleneck = "mpe";
+  }
+  if (e.sfu_cycles > e.bound_cycles) {
+    e.bound_cycles = e.sfu_cycles;
+    e.bottleneck = "sfu";
+  }
+  return e;
+}
+
+}  // namespace speedllm::accel

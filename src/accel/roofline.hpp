@@ -1,0 +1,47 @@
+// SpeedLLM -- analytic roofline model of the accelerator.
+//
+// Computes first-principles lower bounds on the cycles one decode token
+// must take on a given program: the weight/activation/KV stream over the
+// assigned channel groups, the MAC work over the MPE, and the SFU work
+// over its lanes. A perfectly overlapped schedule can approach
+// max(stream, compute); any schedule is bounded below by it. Tests use
+// this to validate the simulator (simulated cycles must lie between the
+// roofline bound and a small multiple of it), and benches use it to
+// report how close each variant gets to its own bound.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/program.hpp"
+#include "hw/u280_config.hpp"
+
+namespace speedllm::accel {
+
+/// Per-token analytic bounds (cycles) for a fixed position.
+struct RooflineEstimate {
+  std::uint64_t dma_in_bytes = 0;   // total bytes streamed in
+  std::uint64_t dma_out_bytes = 0;  // total bytes streamed out
+  std::uint64_t macs = 0;
+  std::uint64_t sfu_ops = 0;
+
+  std::uint64_t stream_in_cycles = 0;   // bytes / aggregate channel rate
+  std::uint64_t stream_out_cycles = 0;
+  std::uint64_t mpe_cycles = 0;         // macs / macs_per_cycle
+  std::uint64_t sfu_cycles = 0;
+
+  /// Lower bound for any schedule: every station must at least do its
+  /// own serial work; the makespan is at least the largest of them.
+  std::uint64_t bound_cycles = 0;
+
+  /// Which station the bound comes from ("dma_in", "mpe", ...).
+  const char* bottleneck = "";
+};
+
+/// Analyzes `program` for a token at position `pos` on `u280`.
+/// Bytes/ops of seq-scaled instructions are rescaled exactly like the
+/// executor does.
+RooflineEstimate AnalyzeRoofline(const Program& program,
+                                 const hw::U280Config& u280,
+                                 std::int32_t pos);
+
+}  // namespace speedllm::accel

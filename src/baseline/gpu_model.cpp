@@ -1,0 +1,60 @@
+#include "baseline/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace speedllm::baseline {
+
+GpuSpec GpuSpec::V100S() {
+  GpuSpec g;
+  g.name = "V100S";
+  g.peak_fp32_tflops = 16.4;
+  g.mem_bw_gbps = 1134.0;
+  g.tdp_w = 250.0;
+  g.price_usd = kV100SPriceUsd;
+  return g;
+}
+
+GpuSpec GpuSpec::A100() {
+  GpuSpec g;
+  g.name = "A100";
+  g.peak_fp32_tflops = 19.5;
+  g.mem_bw_gbps = 1555.0;  // A100-40GB SXM
+  g.tdp_w = 400.0;
+  g.price_usd = kA100PriceUsd;
+  return g;
+}
+
+std::int64_t KernelsPerToken(const llama::ModelConfig& config) {
+  // Mirrors the decode graph: embed + per-layer {norm, q, k, v, rope,
+  // kv-append, scores, softmax, mix, o-proj, add, norm, w1, w3, silu,
+  // mul, w2, add} + final norm + classifier.
+  return 1 + static_cast<std::int64_t>(config.n_layers) * 18 + 2;
+}
+
+GpuEstimate EstimateDecode(const GpuSpec& gpu,
+                           const llama::ModelConfig& config,
+                           double bytes_per_param) {
+  GpuEstimate e;
+  const double params = static_cast<double>(config.num_params());
+  const double flops = 2.0 * params;  // one MAC per parameter per token
+  const double bytes = params * bytes_per_param;
+
+  e.compute_ms_per_token =
+      flops / (gpu.peak_fp32_tflops * 1e12 * gpu.achievable_compute) * 1e3;
+  e.memory_ms_per_token =
+      bytes / (gpu.mem_bw_gbps * 1e9 * gpu.achievable_bw) * 1e3;
+  e.launch_ms_per_token = static_cast<double>(KernelsPerToken(config)) *
+                          gpu.kernel_launch_us * 1e-3;
+
+  // Compute and memory overlap within a kernel (roofline max); launch
+  // gaps serialize on the stream.
+  const double ms =
+      std::max(e.compute_ms_per_token, e.memory_ms_per_token) +
+      e.launch_ms_per_token;
+  e.tokens_per_second = 1e3 / ms;
+  e.tokens_per_joule = e.tokens_per_second / gpu.tdp_w;
+  e.tokens_per_second_per_dollar = e.tokens_per_second / gpu.price_usd;
+  return e;
+}
+
+}  // namespace speedllm::baseline

@@ -1,0 +1,56 @@
+// SpeedLLM -- analytic GPU baselines for the cost-efficiency comparison.
+//
+// The paper (Sec. 3.2.2) compares tokens/s/$ of the U280 against V100S
+// and A100 GPUs at street prices. With no GPUs available, we model
+// small-batch autoregressive decode with a roofline: per-token time is
+// the max of compute time and weight-streaming time, plus per-kernel
+// launch overhead -- which dominates for sub-100M-parameter models and is
+// exactly why small LLMs underutilize big GPUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llama/config.hpp"
+
+namespace speedllm::baseline {
+
+struct GpuSpec {
+  std::string name;
+  double peak_fp32_tflops = 0.0;    // CUDA-core fp32
+  double mem_bw_gbps = 0.0;         // HBM bandwidth, GB/s
+  double achievable_compute = 0.4;  // fraction of peak in GEMV kernels
+  double achievable_bw = 0.75;      // fraction of peak streaming weights
+  double kernel_launch_us = 4.5;    // per-kernel launch + sync overhead
+  double tdp_w = 0.0;
+  double price_usd = 0.0;
+
+  static GpuSpec V100S();
+  static GpuSpec A100();
+};
+
+/// Estimated decode performance of `gpu` on `config` (batch 1, fp32
+/// weights unless `bytes_per_param` says otherwise).
+struct GpuEstimate {
+  double tokens_per_second = 0.0;
+  double compute_ms_per_token = 0.0;
+  double memory_ms_per_token = 0.0;
+  double launch_ms_per_token = 0.0;
+  double tokens_per_joule = 0.0;          // throughput / TDP
+  double tokens_per_second_per_dollar = 0.0;
+};
+
+GpuEstimate EstimateDecode(const GpuSpec& gpu, const llama::ModelConfig& config,
+                           double bytes_per_param = 4.0);
+
+/// Number of GPU kernels one decode step launches (one per graph op,
+/// the standard eager-mode cost this paper's fusion argument leans on).
+std::int64_t KernelsPerToken(const llama::ModelConfig& config);
+
+/// List price of the Alveo U280 used in the paper's comparison.
+inline constexpr double kU280PriceUsd = 8000.0;
+inline constexpr double kV100SPriceUsd = 12000.0;
+inline constexpr double kA100PriceUsd = 17000.0;
+
+}  // namespace speedllm::baseline

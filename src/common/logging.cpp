@@ -1,0 +1,35 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace speedllm {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mu;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+
+void EmitLog(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[speedllm %s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace speedllm

@@ -1,0 +1,56 @@
+// SpeedLLM -- minimal leveled logging to stderr.
+//
+// Benches and tools use INFO for progress; the libraries only log at
+// WARNING and above so test output stays clean. Thread-safe (single
+// formatted write per message).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace speedllm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the streamed expression when the level is disabled.
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace detail
+
+#define SPEEDLLM_LOG(level)                                            \
+  (::speedllm::GetLogLevel() > ::speedllm::LogLevel::k##level)         \
+      ? (void)0                                                        \
+      : ::speedllm::detail::LogSink() &                                \
+            ::speedllm::detail::LogMessage(::speedllm::LogLevel::k##level)
+
+#define LOG_DEBUG SPEEDLLM_LOG(Debug)
+#define LOG_INFO SPEEDLLM_LOG(Info)
+#define LOG_WARNING SPEEDLLM_LOG(Warning)
+#define LOG_ERROR SPEEDLLM_LOG(Error)
+
+}  // namespace speedllm

@@ -1,0 +1,36 @@
+#include "common/tensor.hpp"
+
+#include <cmath>
+
+namespace speedllm {
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < rank_; ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+float MaxAbsDiff(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+float RelativeL2Error(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    num += d * d;
+    den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  return static_cast<float>(std::sqrt(num) / (std::sqrt(den) + 1e-20));
+}
+
+}  // namespace speedllm

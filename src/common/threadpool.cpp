@@ -1,0 +1,112 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+
+namespace speedllm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every batch, so spawn one fewer.
+  unsigned workers = threads > 1 ? threads - 1 : 0;
+  tasks_.resize(workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(unsigned worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = tasks_[worker_index];
+    }
+    if (task.fn != nullptr && task.begin < task.end) {
+      (*task.fn)(task.begin, task.end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const unsigned total_threads = num_threads();
+  // Run inline when the pool has no workers, the range is tiny, or we are
+  // already inside a parallel region (avoids deadlock on re-entry).
+  bool inline_only;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inline_only = workers_.empty() || in_parallel_region_ ||
+                  n < static_cast<std::int64_t>(2 * total_threads);
+    if (!inline_only) in_parallel_region_ = true;
+  }
+  if (inline_only) {
+    fn(0, n);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(total_threads, n);
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  // Chunk c covers [c*base + min(c,rem), ...) with the first `rem` chunks
+  // one element larger -- contiguous static partition.
+  auto chunk_begin = [&](std::int64_t c) {
+    return c * base + std::min<std::int64_t>(c, rem);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    unsigned launched = 0;
+    for (std::int64_t c = 1; c < chunks; ++c) {
+      tasks_[launched].fn = &fn;
+      tasks_[launched].begin = chunk_begin(c);
+      tasks_[launched].end = chunk_begin(c + 1);
+      ++launched;
+    }
+    // Idle workers past `launched` get empty ranges this epoch.
+    for (unsigned w = launched; w < workers_.size(); ++w) {
+      tasks_[w].fn = nullptr;
+      tasks_[w].begin = tasks_[w].end = 0;
+    }
+    pending_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  cv_task_.notify_all();
+
+  // The calling thread runs chunk 0.
+  fn(0, chunk_begin(1));
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    in_parallel_region_ = false;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace speedllm

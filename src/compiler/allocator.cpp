@@ -1,0 +1,93 @@
+#include "compiler/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace speedllm::compiler {
+
+namespace {
+
+std::uint64_t RoundUp(std::uint64_t v, std::uint64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+bool IntervalsOverlap(const BufferRequest& a, const BufferRequest& b) {
+  return a.start <= b.end && b.start <= a.end;
+}
+
+}  // namespace
+
+StatusOr<AllocationResult> AllocateBuffers(
+    const std::vector<BufferRequest>& requests, bool enable_reuse,
+    std::uint64_t budget_bytes, std::uint64_t alignment) {
+  AllocationResult result;
+  result.placements.resize(requests.size());
+
+  if (!enable_reuse) {
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      std::uint64_t size = RoundUp(requests[i].bytes, alignment);
+      result.placements[i] = {cursor, size};
+      cursor += size;
+    }
+    result.peak_bytes = cursor;
+    if (result.peak_bytes > budget_bytes) {
+      return ResourceExhausted(
+          "on-chip footprint (no reuse) " + std::to_string(result.peak_bytes) +
+          " B exceeds budget " + std::to_string(budget_bytes) + " B");
+    }
+    return result;
+  }
+
+  // First-fit interval packing: place requests in order of (start,
+  // descending size), each at the lowest offset where it does not collide
+  // with any already-placed, time-overlapping buffer.
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (requests[a].start != requests[b].start)
+      return requests[a].start < requests[b].start;
+    if (requests[a].bytes != requests[b].bytes)
+      return requests[a].bytes > requests[b].bytes;
+    return a < b;
+  });
+
+  struct Placed {
+    std::size_t req;
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(requests.size());
+
+  for (std::size_t idx : order) {
+    const BufferRequest& req = requests[idx];
+    std::uint64_t size = RoundUp(req.bytes, alignment);
+    // Collect address ranges of time-overlapping placed buffers, sorted
+    // by offset, then scan for the first gap of `size` bytes.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> busy;  // offset,size
+    for (const Placed& p : placed) {
+      if (IntervalsOverlap(requests[p.req], req)) {
+        busy.emplace_back(p.offset, p.size);
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+    std::uint64_t offset = 0;
+    for (const auto& [b_off, b_size] : busy) {
+      if (offset + size <= b_off) break;  // gap found
+      offset = std::max(offset, b_off + b_size);
+    }
+    placed.push_back({idx, offset, size});
+    result.placements[idx] = {offset, size};
+    result.peak_bytes = std::max(result.peak_bytes, offset + size);
+  }
+
+  if (result.peak_bytes > budget_bytes) {
+    return ResourceExhausted(
+        "on-chip footprint (with reuse) " + std::to_string(result.peak_bytes) +
+        " B exceeds budget " + std::to_string(budget_bytes) + " B");
+  }
+  return result;
+}
+
+}  // namespace speedllm::compiler

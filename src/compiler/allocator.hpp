@@ -1,0 +1,46 @@
+// SpeedLLM -- on-chip buffer allocator (the memory reuse strategy).
+//
+// Buffers request a byte size and a live interval in "step" units (group
+// indices during code generation). With reuse enabled, the allocator
+// packs buffers whose intervals are disjoint into the same address range
+// -- the cyclic/loop-back reuse of the paper. With reuse disabled it
+// degenerates to a bump allocator (every buffer is a distinct static
+// array), so the footprint is the plain sum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace speedllm::compiler {
+
+struct BufferRequest {
+  std::string purpose;
+  std::uint64_t bytes = 0;
+  std::int32_t start = 0;  // first step the buffer is needed (inclusive)
+  std::int32_t end = 0;    // last step the buffer is needed (inclusive)
+};
+
+struct BufferPlacement {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct AllocationResult {
+  std::vector<BufferPlacement> placements;  // parallel to requests
+  std::uint64_t peak_bytes = 0;             // arena high-water mark
+};
+
+/// Places every request. With `enable_reuse`, uses first-fit interval
+/// packing (requests whose [start, end] intervals overlap never share
+/// bytes); otherwise each request gets fresh space. `alignment` rounds
+/// sizes/offsets (BRAM ports are word-addressed; 64 B keeps AXI bursts
+/// aligned). Fails with kResourceExhausted if peak exceeds `budget_bytes`
+/// (pass UINT64_MAX to just measure).
+StatusOr<AllocationResult> AllocateBuffers(
+    const std::vector<BufferRequest>& requests, bool enable_reuse,
+    std::uint64_t budget_bytes, std::uint64_t alignment = 64);
+
+}  // namespace speedllm::compiler

@@ -1,0 +1,31 @@
+// SpeedLLM -- the graph-to-accelerator compiler.
+//
+// Pipeline: build decode graph -> fuse operators -> pick matmul tile
+// sizes under the on-chip budget (shrinking until the buffer allocation
+// fits -- this is where disabling memory reuse hurts) -> allocate on-chip
+// buffers -> emit the instruction stream with data and double-buffer
+// dependencies -> charge the resource ledger.
+#pragma once
+
+#include "accel/program.hpp"
+#include "common/status.hpp"
+#include "compiler/options.hpp"
+#include "hw/resources.hpp"
+#include "hw/u280_config.hpp"
+
+namespace speedllm::compiler {
+
+/// Compilation artifacts beyond the program itself.
+struct CompileResult {
+  accel::Program program;
+  hw::ResourceLedger ledger;  // post-compilation utilization
+};
+
+/// Compiles a decode-step program for `config` under `options` targeting
+/// `u280`. Fails with kResourceExhausted when even minimal tiles cannot
+/// satisfy the on-chip budget.
+StatusOr<CompileResult> Compile(const llama::ModelConfig& config,
+                                const CompilerOptions& options,
+                                const hw::U280Config& u280);
+
+}  // namespace speedllm::compiler

@@ -1,0 +1,45 @@
+// SpeedLLM -- Llama2 operator fusion pass.
+//
+// Partitions the decode graph into fused groups. Inside a group,
+// intermediates stay in on-chip scratch; across groups, activations
+// round-trip through HBM and a fresh kernel launch is charged. With
+// fusion disabled every operator is its own group -- the per-operator
+// kernel structure of the unoptimized accelerator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace speedllm::compiler {
+
+struct FusedGroup {
+  std::int32_t id = -1;
+  std::string name;
+  std::vector<graph::OpId> ops;  // ascending graph order
+};
+
+/// Groups `graph` into composite kernels. The fusion patterns (per layer):
+///   attn-qkv : rmsnorm.att -> {wq, wk, wv} matmuls -> rope -> kv_write
+///   attn-core: att.scores -> softmax -> att.mix -> wo matmul -> residual
+///   ffn-gate : rmsnorm.ffn -> {w1, w3} matmuls -> silu -> gate
+///   ffn-down : w2 matmul -> residual
+///   head     : rmsnorm.final -> classifier matmul
+/// Ops not matched by a pattern become singleton groups.
+std::vector<FusedGroup> BuildFusionGroups(const graph::Graph& graph,
+                                          bool enable_fusion);
+
+/// Validates that groups partition the op list and stay contiguous in
+/// topological order (required by the single-pass code generator).
+Status ValidateGroups(const graph::Graph& graph,
+                      const std::vector<FusedGroup>& groups);
+
+/// For each value: true when every consumer lives in the producer's
+/// group (so the value never needs an HBM round trip).
+std::vector<bool> ValuesInternalToGroups(const graph::Graph& graph,
+                                         const std::vector<FusedGroup>& groups);
+
+}  // namespace speedllm::compiler

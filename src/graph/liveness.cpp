@@ -1,0 +1,48 @@
+#include "graph/liveness.hpp"
+
+#include <algorithm>
+
+namespace speedllm::graph {
+
+std::vector<LiveInterval> ComputeLiveness(const Graph& graph) {
+  std::vector<LiveInterval> intervals(graph.values().size());
+  for (const Value& v : graph.values()) {
+    intervals[v.id].value = v.id;
+  }
+  for (const Op& op : graph.ops()) {
+    for (ValueId out : op.outputs) {
+      const Value& v = graph.value(out);
+      if (v.kind == ValueKind::kWeight || v.kind == ValueKind::kKvCache) {
+        continue;
+      }
+      if (intervals[out].def == -1) intervals[out].def = op.id;
+      intervals[out].last = std::max(intervals[out].last, op.id);
+    }
+    for (ValueId in : op.inputs) {
+      const Value& v = graph.value(in);
+      if (v.kind == ValueKind::kWeight || v.kind == ValueKind::kKvCache) {
+        continue;
+      }
+      intervals[in].last = std::max(intervals[in].last, op.id);
+    }
+  }
+  return intervals;
+}
+
+std::uint64_t PeakLiveBytes(const Graph& graph,
+                            const std::vector<LiveInterval>& intervals) {
+  std::uint64_t peak = 0;
+  for (const Op& op : graph.ops()) {
+    std::uint64_t live = 0;
+    for (const LiveInterval& iv : intervals) {
+      if (iv.def == -1) continue;
+      if (iv.def <= op.id && op.id <= iv.last) {
+        live += graph.value(iv.value).bytes();
+      }
+    }
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+}  // namespace speedllm::graph

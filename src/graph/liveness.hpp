@@ -1,0 +1,35 @@
+// SpeedLLM -- liveness analysis over graph values.
+//
+// Drives the memory allocation reuse strategy: a value's interval spans
+// from the op that produces it to the last op that reads it. Two values
+// whose intervals are disjoint may share storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace speedllm::graph {
+
+/// Closed interval of op indices during which the value occupies memory.
+struct LiveInterval {
+  ValueId value = kNoValue;
+  OpId def = -1;   // producing op (or 0 for graph inputs)
+  OpId last = -1;  // last consuming op (== def for dead values)
+  bool Overlaps(const LiveInterval& o) const {
+    return def <= o.last && o.def <= last;
+  }
+};
+
+/// Intervals for every activation/output value (weights and KV cache are
+/// permanently resident and excluded). Indexed by ValueId; entries for
+/// excluded values have def == -1.
+std::vector<LiveInterval> ComputeLiveness(const Graph& graph);
+
+/// Peak simultaneous bytes if every live activation coexists only over
+/// its interval (the lower bound a perfect allocator could reach).
+std::uint64_t PeakLiveBytes(const Graph& graph,
+                            const std::vector<LiveInterval>& intervals);
+
+}  // namespace speedllm::graph

@@ -1,0 +1,60 @@
+#include "hw/hbm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace speedllm::hw {
+
+HbmStack::HbmStack(const HbmConfig& config) : config_(config) {
+  channels_.reserve(config.num_channels);
+  for (int i = 0; i < config.num_channels; ++i) {
+    channels_.emplace_back("hbm.ch" + std::to_string(i));
+  }
+}
+
+sim::Cycles HbmStack::TransferCycles(std::uint64_t bytes,
+                                     int num_channels) const {
+  assert(num_channels > 0);
+  std::uint64_t per_cycle =
+      static_cast<std::uint64_t>(config_.bytes_per_cycle_per_channel) *
+      static_cast<std::uint64_t>(num_channels);
+  std::uint64_t stream = (bytes + per_cycle - 1) / per_cycle;
+  return config_.latency_cycles + stream;
+}
+
+TransferTiming HbmStack::Transfer(sim::Cycles ready, std::uint64_t bytes,
+                                  int first_channel, int num_channels,
+                                  bool is_read) {
+  assert(first_channel >= 0 && num_channels > 0 &&
+         first_channel + num_channels <= static_cast<int>(channels_.size()));
+  sim::Cycles duration = TransferCycles(bytes, num_channels);
+  // Lock-step striping: the group starts when every member channel is
+  // free. Find the latest free time, then reserve all channels for the
+  // same window.
+  sim::Cycles start = ready;
+  for (int c = first_channel; c < first_channel + num_channels; ++c) {
+    start = std::max(start, channels_[c].EarliestStart(ready));
+  }
+  for (int c = first_channel; c < first_channel + num_channels; ++c) {
+    sim::Cycles got = channels_[c].Acquire(start, duration);
+    assert(got == start);
+    (void)got;
+  }
+  (is_read ? bytes_read_ : bytes_written_) += bytes;
+  ++transfers_;
+  return TransferTiming{start, start + duration};
+}
+
+sim::Cycles HbmStack::TotalChannelBusyCycles() const {
+  sim::Cycles total = 0;
+  for (const auto& ch : channels_) total += ch.busy_cycles();
+  return total;
+}
+
+void HbmStack::Reset() {
+  for (auto& ch : channels_) ch.Reset();
+  bytes_read_ = bytes_written_ = 0;
+  transfers_ = 0;
+}
+
+}  // namespace speedllm::hw

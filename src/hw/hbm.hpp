@@ -1,0 +1,63 @@
+// SpeedLLM -- HBM2 stack timing model.
+//
+// Each pseudo-channel is a serial Station delivering a fixed number of
+// bytes per cycle after a fixed start latency. A transfer stripes its
+// bytes across a contiguous channel group (the compiler assigns weight
+// streams, activations and the KV cache to disjoint groups, mirroring the
+// U280 HBM switch configuration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/u280_config.hpp"
+#include "sim/station.hpp"
+
+namespace speedllm::hw {
+
+/// Result of scheduling one transfer.
+struct TransferTiming {
+  sim::Cycles start = 0;
+  sim::Cycles end = 0;
+  sim::Cycles duration() const { return end - start; }
+};
+
+/// Timing + traffic accounting for the 32-pseudo-channel HBM stack.
+class HbmStack {
+ public:
+  explicit HbmStack(const HbmConfig& config);
+
+  /// Schedules a read or write of `bytes`, striped over channels
+  /// [first_channel, first_channel + num_channels), starting no earlier
+  /// than `ready`. All striped channels are reserved for the same window
+  /// (lock-step striping, as the AXI HBM switch behaves under a single
+  /// master). Returns the transfer window.
+  TransferTiming Transfer(sim::Cycles ready, std::uint64_t bytes,
+                          int first_channel, int num_channels, bool is_read);
+
+  /// Pure latency query: cycles a transfer of `bytes` over `num_channels`
+  /// occupies once started (excludes queuing on busy channels).
+  sim::Cycles TransferCycles(std::uint64_t bytes, int num_channels) const;
+
+  std::uint64_t total_bytes_read() const { return bytes_read_; }
+  std::uint64_t total_bytes_written() const { return bytes_written_; }
+  std::uint64_t total_bytes() const { return bytes_read_ + bytes_written_; }
+  std::uint64_t num_transfers() const { return transfers_; }
+
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  const sim::Station& channel(int i) const { return channels_[i]; }
+
+  /// Busy cycles summed over all channels (for HBM controller power).
+  sim::Cycles TotalChannelBusyCycles() const;
+
+  void Reset();
+
+ private:
+  HbmConfig config_;
+  std::vector<sim::Station> channels_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace speedllm::hw

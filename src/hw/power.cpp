@@ -1,0 +1,46 @@
+#include "hw/power.hpp"
+
+#include <sstream>
+
+namespace speedllm::hw {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) {
+  hbm_j += o.hbm_j;
+  bram_j += o.bram_j;
+  mac_j += o.mac_j;
+  sfu_j += o.sfu_j;
+  launch_j += o.launch_j;
+  unit_active_j += o.unit_active_j;
+  unit_idle_j += o.unit_idle_j;
+  static_j += o.static_j;
+  return *this;
+}
+
+std::string EnergyBreakdown::ToString() const {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "hbm=%.4g bram=%.4g mac=%.4g sfu=%.4g launch=%.4g "
+                "unit_active=%.4g unit_idle=%.4g static=%.4g total=%.4g J",
+                hbm_j, bram_j, mac_j, sfu_j, launch_j, unit_active_j,
+                unit_idle_j, static_j, total_j());
+  out << line;
+  return out.str();
+}
+
+void EnergyMeter::FinalizeUnit(sim::Cycles busy_cycles,
+                               sim::Cycles total_cycles, double active_w,
+                               double idle_w) {
+  double busy_s = seconds(busy_cycles);
+  double idle_s = seconds(total_cycles > busy_cycles
+                              ? total_cycles - busy_cycles
+                              : 0);
+  e_.unit_active_j += active_w * busy_s;
+  e_.unit_idle_j += idle_w * idle_s;
+}
+
+void EnergyMeter::FinalizeStatic(sim::Cycles total_cycles) {
+  e_.static_j += power_.static_w * seconds(total_cycles);
+}
+
+}  // namespace speedllm::hw

@@ -1,0 +1,85 @@
+// SpeedLLM -- activity-based energy accounting.
+//
+// The meter accumulates event energies (HBM bytes, on-chip bytes, MACs,
+// SFU ops, kernel launches) during execution; at the end of a run the
+// executor finalizes per-unit active/idle energy from station busy times.
+// See hw::PowerConfig for the coefficient rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/u280_config.hpp"
+#include "sim/engine.hpp"
+
+namespace speedllm::hw {
+
+/// Energy in joules broken down by source.
+struct EnergyBreakdown {
+  double hbm_j = 0.0;        // off-chip data movement
+  double bram_j = 0.0;       // on-chip buffer traffic
+  double mac_j = 0.0;        // MPE arithmetic
+  double sfu_j = 0.0;        // special-function arithmetic
+  double launch_j = 0.0;     // kernel launch control overhead
+  double unit_active_j = 0.0;  // active power x busy time (all units)
+  double unit_idle_j = 0.0;    // idle power x idle time (all units)
+  double static_j = 0.0;       // board static power x wall time
+
+  double dynamic_j() const {
+    return hbm_j + bram_j + mac_j + sfu_j + launch_j + unit_active_j +
+           unit_idle_j;
+  }
+  double total_j() const { return dynamic_j() + static_j; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+  std::string ToString() const;
+};
+
+/// Accumulates activity during a run and converts to joules.
+class EnergyMeter {
+ public:
+  EnergyMeter(const PowerConfig& power, double clock_mhz)
+      : power_(power), clock_mhz_(clock_mhz) {}
+
+  void AddHbmBytes(std::uint64_t bytes) {
+    e_.hbm_j += power_.pj_per_hbm_byte * 1e-12 * static_cast<double>(bytes);
+  }
+  void AddBramBytes(std::uint64_t bytes) {
+    e_.bram_j += power_.pj_per_bram_byte * 1e-12 * static_cast<double>(bytes);
+  }
+  void AddMacs(std::uint64_t macs, bool int8_path) {
+    double pj = int8_path ? power_.pj_per_mac_int8 : power_.pj_per_mac_fp32;
+    e_.mac_j += pj * 1e-12 * static_cast<double>(macs);
+  }
+  void AddSfuOps(std::uint64_t ops) {
+    e_.sfu_j += power_.pj_per_sfu_op * 1e-12 * static_cast<double>(ops);
+  }
+  void AddKernelLaunches(std::uint64_t launches) {
+    e_.launch_j +=
+        power_.pj_per_kernel_launch * 1e-12 * static_cast<double>(launches);
+  }
+
+  /// Adds active/idle energy for one unit given its busy time within a
+  /// total run of `total_cycles`.
+  void FinalizeUnit(sim::Cycles busy_cycles, sim::Cycles total_cycles,
+                    double active_w, double idle_w);
+
+  /// Adds board static energy for the whole run.
+  void FinalizeStatic(sim::Cycles total_cycles);
+
+  const EnergyBreakdown& breakdown() const { return e_; }
+  double total_joules() const { return e_.total_j(); }
+
+  double seconds(sim::Cycles cycles) const {
+    return static_cast<double>(cycles) / (clock_mhz_ * 1e6);
+  }
+
+  const PowerConfig& power() const { return power_; }
+
+ private:
+  PowerConfig power_;
+  double clock_mhz_;
+  EnergyBreakdown e_;
+};
+
+}  // namespace speedllm::hw

@@ -1,0 +1,100 @@
+#include "hw/resources.hpp"
+
+#include <sstream>
+
+namespace speedllm::hw {
+
+std::string_view ResourceName(Resource r) {
+  switch (r) {
+    case Resource::kLut: return "LUT";
+    case Resource::kFf: return "FF";
+    case Resource::kDsp: return "DSP";
+    case Resource::kBramBlock: return "BRAM36";
+    case Resource::kUramBlock: return "URAM";
+    case Resource::kCount: break;
+  }
+  return "?";
+}
+
+ResourceLedger::ResourceLedger(const FabricConfig& fabric) {
+  capacity_[static_cast<int>(Resource::kLut)] = fabric.luts;
+  capacity_[static_cast<int>(Resource::kFf)] = fabric.ffs;
+  capacity_[static_cast<int>(Resource::kDsp)] = fabric.dsps;
+  capacity_[static_cast<int>(Resource::kBramBlock)] = fabric.bram_blocks;
+  capacity_[static_cast<int>(Resource::kUramBlock)] = fabric.uram_blocks;
+}
+
+Status ResourceLedger::Charge(Resource r, std::uint64_t amount,
+                              const std::string& tag) {
+  int i = static_cast<int>(r);
+  if (used_[i] + amount > capacity_[i]) {
+    return ResourceExhausted(
+        std::string(ResourceName(r)) + " over-subscribed: " +
+        std::to_string(used_[i]) + " used + " + std::to_string(amount) +
+        " requested by '" + tag + "' > capacity " +
+        std::to_string(capacity_[i]));
+  }
+  used_[i] += amount;
+  by_tag_[i][tag] += amount;
+  return Status::Ok();
+}
+
+Status ResourceLedger::Release(Resource r, std::uint64_t amount,
+                               const std::string& tag) {
+  int i = static_cast<int>(r);
+  auto it = by_tag_[i].find(tag);
+  if (it == by_tag_[i].end() || it->second < amount) {
+    return FailedPrecondition("release of " + std::to_string(amount) + " " +
+                              std::string(ResourceName(r)) + " by '" + tag +
+                              "' exceeds its charge");
+  }
+  it->second -= amount;
+  if (it->second == 0) by_tag_[i].erase(it);
+  used_[i] -= amount;
+  return Status::Ok();
+}
+
+std::uint64_t ResourceLedger::used(Resource r) const {
+  return used_[static_cast<int>(r)];
+}
+
+std::uint64_t ResourceLedger::capacity(Resource r) const {
+  return capacity_[static_cast<int>(r)];
+}
+
+double ResourceLedger::utilization(Resource r) const {
+  int i = static_cast<int>(r);
+  return capacity_[i] == 0
+             ? 0.0
+             : static_cast<double>(used_[i]) / static_cast<double>(capacity_[i]);
+}
+
+std::uint64_t ResourceLedger::used_by_tag(Resource r,
+                                          const std::string& tag) const {
+  int i = static_cast<int>(r);
+  auto it = by_tag_[i].find(tag);
+  return it == by_tag_[i].end() ? 0 : it->second;
+}
+
+std::string ResourceLedger::Report() const {
+  std::ostringstream out;
+  out << "Resource  Used       Capacity   Util%\n";
+  for (int i = 0; i < kNumResources; ++i) {
+    Resource r = static_cast<Resource>(i);
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-9s %-10llu %-10llu %5.1f\n",
+                  std::string(ResourceName(r)).c_str(),
+                  static_cast<unsigned long long>(used_[i]),
+                  static_cast<unsigned long long>(capacity_[i]),
+                  100.0 * utilization(r));
+    out << line;
+  }
+  return out.str();
+}
+
+void ResourceLedger::Reset() {
+  used_.fill(0);
+  for (auto& m : by_tag_) m.clear();
+}
+
+}  // namespace speedllm::hw

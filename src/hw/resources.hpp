@@ -1,0 +1,63 @@
+// SpeedLLM -- programmable-logic resource ledger.
+//
+// Stands in for the Vitis HLS utilization report: every instantiated unit
+// (MPE columns, DMA engines, SFU lanes, on-chip buffers) charges LUT/FF/
+// DSP/BRAM/URAM against the XCU280 die budget, and over-subscription is a
+// hard compile error -- exactly the constraint that forces the memory
+// reuse strategy in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "hw/u280_config.hpp"
+
+namespace speedllm::hw {
+
+enum class Resource : int {
+  kLut = 0,
+  kFf,
+  kDsp,
+  kBramBlock,
+  kUramBlock,
+  kCount,
+};
+
+std::string_view ResourceName(Resource r);
+
+/// Tracks per-tag usage against fixed capacities.
+class ResourceLedger {
+ public:
+  explicit ResourceLedger(const FabricConfig& fabric);
+
+  /// Charges `amount` units of `r` under `tag` (e.g. "mpe", "buf.kv").
+  /// Fails with kResourceExhausted when the capacity would be exceeded;
+  /// on failure nothing is charged.
+  Status Charge(Resource r, std::uint64_t amount, const std::string& tag);
+
+  /// Releases a previous charge (amount must not exceed the tag's usage).
+  Status Release(Resource r, std::uint64_t amount, const std::string& tag);
+
+  std::uint64_t used(Resource r) const;
+  std::uint64_t capacity(Resource r) const;
+  double utilization(Resource r) const;
+
+  /// Per-tag usage of one resource kind.
+  std::uint64_t used_by_tag(Resource r, const std::string& tag) const;
+
+  /// Renders a utilization table resembling an HLS report.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumResources = static_cast<int>(Resource::kCount);
+  std::array<std::uint64_t, kNumResources> capacity_{};
+  std::array<std::uint64_t, kNumResources> used_{};
+  std::array<std::map<std::string, std::uint64_t>, kNumResources> by_tag_;
+};
+
+}  // namespace speedllm::hw

@@ -1,0 +1,155 @@
+#include "llama/checkpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace speedllm::llama {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteFloats(std::FILE* f, const float* data, std::size_t n) {
+  if (std::fwrite(data, sizeof(float), n, f) != n) {
+    return Internal("short write");
+  }
+  return Status::Ok();
+}
+
+Status ReadFloats(std::FILE* f, float* data, std::size_t n) {
+  if (std::fread(data, sizeof(float), n, f) != n) {
+    return DataLoss("checkpoint truncated");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path, const Weights& w) {
+  SPEEDLLM_RETURN_IF_ERROR(w.config.Validate());
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return NotFound("cannot open for writing: " + path);
+
+  const ModelConfig& c = w.config;
+  std::int32_t header[7] = {
+      c.dim,
+      c.hidden_dim,
+      c.n_layers,
+      c.n_heads,
+      c.n_kv_heads,
+      c.shared_classifier ? c.vocab_size : -c.vocab_size,
+      c.seq_len,
+  };
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return Internal("short header write");
+  }
+
+  auto write_tensor = [&](const TensorF& t) {
+    return WriteFloats(f.get(), t.data(), t.size());
+  };
+  auto write_layer_set = [&](const std::vector<TensorF>& ts) {
+    for (const auto& t : ts) {
+      SPEEDLLM_RETURN_IF_ERROR(write_tensor(t));
+    }
+    return Status::Ok();
+  };
+
+  SPEEDLLM_RETURN_IF_ERROR(write_tensor(w.token_embedding));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.rms_att));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.wq));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.wk));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.wv));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.wo));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.rms_ffn));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.w1));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.w2));
+  SPEEDLLM_RETURN_IF_ERROR(write_layer_set(w.w3));
+  SPEEDLLM_RETURN_IF_ERROR(write_tensor(w.rms_final));
+
+  // Legacy RoPE tables: freq_cis_real/imag[pos, i] for i in head_dim/2.
+  const std::int32_t half = c.head_dim() / 2;
+  std::vector<float> real(static_cast<std::size_t>(c.seq_len) * half);
+  std::vector<float> imag(real.size());
+  for (std::int32_t pos = 0; pos < c.seq_len; ++pos) {
+    for (std::int32_t i = 0; i < half; ++i) {
+      float freq =
+          1.0f / std::pow(10000.0f, static_cast<float>(2 * i) /
+                                        static_cast<float>(c.head_dim()));
+      real[static_cast<std::size_t>(pos) * half + i] =
+          std::cos(static_cast<float>(pos) * freq);
+      imag[static_cast<std::size_t>(pos) * half + i] =
+          std::sin(static_cast<float>(pos) * freq);
+    }
+  }
+  SPEEDLLM_RETURN_IF_ERROR(WriteFloats(f.get(), real.data(), real.size()));
+  SPEEDLLM_RETURN_IF_ERROR(WriteFloats(f.get(), imag.data(), imag.size()));
+
+  if (!c.shared_classifier) {
+    SPEEDLLM_RETURN_IF_ERROR(write_tensor(w.wcls));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Weights> ReadCheckpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return NotFound("cannot open checkpoint: " + path);
+
+  std::int32_t header[7];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return DataLoss("checkpoint too small for header: " + path);
+  }
+  ModelConfig c;
+  c.dim = header[0];
+  c.hidden_dim = header[1];
+  c.n_layers = header[2];
+  c.n_heads = header[3];
+  c.n_kv_heads = header[4];
+  c.shared_classifier = header[5] > 0;
+  c.vocab_size = std::abs(header[5]);
+  c.seq_len = header[6];
+  SPEEDLLM_RETURN_IF_ERROR(c.Validate());
+
+  Weights w = Weights::Allocate(c);
+  auto read_tensor = [&](TensorF& t) {
+    return ReadFloats(f.get(), t.data(), t.size());
+  };
+  auto read_layer_set = [&](std::vector<TensorF>& ts) {
+    for (auto& t : ts) {
+      SPEEDLLM_RETURN_IF_ERROR(read_tensor(t));
+    }
+    return Status::Ok();
+  };
+
+  SPEEDLLM_RETURN_IF_ERROR(read_tensor(w.token_embedding));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.rms_att));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.wq));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.wk));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.wv));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.wo));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.rms_ffn));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.w1));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.w2));
+  SPEEDLLM_RETURN_IF_ERROR(read_layer_set(w.w3));
+  SPEEDLLM_RETURN_IF_ERROR(read_tensor(w.rms_final));
+
+  // Skip the legacy RoPE tables.
+  const long rope_floats = 2L * c.seq_len * (c.head_dim() / 2);
+  if (std::fseek(f.get(), rope_floats * static_cast<long>(sizeof(float)),
+                 SEEK_CUR) != 0) {
+    return DataLoss("checkpoint truncated in RoPE tables: " + path);
+  }
+
+  if (!c.shared_classifier) {
+    SPEEDLLM_RETURN_IF_ERROR(read_tensor(w.wcls));
+  }
+  return w;
+}
+
+}  // namespace speedllm::llama

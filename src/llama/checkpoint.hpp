@@ -1,0 +1,34 @@
+// SpeedLLM -- llama2.c checkpoint (.bin) reader/writer.
+//
+// Binary layout (llama2.c "version 0" format, the one stories15M.bin
+// ships in): a 7-int32 header
+//   {dim, hidden_dim, n_layers, n_heads, n_kv_heads, vocab_size, seq_len}
+// followed by fp32 tensors in this order:
+//   token_embedding [vocab, dim]
+//   rms_att   [n_layers, dim]
+//   wq [n_layers, dim, dim]   wk/wv [n_layers, kv_dim, dim]
+//   wo [n_layers, dim, dim]
+//   rms_ffn   [n_layers, dim]
+//   w1 [n_layers, hidden, dim]  w2 [n_layers, dim, hidden]  w3 [n_layers, hidden, dim]
+//   rms_final [dim]
+//   freq_cis_real / freq_cis_imag [seq_len, head_dim/2]   (legacy; RoPE
+//     is computed analytically, but the fields are written for fidelity)
+//   wcls [vocab, dim]           (only when vocab_size was negative)
+// A negative vocab_size in the header signals an unshared classifier.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "llama/weights.hpp"
+
+namespace speedllm::llama {
+
+/// Writes `weights` to `path` in llama2.c format.
+Status WriteCheckpoint(const std::string& path, const Weights& weights);
+
+/// Reads a llama2.c checkpoint. Fails with DataLoss on truncated files
+/// and InvalidArgument on nonsensical headers.
+StatusOr<Weights> ReadCheckpoint(const std::string& path);
+
+}  // namespace speedllm::llama

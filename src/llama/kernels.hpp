@@ -1,0 +1,53 @@
+// SpeedLLM -- the float CPU kernels behind the reference model.
+//
+// These are the ground-truth implementations the accelerator's functional
+// results are validated against. matmul is parallelized over output rows
+// with the shared thread pool; everything else is single-threaded (the
+// vectors involved are a few hundred elements).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/threadpool.hpp"
+
+namespace speedllm::llama {
+
+/// out[d] = W[d, n] * x[n]   (row-major W, the llama2.c convention).
+/// Runs rows in parallel on `pool` (or serially when pool is null).
+void MatMul(std::span<float> out, std::span<const float> w,
+            std::span<const float> x, std::int64_t d, std::int64_t n,
+            ThreadPool* pool = nullptr);
+
+/// RMS normalization: out[i] = x[i] * weight[i] / rms(x), rms with eps 1e-5.
+void RmsNorm(std::span<float> out, std::span<const float> x,
+             std::span<const float> weight);
+
+/// In-place numerically-stable softmax over x.
+void Softmax(std::span<float> x);
+
+/// SiLU (swish) activation applied elementwise in place.
+void Silu(std::span<float> x);
+
+/// out[i] += a[i] (residual add).
+void AddInPlace(std::span<float> out, std::span<const float> a);
+
+/// out[i] *= a[i] (SwiGLU gating).
+void MulInPlace(std::span<float> out, std::span<const float> a);
+
+/// Rotary position embedding applied to q (dim elements) and k (kv_dim
+/// elements) at position `pos`, llama2 style: pairs (2i, 2i+1) within
+/// each head rotated by theta = pos / 10000^(2i/head_dim).
+void Rope(std::span<float> q, std::span<float> k, std::int32_t pos,
+          std::int32_t head_dim);
+
+/// Single-head causal attention for one query at position `pos`:
+/// scores[t] = q . k_cache[t] / sqrt(head_dim) for t in [0, pos],
+/// softmax, out = sum_t scores[t] * v_cache[t].
+/// k_cache/v_cache rows are strided by `stride` floats per timestep.
+void AttentionHead(std::span<float> out, std::span<const float> q,
+                   const float* k_cache, const float* v_cache,
+                   std::int32_t pos, std::int32_t head_dim,
+                   std::int64_t stride, std::span<float> scores_scratch);
+
+}  // namespace speedllm::llama

@@ -1,0 +1,119 @@
+#include "llama/reference.hpp"
+
+#include <cstring>
+
+#include "llama/kernels.hpp"
+
+namespace speedllm::llama {
+
+KvCache::KvCache(const ModelConfig& config) : kv_dim_(config.kv_dim()) {
+  k_.reserve(config.n_layers);
+  v_.reserve(config.n_layers);
+  for (std::int32_t l = 0; l < config.n_layers; ++l) {
+    k_.push_back(TensorF::Zeros(Shape{config.seq_len, kv_dim_}));
+    v_.push_back(TensorF::Zeros(Shape{config.seq_len, kv_dim_}));
+  }
+}
+
+float* KvCache::k(std::int32_t layer, std::int32_t pos) {
+  return k_[layer].data() + static_cast<std::int64_t>(pos) * kv_dim_;
+}
+float* KvCache::v(std::int32_t layer, std::int32_t pos) {
+  return v_[layer].data() + static_cast<std::int64_t>(pos) * kv_dim_;
+}
+
+std::uint64_t KvCache::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : k_) total += t.size_bytes();
+  for (const auto& t : v_) total += t.size_bytes();
+  return total;
+}
+
+void KvCache::Reset() {
+  for (auto& t : k_) std::memset(t.data(), 0, t.size_bytes());
+  for (auto& t : v_) std::memset(t.data(), 0, t.size_bytes());
+}
+
+ReferenceModel::ReferenceModel(const Weights& weights, ThreadPool* pool)
+    : weights_(&weights),
+      pool_(pool),
+      cfg_(weights.config),
+      cache_(weights.config),
+      x_(Shape{cfg_.dim}),
+      xb_(Shape{cfg_.dim}),
+      xb2_(Shape{cfg_.dim}),
+      hb_(Shape{cfg_.hidden_dim}),
+      hb2_(Shape{cfg_.hidden_dim}),
+      q_(Shape{cfg_.dim}),
+      att_(Shape{cfg_.n_heads, cfg_.seq_len}),
+      logits_(Shape{cfg_.vocab_size}) {}
+
+StatusOr<std::span<const float>> ReferenceModel::Forward(std::int32_t token,
+                                                         std::int32_t pos) {
+  if (token < 0 || token >= cfg_.vocab_size) {
+    return InvalidArgument("token " + std::to_string(token) +
+                           " outside vocab of " +
+                           std::to_string(cfg_.vocab_size));
+  }
+  if (pos < 0 || pos >= cfg_.seq_len) {
+    return OutOfRange("pos " + std::to_string(pos) + " outside seq_len " +
+                      std::to_string(cfg_.seq_len));
+  }
+  const Weights& w = *weights_;
+  const std::int64_t dim = cfg_.dim;
+  const std::int64_t hidden = cfg_.hidden_dim;
+  const std::int64_t kv_dim = cfg_.kv_dim();
+  const std::int32_t head_dim = cfg_.head_dim();
+  const std::int32_t gqa = cfg_.gqa_group();
+
+  // Token embedding lookup.
+  std::memcpy(x_.data(), w.token_embedding.row(token).data(),
+              static_cast<std::size_t>(dim) * sizeof(float));
+
+  for (std::int32_t l = 0; l < cfg_.n_layers; ++l) {
+    // --- Attention block ---
+    RmsNorm(xb_.span(), x_.span(), w.rms_att[l].span());
+
+    float* k_row = cache_.k(l, pos);
+    float* v_row = cache_.v(l, pos);
+    MatMul(q_.span(), w.wq[l].span(), xb_.span(), dim, dim, pool_);
+    MatMul({k_row, static_cast<std::size_t>(kv_dim)}, w.wk[l].span(),
+           xb_.span(), kv_dim, dim, pool_);
+    MatMul({v_row, static_cast<std::size_t>(kv_dim)}, w.wv[l].span(),
+           xb_.span(), kv_dim, dim, pool_);
+
+    Rope(q_.span(), {k_row, static_cast<std::size_t>(kv_dim)}, pos, head_dim);
+
+    // Multi-head attention over the cache.
+    for (std::int32_t h = 0; h < cfg_.n_heads; ++h) {
+      std::span<const float> qh{q_.data() + h * head_dim,
+                                static_cast<std::size_t>(head_dim)};
+      std::span<float> out{xb_.data() + h * head_dim,
+                           static_cast<std::size_t>(head_dim)};
+      const std::int32_t kv_head = h / gqa;
+      const float* k_base = cache_.k(l) + kv_head * head_dim;
+      const float* v_base = cache_.v(l) + kv_head * head_dim;
+      std::span<float> scores = att_.row(h);
+      AttentionHead(out, qh, k_base, v_base, pos, head_dim, kv_dim, scores);
+    }
+
+    MatMul(xb2_.span(), w.wo[l].span(), xb_.span(), dim, dim, pool_);
+    AddInPlace(x_.span(), xb2_.span());
+
+    // --- FFN block (SwiGLU) ---
+    RmsNorm(xb_.span(), x_.span(), w.rms_ffn[l].span());
+    MatMul(hb_.span(), w.w1[l].span(), xb_.span(), hidden, dim, pool_);
+    MatMul(hb2_.span(), w.w3[l].span(), xb_.span(), hidden, dim, pool_);
+    Silu(hb_.span());
+    MulInPlace(hb_.span(), hb2_.span());
+    MatMul(xb_.span(), w.w2[l].span(), hb_.span(), dim, hidden, pool_);
+    AddInPlace(x_.span(), xb_.span());
+  }
+
+  RmsNorm(x_.span(), x_.span(), w.rms_final.span());
+  MatMul(logits_.span(), w.classifier().span(), x_.span(), cfg_.vocab_size,
+         dim, pool_);
+  return std::span<const float>{logits_.data(), logits_.size()};
+}
+
+}  // namespace speedllm::llama

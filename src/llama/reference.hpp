@@ -1,0 +1,75 @@
+// SpeedLLM -- float CPU reference implementation of the Llama2 forward
+// pass (the llama2.c algorithm). This is the functional ground truth the
+// accelerator executor is validated against, and the "CPU" baseline in
+// the examples. Matmuls run on the shared thread pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/tensor.hpp"
+#include "common/threadpool.hpp"
+#include "llama/weights.hpp"
+
+namespace speedllm::llama {
+
+/// Per-sequence KV cache: [n_layers][seq_len, kv_dim] for K and V.
+class KvCache {
+ public:
+  explicit KvCache(const ModelConfig& config);
+
+  float* k(std::int32_t layer, std::int32_t pos);
+  float* v(std::int32_t layer, std::int32_t pos);
+  const float* k(std::int32_t layer) const { return k_[layer].data(); }
+  const float* v(std::int32_t layer) const { return v_[layer].data(); }
+
+  std::int64_t stride() const { return kv_dim_; }
+  std::uint64_t bytes() const;
+  void Reset();
+
+ private:
+  std::int32_t kv_dim_;
+  std::vector<TensorF> k_;  // per layer [seq_len, kv_dim]
+  std::vector<TensorF> v_;
+};
+
+/// Reference transformer. Holds non-owning access to the weights; the
+/// caller keeps them alive.
+class ReferenceModel {
+ public:
+  /// pool may be null for single-threaded execution.
+  ReferenceModel(const Weights& weights, ThreadPool* pool);
+
+  /// Runs one token at position `pos` (0-based); returns logits over the
+  /// vocabulary. The view is valid until the next Forward call.
+  /// pos must be < config().seq_len and tokens must be fed in order
+  /// starting from pos 0 after Reset().
+  StatusOr<std::span<const float>> Forward(std::int32_t token,
+                                           std::int32_t pos);
+
+  /// Clears the KV cache for a new sequence.
+  void Reset() { cache_.Reset(); }
+
+  const ModelConfig& config() const { return weights_->config; }
+  const KvCache& cache() const { return cache_; }
+
+ private:
+  const Weights* weights_;
+  ThreadPool* pool_;
+  ModelConfig cfg_;
+  KvCache cache_;
+
+  // Activation scratch (llama2.c RunState).
+  TensorF x_;       // [dim]   residual stream
+  TensorF xb_;      // [dim]   post-norm / attention output
+  TensorF xb2_;     // [dim]
+  TensorF hb_;      // [hidden]
+  TensorF hb2_;     // [hidden]
+  TensorF q_;       // [dim]
+  TensorF att_;     // [n_heads, seq_len]
+  TensorF logits_;  // [vocab]
+};
+
+}  // namespace speedllm::llama

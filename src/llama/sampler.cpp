@@ -1,0 +1,79 @@
+#include "llama/sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "llama/kernels.hpp"
+
+namespace speedllm::llama {
+
+std::int32_t Sampler::ArgMax(std::span<const float> logits) {
+  assert(!logits.empty());
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<std::int32_t>(i);
+  }
+  return best;
+}
+
+std::int32_t Sampler::SampleMultinomial(std::span<const float> probs,
+                                        float coin) {
+  float cdf = 0.0f;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    cdf += probs[i];
+    if (coin < cdf) return static_cast<std::int32_t>(i);
+  }
+  return static_cast<std::int32_t>(probs.size()) - 1;  // rounding fallback
+}
+
+std::int32_t Sampler::SampleTopP(std::span<const float> probs, float coin) {
+  // Sort candidate indices by descending probability, truncate at the
+  // smallest set whose mass exceeds top_p, then sample within it.
+  const float top_p = config_.top_p;
+  std::vector<std::int32_t> idx(probs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  // Cutoff trick from llama2.c: tokens with prob < (1-p)/(n-1) can never
+  // be part of the nucleus; filter before the O(n log n) sort.
+  const float cutoff =
+      (1.0f - top_p) / static_cast<float>(probs.size() > 1 ? probs.size() - 1 : 1);
+  idx.erase(std::remove_if(idx.begin(), idx.end(),
+                           [&](std::int32_t i) { return probs[i] < cutoff; }),
+            idx.end());
+  std::sort(idx.begin(), idx.end(), [&](std::int32_t a, std::int32_t b) {
+    if (probs[a] != probs[b]) return probs[a] > probs[b];
+    return a < b;  // deterministic tie-break
+  });
+  float cumulative = 0.0f;
+  std::size_t last = idx.size();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    cumulative += probs[idx[i]];
+    if (cumulative > top_p) {
+      last = i + 1;
+      break;
+    }
+  }
+  float r = coin * cumulative;
+  float cdf = 0.0f;
+  for (std::size_t i = 0; i < last; ++i) {
+    cdf += probs[idx[i]];
+    if (r < cdf) return idx[i];
+  }
+  return idx.empty() ? 0 : idx[last - 1];
+}
+
+std::int32_t Sampler::Sample(std::span<float> logits) {
+  if (config_.temperature == 0.0f) {
+    return ArgMax(logits);
+  }
+  for (float& v : logits) v /= config_.temperature;
+  Softmax(logits);
+  float coin = rng_.NextFloat();
+  if (config_.top_p <= 0.0f || config_.top_p >= 1.0f) {
+    return SampleMultinomial(logits, coin);
+  }
+  return SampleTopP(logits, coin);
+}
+
+}  // namespace speedllm::llama

@@ -1,0 +1,42 @@
+// SpeedLLM -- token samplers (argmax / temperature / nucleus).
+//
+// Mirrors llama2.c's sampler: temperature scaling followed by either
+// plain multinomial sampling or top-p (nucleus) truncation. Deterministic
+// given the Rng seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace speedllm::llama {
+
+struct SamplerConfig {
+  float temperature = 1.0f;  // 0 => greedy argmax
+  float top_p = 0.9f;        // 1.0 disables nucleus truncation
+  std::uint64_t seed = 42;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config) : config_(config), rng_(config.seed) {}
+
+  /// Picks the next token from raw logits (modified in place by the
+  /// temperature/softmax pipeline).
+  std::int32_t Sample(std::span<float> logits);
+
+  /// Greedy argmax (exposed for tests and deterministic decoding).
+  static std::int32_t ArgMax(std::span<const float> logits);
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  std::int32_t SampleMultinomial(std::span<const float> probs, float coin);
+  std::int32_t SampleTopP(std::span<const float> probs, float coin);
+
+  SamplerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace speedllm::llama

@@ -1,0 +1,328 @@
+#include "llama/tokenizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace speedllm::llama {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string ByteTokenPiece(int byte) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "<0x%02X>", byte);
+  return buf;
+}
+
+/// Returns the raw byte for a "<0xXX>" piece, or -1 if not a byte piece.
+int ParseByteTokenPiece(const std::string& piece) {
+  if (piece.size() != 6 || piece.rfind("<0x", 0) != 0 || piece[5] != '>') {
+    return -1;
+  }
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  int hi = hex(piece[3]), lo = hex(piece[4]);
+  if (hi < 0 || lo < 0) return -1;
+  return hi * 16 + lo;
+}
+
+}  // namespace
+
+StatusOr<Tokenizer> Tokenizer::FromVocab(std::vector<std::string> pieces,
+                                         std::vector<float> scores) {
+  if (pieces.size() != scores.size()) {
+    return InvalidArgument("pieces/scores size mismatch");
+  }
+  if (pieces.size() < kFirstByteToken + 256u) {
+    return InvalidArgument("vocab too small for specials + byte tokens");
+  }
+  for (int b = 0; b < 256; ++b) {
+    if (pieces[kFirstByteToken + b] != ByteTokenPiece(b)) {
+      return InvalidArgument("byte-fallback token " + std::to_string(b) +
+                             " misplaced (expected at id " +
+                             std::to_string(kFirstByteToken + b) + ")");
+    }
+  }
+  Tokenizer t;
+  t.pieces_ = std::move(pieces);
+  t.scores_ = std::move(scores);
+  for (std::size_t i = 0; i < t.pieces_.size(); ++i) {
+    // First occurrence wins, like llama2.c's sorted lookup of unique pieces.
+    t.piece_to_id_.emplace(t.pieces_[i], static_cast<std::int32_t>(i));
+    t.max_token_length_ = std::max(
+        t.max_token_length_, static_cast<std::int32_t>(t.pieces_[i].size()));
+  }
+  return t;
+}
+
+StatusOr<Tokenizer> Tokenizer::Load(const std::string& path,
+                                    std::int32_t vocab_size) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return NotFound("cannot open tokenizer: " + path);
+  std::int32_t max_len = 0;
+  if (std::fread(&max_len, sizeof(max_len), 1, f.get()) != 1) {
+    return DataLoss("tokenizer.bin truncated (max_token_length)");
+  }
+  std::vector<std::string> pieces;
+  std::vector<float> scores;
+  pieces.reserve(vocab_size);
+  scores.reserve(vocab_size);
+  for (std::int32_t i = 0; i < vocab_size; ++i) {
+    float score;
+    std::int32_t len;
+    if (std::fread(&score, sizeof(score), 1, f.get()) != 1 ||
+        std::fread(&len, sizeof(len), 1, f.get()) != 1) {
+      return DataLoss("tokenizer.bin truncated at token " + std::to_string(i));
+    }
+    if (len < 0 || len > 1024) {
+      return InvalidArgument("tokenizer.bin corrupt length at token " +
+                             std::to_string(i));
+    }
+    std::string piece(static_cast<std::size_t>(len), '\0');
+    if (len > 0 &&
+        std::fread(piece.data(), 1, piece.size(), f.get()) != piece.size()) {
+      return DataLoss("tokenizer.bin truncated in piece " + std::to_string(i));
+    }
+    pieces.push_back(std::move(piece));
+    scores.push_back(score);
+  }
+  return FromVocab(std::move(pieces), std::move(scores));
+}
+
+Status Tokenizer::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return NotFound("cannot open for writing: " + path);
+  if (std::fwrite(&max_token_length_, sizeof(max_token_length_), 1, f.get()) !=
+      1) {
+    return Internal("short write");
+  }
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    float score = scores_[i];
+    std::int32_t len = static_cast<std::int32_t>(pieces_[i].size());
+    if (std::fwrite(&score, sizeof(score), 1, f.get()) != 1 ||
+        std::fwrite(&len, sizeof(len), 1, f.get()) != 1 ||
+        (len > 0 && std::fwrite(pieces_[i].data(), 1, pieces_[i].size(),
+                                f.get()) != pieces_[i].size())) {
+      return Internal("short write at token " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+std::int32_t Tokenizer::PieceId(const std::string& piece) const {
+  auto it = piece_to_id_.find(piece);
+  return it == piece_to_id_.end() ? -1 : it->second;
+}
+
+std::vector<std::int32_t> Tokenizer::Encode(const std::string& text, bool bos,
+                                            bool eos) const {
+  std::vector<std::int32_t> tokens;
+  tokens.reserve(text.size() + 3);
+  if (bos) tokens.push_back(kBosToken);
+
+  // llama2.c adds a "dummy prefix" space token before non-empty text,
+  // matching sentencepiece's add_dummy_prefix=true.
+  if (!text.empty()) {
+    std::int32_t space = PieceId(" ");
+    if (space >= 0) tokens.push_back(space);
+  }
+
+  // Pass 1: one token per UTF-8 codepoint, with byte fallback.
+  std::size_t i = 0;
+  while (i < text.size()) {
+    unsigned char lead = static_cast<unsigned char>(text[i]);
+    std::size_t cp_len = 1;
+    if ((lead & 0x80) == 0x00) cp_len = 1;
+    else if ((lead & 0xE0) == 0xC0) cp_len = 2;
+    else if ((lead & 0xF0) == 0xE0) cp_len = 3;
+    else if ((lead & 0xF8) == 0xF0) cp_len = 4;
+    cp_len = std::min(cp_len, text.size() - i);
+    // Truncate at continuation-byte boundaries like llama2.c's loop.
+    std::size_t actual = 1;
+    while (actual < cp_len &&
+           (static_cast<unsigned char>(text[i + actual]) & 0xC0) == 0x80) {
+      ++actual;
+    }
+    std::string cp = text.substr(i, actual);
+    std::int32_t id = PieceId(cp);
+    if (id >= 0) {
+      tokens.push_back(id);
+    } else {
+      for (char c : cp) {
+        tokens.push_back(kFirstByteToken +
+                         static_cast<std::int32_t>(static_cast<unsigned char>(c)));
+      }
+    }
+    i += actual;
+  }
+
+  // Pass 2: greedy BPE -- repeatedly merge the adjacent pair whose
+  // concatenation is the highest-scoring vocab piece.
+  while (tokens.size() >= 2) {
+    float best_score = -1e10f;
+    std::int32_t best_id = -1;
+    std::size_t best_idx = 0;
+    for (std::size_t j = 0; j + 1 < tokens.size(); ++j) {
+      if (tokens[j] < 0 || tokens[j + 1] < 0) continue;
+      std::string merged = pieces_[tokens[j]] + pieces_[tokens[j + 1]];
+      std::int32_t id = PieceId(merged);
+      if (id >= 0 && scores_[id] > best_score) {
+        best_score = scores_[id];
+        best_id = id;
+        best_idx = j;
+      }
+    }
+    if (best_id < 0) break;
+    tokens[best_idx] = best_id;
+    tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(best_idx) + 1);
+  }
+
+  if (eos) tokens.push_back(kEosToken);
+  return tokens;
+}
+
+std::string Tokenizer::Decode(std::int32_t prev_token,
+                              std::int32_t token) const {
+  assert(token >= 0 && token < vocab_size());
+  const std::string& piece = pieces_[token];
+  // Following BOS, sentencepiece strips the dummy-prefix space.
+  std::string out = piece;
+  if (prev_token == kBosToken && !out.empty() && out[0] == ' ') {
+    out.erase(out.begin());
+  }
+  int byte = ParseByteTokenPiece(out);
+  if (byte >= 0) {
+    return std::string(1, static_cast<char>(byte));
+  }
+  return out;
+}
+
+std::string Tokenizer::DecodeAll(const std::vector<std::int32_t>& tokens) const {
+  std::string out;
+  std::int32_t prev = -1;
+  for (std::int32_t t : tokens) {
+    if (t == kBosToken || t == kEosToken) {
+      prev = t;
+      continue;
+    }
+    out += Decode(prev, t);
+    prev = t;
+  }
+  return out;
+}
+
+namespace {
+
+const char* const kCommonWords[] = {
+    "the",   "and",   "was",   "she",    "her",   "him",   "his",   "they",
+    "that",  "with",  "said",  "very",   "little", "once",  "upon",  "time",
+    "there", "lived", "happy", "wanted", "went",  "play",  "friend", "mom",
+    "dad",   "day",   "big",   "small",  "saw",   "then",  "when",  "liked",
+    "loved", "house", "tree",  "dog",    "cat",   "bird",  "ball",  "girl",
+    "boy",   "one",   "two",   "three",  "ran",   "run",   "jump",  "smiled",
+    "laughed", "together", "garden", "forest",  "found", "water", "sun",
+    "moon",  "star",  "story", "stories", "end",   "fun",   "good",  "best",
+    "home",  "came",  "back",  "could",  "would", "every", "again", "after",
+    "before", "into",  "over",  "under",  "around", "about", "because",
+    "think", "thought", "know", "knew",   "look",  "looked", "made",  "make",
+    "walk",  "walked", "took", "take",   "gave",  "give",  "new",   "old",
+};
+
+const char* const kSyllables[] = {"ba", "be", "bi", "bo", "bu", "da", "de",
+                                  "di", "do", "du", "ka", "ke", "ki", "ko",
+                                  "ku", "la", "le", "li", "lo", "lu", "ma",
+                                  "me", "mi", "mo", "mu", "na", "ne", "ni",
+                                  "no", "nu", "ra", "re", "ri", "ro", "ru",
+                                  "sa", "se", "si", "so", "su", "ta", "te",
+                                  "ti", "to", "tu", "za", "ze", "zi", "zo"};
+
+}  // namespace
+
+Tokenizer SyntheticTokenizer(std::int32_t vocab_size, std::uint64_t seed) {
+  assert(vocab_size >= 512);
+  std::vector<std::string> pieces;
+  std::vector<float> scores;
+  pieces.reserve(vocab_size);
+  scores.reserve(vocab_size);
+
+  auto push = [&](std::string piece, float score) {
+    pieces.push_back(std::move(piece));
+    scores.push_back(score);
+  };
+
+  // Specials. Scores of specials are never consulted by the merger.
+  push("<unk>", 0.0f);
+  push("<s>", 0.0f);
+  push("</s>", 0.0f);
+  // Byte-fallback tokens at ids 3..258.
+  for (int b = 0; b < 256; ++b) push(ByteTokenPiece(b), -1e6f);
+
+  // Single printable ASCII characters (space first: it is the dummy
+  // prefix token Encode depends on). Low scores: merges always preferred.
+  std::unordered_map<std::string, bool> seen;
+  auto push_unique = [&](const std::string& piece, float score) {
+    if (static_cast<std::int32_t>(pieces.size()) >= vocab_size) return;
+    if (seen.emplace(piece, true).second) push(piece, score);
+  };
+  for (char c = ' '; c <= '~'; ++c) {
+    push_unique(std::string(1, c), -1e5f);
+  }
+  push_unique("\n", -1e5f);
+
+  // Common words, prefix-closed so greedy pair merging can assemble them
+  // left to right: for " the" we add " t", " th", " the". Longer pieces
+  // score higher so the merger keeps growing words.
+  float word_rank = 0.0f;
+  auto add_word = [&](const std::string& word) {
+    std::string with_space = " " + word;
+    for (std::size_t len = 2; len <= with_space.size(); ++len) {
+      std::string prefix = with_space.substr(0, len);
+      // Base score by length; small rank penalty keeps scores unique-ish.
+      push_unique(prefix, static_cast<float>(len) * 10.0f - word_rank * 1e-3f);
+    }
+    // The bare word (no leading space) supports mid-word merges after
+    // punctuation.
+    for (std::size_t len = 2; len <= word.size(); ++len) {
+      push_unique(word.substr(0, len),
+                  static_cast<float>(len) * 10.0f - 1.0f - word_rank * 1e-3f);
+    }
+    word_rank += 1.0f;
+  };
+  for (const char* w : kCommonWords) add_word(w);
+
+  // Fill the remainder with deterministic syllable words so the vocab has
+  // the requested size (and realistic piece-length distribution).
+  Rng rng(seed);
+  const int n_syll = static_cast<int>(std::size(kSyllables));
+  while (static_cast<std::int32_t>(pieces.size()) < vocab_size) {
+    int parts = 2 + static_cast<int>(rng.NextBounded(3));
+    std::string word;
+    for (int p = 0; p < parts; ++p) {
+      word += kSyllables[rng.NextBounded(static_cast<std::uint64_t>(n_syll))];
+    }
+    add_word(word);
+    // add_word may overshoot by a piece or two; the push_unique guard
+    // caps at vocab_size exactly.
+  }
+
+  auto result = Tokenizer::FromVocab(std::move(pieces), std::move(scores));
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace speedllm::llama

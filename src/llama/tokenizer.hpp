@@ -1,0 +1,84 @@
+// SpeedLLM -- byte-fallback BPE tokenizer, llama2.c compatible.
+//
+// Implements the encoder/decoder from the llama2.c project against the
+// same tokenizer.bin binary format:
+//   int32 max_token_length
+//   vocab_size x { float score; int32 len; char bytes[len] }
+// Vocabulary conventions (sentencepiece-derived): id 0 = <unk>,
+// 1 = <s> (BOS), 2 = </s> (EOS), ids 3..258 = byte-fallback tokens
+// <0x00>..<0xFF>.
+//
+// The paper uses the tokenizer.bin shipped with llama2.c; since that
+// binary is trained-model data we cannot redistribute, SyntheticTokenizer
+// builds a same-format vocabulary (byte fallbacks + single characters +
+// common-word merges) that exercises the identical encode/decode paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace speedllm::llama {
+
+/// Special token ids fixed by the llama2.c convention.
+inline constexpr std::int32_t kUnkToken = 0;
+inline constexpr std::int32_t kBosToken = 1;
+inline constexpr std::int32_t kEosToken = 2;
+inline constexpr std::int32_t kFirstByteToken = 3;  // <0x00>
+
+class Tokenizer {
+ public:
+  /// Builds from explicit (piece, score) pairs. Pieces must include the
+  /// specials and byte tokens at their conventional positions.
+  static StatusOr<Tokenizer> FromVocab(std::vector<std::string> pieces,
+                                       std::vector<float> scores);
+
+  /// Reads a llama2.c tokenizer.bin.
+  static StatusOr<Tokenizer> Load(const std::string& path,
+                                  std::int32_t vocab_size);
+
+  /// Writes the llama2.c tokenizer.bin format.
+  Status Save(const std::string& path) const;
+
+  /// Encodes UTF-8 text to token ids. Follows llama2.c exactly:
+  /// optional BOS, a "dummy prefix" space token for non-empty text,
+  /// greedy highest-score pair merging, byte fallback for unknown bytes.
+  std::vector<std::int32_t> Encode(const std::string& text, bool bos,
+                                   bool eos) const;
+
+  /// Decodes one token into its piece, applying the llama2.c rules:
+  /// a leading space is stripped when the previous token was BOS, and
+  /// <0xXX> byte tokens decode to their raw byte.
+  std::string Decode(std::int32_t prev_token, std::int32_t token) const;
+
+  /// Decodes a whole sequence (convenience for tests/examples).
+  std::string DecodeAll(const std::vector<std::int32_t>& tokens) const;
+
+  std::int32_t vocab_size() const {
+    return static_cast<std::int32_t>(pieces_.size());
+  }
+  const std::string& piece(std::int32_t id) const { return pieces_[id]; }
+  float score(std::int32_t id) const { return scores_[id]; }
+
+  /// Id of an exact piece, or -1.
+  std::int32_t PieceId(const std::string& piece) const;
+
+ private:
+  Tokenizer() = default;
+
+  std::vector<std::string> pieces_;
+  std::vector<float> scores_;
+  std::unordered_map<std::string, std::int32_t> piece_to_id_;
+  std::int32_t max_token_length_ = 0;
+};
+
+/// Deterministically builds a llama2.c-format tokenizer with `vocab_size`
+/// entries: specials, byte fallbacks, printable ASCII, a common-word
+/// prefix-closed merge table, then synthetic syllable words. Requires
+/// vocab_size >= 512.
+Tokenizer SyntheticTokenizer(std::int32_t vocab_size, std::uint64_t seed);
+
+}  // namespace speedllm::llama

@@ -1,0 +1,89 @@
+#include "llama/weights.hpp"
+
+#include <cmath>
+
+namespace speedllm::llama {
+
+Weights Weights::Allocate(const ModelConfig& config) {
+  Weights w;
+  w.config = config;
+  const std::int64_t dim = config.dim;
+  const std::int64_t hidden = config.hidden_dim;
+  const std::int64_t kv = config.kv_dim();
+  const std::int64_t vocab = config.vocab_size;
+  const std::int64_t layers = config.n_layers;
+
+  w.token_embedding = TensorF(Shape{vocab, dim});
+  w.rms_final = TensorF(Shape{dim});
+  if (!config.shared_classifier) w.wcls = TensorF(Shape{vocab, dim});
+
+  w.rms_att.reserve(layers);
+  w.wq.reserve(layers);
+  w.wk.reserve(layers);
+  w.wv.reserve(layers);
+  w.wo.reserve(layers);
+  w.rms_ffn.reserve(layers);
+  w.w1.reserve(layers);
+  w.w2.reserve(layers);
+  w.w3.reserve(layers);
+  for (std::int64_t l = 0; l < layers; ++l) {
+    w.rms_att.emplace_back(Shape{dim});
+    w.wq.emplace_back(Shape{dim, dim});
+    w.wk.emplace_back(Shape{kv, dim});
+    w.wv.emplace_back(Shape{kv, dim});
+    w.wo.emplace_back(Shape{dim, dim});
+    w.rms_ffn.emplace_back(Shape{dim});
+    w.w1.emplace_back(Shape{hidden, dim});
+    w.w2.emplace_back(Shape{dim, hidden});
+    w.w3.emplace_back(Shape{hidden, dim});
+  }
+  return w;
+}
+
+std::uint64_t Weights::param_bytes() const {
+  return static_cast<std::uint64_t>(config.num_params()) * sizeof(float);
+}
+
+namespace {
+
+void FillGaussian(TensorF& t, Rng rng, float stddev) {
+  for (float& v : t.span()) v = stddev * rng.NextGaussian();
+}
+
+void FillOnesPerturbed(TensorF& t, Rng rng) {
+  // rmsnorm gains in trained checkpoints hover around 1 with small spread.
+  for (float& v : t.span()) v = 1.0f + 0.05f * rng.NextGaussian();
+}
+
+}  // namespace
+
+Weights GenerateSyntheticWeights(const ModelConfig& config,
+                                 std::uint64_t seed) {
+  Weights w = Weights::Allocate(config);
+  Rng root(seed);
+  const float base = 0.02f;
+  // GPT-2 style depth scaling keeps residual-stream magnitudes stable so
+  // softmax/rmsnorm operate in realistic numeric ranges.
+  const float resid_scale =
+      base / std::sqrt(2.0f * static_cast<float>(config.n_layers));
+
+  FillGaussian(w.token_embedding, root.Fork(1), base);
+  FillOnesPerturbed(w.rms_final, root.Fork(2));
+  if (!config.shared_classifier) FillGaussian(w.wcls, root.Fork(3), base);
+
+  for (std::int32_t l = 0; l < config.n_layers; ++l) {
+    std::uint64_t salt = 100 + static_cast<std::uint64_t>(l) * 16;
+    FillOnesPerturbed(w.rms_att[l], root.Fork(salt + 0));
+    FillGaussian(w.wq[l], root.Fork(salt + 1), base);
+    FillGaussian(w.wk[l], root.Fork(salt + 2), base);
+    FillGaussian(w.wv[l], root.Fork(salt + 3), base);
+    FillGaussian(w.wo[l], root.Fork(salt + 4), resid_scale);
+    FillOnesPerturbed(w.rms_ffn[l], root.Fork(salt + 5));
+    FillGaussian(w.w1[l], root.Fork(salt + 6), base);
+    FillGaussian(w.w2[l], root.Fork(salt + 7), resid_scale);
+    FillGaussian(w.w3[l], root.Fork(salt + 8), base);
+  }
+  return w;
+}
+
+}  // namespace speedllm::llama

@@ -1,0 +1,40 @@
+// SpeedLLM -- model-quality evaluation utilities.
+//
+// Measures how faithfully an accelerator configuration reproduces the
+// fp32 reference on a token stream: per-token negative log-likelihood
+// (the perplexity building block), top-1 agreement, and logit error.
+// This is the experiment that justifies the int8 datapath: latency gains
+// are worthless if the model they produce is a different model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "runtime/device.hpp"
+
+namespace speedllm::runtime {
+
+struct QualityReport {
+  std::int64_t positions = 0;
+  double ref_avg_nll = 0.0;    // reference cross-entropy (nats/token)
+  double test_avg_nll = 0.0;   // accelerator cross-entropy
+  double top1_agreement = 0.0; // fraction of positions with same argmax
+  float max_logit_err = 0.0f;  // max |logit_test - logit_ref| over stream
+  double ref_perplexity() const;
+  double test_perplexity() const;
+};
+
+/// Feeds `tokens` (teacher-forced) through both the CPU reference and
+/// `device`, scoring each next-token prediction. tokens.size() must be
+/// >= 2 and <= seq_len.
+StatusOr<QualityReport> EvaluateAgainstReference(
+    const llama::Weights& weights, AcceleratorDevice& device,
+    const std::vector<std::int32_t>& tokens);
+
+/// Deterministic synthetic evaluation stream (BOS + uniform tokens).
+std::vector<std::int32_t> SyntheticEvalStream(const llama::ModelConfig& config,
+                                              std::int32_t length,
+                                              std::uint64_t seed);
+
+}  // namespace speedllm::runtime

@@ -1,0 +1,62 @@
+// SpeedLLM -- inference measurement records.
+//
+// Latency follows the paper's definition (total time for the complete
+// inference, prefill + decode); throughput is output tokens divided by
+// the decode-stage duration; energy efficiency is tokens per joule.
+// Times are simulated U280 time derived from cycle counts.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/power.hpp"
+
+namespace speedllm::runtime {
+
+struct InferenceMetrics {
+  std::int64_t prompt_tokens = 0;
+  std::int64_t generated_tokens = 0;
+
+  double prefill_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double total_seconds() const { return prefill_seconds + decode_seconds; }
+
+  double prefill_joules = 0.0;
+  double decode_joules = 0.0;
+  double total_joules() const { return prefill_joules + decode_joules; }
+
+  std::uint64_t total_cycles = 0;
+  std::uint64_t hbm_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+
+  hw::EnergyBreakdown energy;
+
+  /// Decode-stage throughput (the paper's "decoding speed").
+  double decode_tokens_per_second() const {
+    return decode_seconds > 0.0
+               ? static_cast<double>(generated_tokens) / decode_seconds
+               : 0.0;
+  }
+  /// "Effective energy" efficiency following the paper's (and the usual
+  /// FPGA-paper) convention: tokens per joule of accelerator *dynamic*
+  /// energy. Board static power is excluded here and reported separately
+  /// via tokens_per_joule_total().
+  double tokens_per_joule() const {
+    double j = energy.dynamic_j();
+    return j > 0.0 ? static_cast<double>(prompt_tokens + generated_tokens) / j
+                   : 0.0;
+  }
+
+  /// Tokens per joule including board static power.
+  double tokens_per_joule_total() const {
+    double j = total_joules();
+    return j > 0.0 ? static_cast<double>(prompt_tokens + generated_tokens) / j
+                   : 0.0;
+  }
+  /// Average power over the inference (W).
+  double average_power_w() const {
+    double t = total_seconds();
+    return t > 0.0 ? total_joules() / t : 0.0;
+  }
+};
+
+}  // namespace speedllm::runtime

@@ -1,0 +1,67 @@
+// SpeedLLM -- multi-request serving simulation.
+//
+// Models the edge-server scenario the paper's introduction motivates:
+// one U280 accelerator card serving several concurrent generation
+// requests. Requests arrive at simulated times; the card decodes one
+// token at a time, round-robin across active sequences (each sequence
+// has its own KV cache via a dedicated executor, all sharing the same
+// compiled program). Reports per-request time-to-first-token and
+// completion latency plus aggregate throughput.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/executor.hpp"
+#include "common/status.hpp"
+#include "llama/sampler.hpp"
+
+namespace speedllm::runtime {
+
+struct ServingRequest {
+  std::vector<std::int32_t> prompt;
+  std::int32_t max_new_tokens = 16;
+  double arrival_seconds = 0.0;  // simulated arrival time
+};
+
+struct RequestOutcome {
+  std::vector<std::int32_t> generated;
+  double arrival_seconds = 0.0;
+  double first_token_seconds = 0.0;  // absolute time of first decoded token
+  double completion_seconds = 0.0;   // absolute time of last token
+  double time_to_first_token() const {
+    return first_token_seconds - arrival_seconds;
+  }
+  double latency() const { return completion_seconds - arrival_seconds; }
+};
+
+struct ServingReport {
+  std::vector<RequestOutcome> outcomes;
+  double makespan_seconds = 0.0;
+  std::int64_t total_tokens = 0;  // prompt + generated processed tokens
+  double device_tokens_per_second = 0.0;
+  double mean_ttft() const;
+  double mean_latency() const;
+  double p99ish_latency() const;  // max over requests (small-N stand-in)
+};
+
+/// Simulates serving `requests` on one accelerator program. The sampler
+/// seed is offset per request so streams are independent but the whole
+/// simulation stays deterministic.
+class ServingSimulator {
+ public:
+  /// `program` and `weights` must outlive the simulator.
+  ServingSimulator(const accel::Program& program,
+                   const llama::Weights& weights, const hw::U280Config& u280);
+
+  StatusOr<ServingReport> Run(const std::vector<ServingRequest>& requests,
+                              const llama::SamplerConfig& sampler_config);
+
+ private:
+  const accel::Program* program_;
+  const llama::Weights* weights_;
+  hw::U280Config u280_;
+};
+
+}  // namespace speedllm::runtime

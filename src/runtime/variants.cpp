@@ -1,0 +1,32 @@
+#include "runtime/variants.hpp"
+
+namespace speedllm::runtime {
+
+std::string VariantName(Variant v) {
+  switch (v) {
+    case Variant::kUnoptimized: return "Unoptimized";
+    case Variant::kNoPipeline: return "NoPipeline";
+    case Variant::kNoFuse: return "NoFuse";
+    case Variant::kSpeedLLM: return "SpeedLLM";
+    case Variant::kNoReuse: return "NoReuse";
+  }
+  return "?";
+}
+
+compiler::CompilerOptions OptionsFor(Variant v) {
+  switch (v) {
+    case Variant::kUnoptimized: return compiler::CompilerOptions::Unoptimized();
+    case Variant::kNoPipeline: return compiler::CompilerOptions::NoPipeline();
+    case Variant::kNoFuse: return compiler::CompilerOptions::NoFuse();
+    case Variant::kSpeedLLM: return compiler::CompilerOptions::SpeedLLM();
+    case Variant::kNoReuse: return compiler::CompilerOptions::NoReuse();
+  }
+  return compiler::CompilerOptions::SpeedLLM();
+}
+
+std::vector<Variant> PaperVariants() {
+  return {Variant::kUnoptimized, Variant::kNoPipeline, Variant::kNoFuse,
+          Variant::kSpeedLLM};
+}
+
+}  // namespace speedllm::runtime

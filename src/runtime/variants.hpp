@@ -1,0 +1,25 @@
+// SpeedLLM -- the accelerator variants evaluated in the paper's Fig. 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/options.hpp"
+
+namespace speedllm::runtime {
+
+enum class Variant {
+  kUnoptimized,  // baseline accelerator: serialized, unfused, no reuse
+  kNoPipeline,   // "none parallel tech. one"
+  kNoFuse,       // "none fused one"
+  kSpeedLLM,     // all three contributions
+  kNoReuse,      // ablation: reuse disabled, rest enabled
+};
+
+std::string VariantName(Variant v);
+compiler::CompilerOptions OptionsFor(Variant v);
+
+/// The comparison set of Fig. 2 in evaluation order.
+std::vector<Variant> PaperVariants();
+
+}  // namespace speedllm::runtime

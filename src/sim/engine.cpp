@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace speedllm::sim {
+
+void Engine::ScheduleAt(Cycles t, Callback fn) {
+  assert(t >= now_ && "cannot schedule events in the simulated past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Cycles Engine::Run() {
+  while (!queue_.empty()) {
+    // The callback may schedule more events; copy out before popping so
+    // the queue is consistent during execution.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+Cycles Engine::RunUntil(Cycles limit) {
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (now_ < limit && queue_.empty()) {
+    // Nothing left: time conceptually stops at the last event.
+    return now_;
+  }
+  now_ = std::max(now_, limit);
+  return now_;
+}
+
+}  // namespace speedllm::sim

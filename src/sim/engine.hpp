@@ -1,0 +1,67 @@
+// SpeedLLM -- discrete-event simulation kernel.
+//
+// The accelerator's timing model is built on a classic event-driven
+// engine: callbacks scheduled at absolute cycle times, executed in
+// (time, insertion) order. Cycle counts are the simulated U280 kernel
+// clock (see hw::U280Config::clock_mhz for the cycles<->seconds scale).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace speedllm::sim {
+
+/// Simulated time in kernel-clock cycles.
+using Cycles = std::uint64_t;
+
+/// Event-driven simulator. Deterministic: ties in time break by
+/// scheduling order (FIFO), never by heap internals.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Only advances inside Run()/RunUntil().
+  Cycles now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now()).
+  void ScheduleAt(Cycles t, Callback fn);
+
+  /// Schedules `fn` `delay` cycles from now.
+  void ScheduleAfter(Cycles delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the event queue drains. Returns the final time.
+  Cycles Run();
+
+  /// Runs until the queue drains or simulated time would exceed `limit`.
+  Cycles RunUntil(Cycles limit);
+
+  /// Events executed so far (for tests and perf sanity checks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// True if no events are pending.
+  bool Idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace speedllm::sim

@@ -1,0 +1,67 @@
+// SpeedLLM -- serial hardware stations for list scheduling.
+//
+// A Station models a unit that processes one job at a time (a DMA engine,
+// the MPE, the SFU, one HBM pseudo-channel). The accelerator executor does
+// dependency-driven list scheduling: each instruction asks its station for
+// the earliest start >= ready_time, which both reserves the slot and
+// accrues utilization statistics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace speedllm::sim {
+
+/// In-order, one-job-at-a-time resource with busy-time accounting.
+class Station {
+ public:
+  explicit Station(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Reserves the station for `duration` cycles starting no earlier than
+  /// `ready`. Returns the actual start time (max of ready and the
+  /// station's free time). Zero-duration jobs are legal and leave the
+  /// schedule unchanged.
+  Cycles Acquire(Cycles ready, Cycles duration) {
+    Cycles start = std::max(ready, free_at_);
+    free_at_ = start + duration;
+    busy_ += duration;
+    ++jobs_;
+    last_end_ = free_at_;
+    return start;
+  }
+
+  /// Earliest time a new job could start if issued when `ready`.
+  Cycles EarliestStart(Cycles ready) const { return std::max(ready, free_at_); }
+
+  Cycles free_at() const { return free_at_; }
+  Cycles busy_cycles() const { return busy_; }
+  std::uint64_t jobs() const { return jobs_; }
+  Cycles last_end() const { return last_end_; }
+
+  /// Fraction of [0, horizon) this station spent busy.
+  double Utilization(Cycles horizon) const {
+    return horizon == 0 ? 0.0
+                        : static_cast<double>(busy_) / static_cast<double>(horizon);
+  }
+
+  void Reset() {
+    free_at_ = 0;
+    busy_ = 0;
+    jobs_ = 0;
+    last_end_ = 0;
+  }
+
+ private:
+  std::string name_;
+  Cycles free_at_ = 0;
+  Cycles busy_ = 0;
+  std::uint64_t jobs_ = 0;
+  Cycles last_end_ = 0;
+};
+
+}  // namespace speedllm::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace speedllm::sim {
+
+Cycles TraceRecorder::OverlappedCycles() const {
+  // Sweep line over span boundaries counting distinct busy stations.
+  // Spans from the same station never overlap (stations are serial), so
+  // "two spans active" implies "two stations active".
+  struct Edge {
+    Cycles t;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(spans_.size() * 2);
+  for (const auto& s : spans_) {
+    if (s.end > s.start) {
+      edges.push_back({s.start, +1});
+      edges.push_back({s.end, -1});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // process -1 before +1 at equal times
+  });
+  Cycles overlapped = 0;
+  int active = 0;
+  Cycles prev = 0;
+  for (const auto& e : edges) {
+    if (active >= 2) overlapped += e.t - prev;
+    active += e.delta;
+    prev = e.t;
+  }
+  return overlapped;
+}
+
+Cycles TraceRecorder::Makespan() const {
+  Cycles m = 0;
+  for (const auto& s : spans_) m = std::max(m, s.end);
+  return m;
+}
+
+}  // namespace speedllm::sim

@@ -1,0 +1,88 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace speedllm::sim {
+
+namespace {
+
+/// Minimal JSON string escaping (labels contain only identifiers, but be
+/// safe about quotes/backslashes/control bytes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceRecorder& trace,
+                              double ns_per_cycle) {
+  // Stable thread id per station, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& span : trace.spans()) {
+    tids.emplace(span.station, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Station name metadata events.
+  for (const auto& [station, tid] : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << JsonEscape(station) << "\"}}";
+  }
+  const double us_per_cycle = ns_per_cycle / 1000.0;
+  for (const auto& span : trace.spans()) {
+    if (!first) out << ",";
+    first = false;
+    double ts = static_cast<double>(span.start) * us_per_cycle;
+    double dur = static_cast<double>(span.end - span.start) * us_per_cycle;
+    out << "{\"name\":\"" << JsonEscape(span.label) << "\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":" << tids[span.station]  //
+        << ",\"ts\":" << ts << ",\"dur\":" << dur       //
+        << ",\"args\":{\"instr\":" << span.instr_id     //
+        << ",\"bytes\":" << span.bytes << ",\"ops\":" << span.ops << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const TraceRecorder& trace, const std::string& path,
+                        double ns_per_cycle) {
+  std::string json = ToChromeTraceJson(trace, ns_per_cycle);
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) return NotFound("cannot open for writing: " + path);
+  if (std::fwrite(json.data(), 1, json.size(), f.get()) != json.size()) {
+    return Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace speedllm::sim

@@ -1,0 +1,25 @@
+// SpeedLLM -- Chrome trace (about://tracing, Perfetto) export.
+//
+// Converts a TraceRecorder into the Chrome Trace Event JSON format so a
+// token's schedule can be inspected visually: one row per station, one
+// slice per instruction, byte/op counts as arguments.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "sim/trace.hpp"
+
+namespace speedllm::sim {
+
+/// Renders the spans as a Chrome trace JSON document. `ns_per_cycle`
+/// converts simulated cycles to trace microseconds (Chrome uses us; we
+/// map 1 cycle -> ns_per_cycle/1000 us, default 300 MHz -> 3.33 ns).
+std::string ToChromeTraceJson(const TraceRecorder& trace,
+                              double ns_per_cycle = 10.0 / 3.0);
+
+/// Writes the JSON to `path`.
+Status WriteChromeTrace(const TraceRecorder& trace, const std::string& path,
+                        double ns_per_cycle = 10.0 / 3.0);
+
+}  // namespace speedllm::sim

@@ -1,0 +1,86 @@
+// Unit tests for the analytic GPU baselines (cost-efficiency comparison).
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+#include "graph/graph.hpp"
+
+namespace speedllm::baseline {
+namespace {
+
+TEST(GpuSpecTest, DatasheetNumbers) {
+  auto v = GpuSpec::V100S();
+  EXPECT_EQ(v.name, "V100S");
+  EXPECT_NEAR(v.peak_fp32_tflops, 16.4, 0.1);
+  EXPECT_EQ(v.price_usd, kV100SPriceUsd);
+  auto a = GpuSpec::A100();
+  EXPECT_NEAR(a.mem_bw_gbps, 1555.0, 1.0);
+  EXPECT_EQ(a.price_usd, kA100PriceUsd);
+  // Paper: V100S $12k, A100 $17k, U280 $8k.
+  EXPECT_LT(kU280PriceUsd, kV100SPriceUsd);
+  EXPECT_LT(kV100SPriceUsd, kA100PriceUsd);
+}
+
+TEST(GpuEstimateTest, PositiveAndFinite) {
+  auto config = llama::ModelConfig::Stories15M();
+  for (const auto& gpu : {GpuSpec::V100S(), GpuSpec::A100()}) {
+    auto e = EstimateDecode(gpu, config);
+    EXPECT_GT(e.tokens_per_second, 0.0);
+    EXPECT_GT(e.tokens_per_joule, 0.0);
+    EXPECT_GT(e.tokens_per_second_per_dollar, 0.0);
+    EXPECT_GT(e.compute_ms_per_token, 0.0);
+    EXPECT_GT(e.memory_ms_per_token, 0.0);
+    EXPECT_GT(e.launch_ms_per_token, 0.0);
+  }
+}
+
+TEST(GpuEstimateTest, A100FasterThanV100S) {
+  auto config = llama::ModelConfig::Stories15M();
+  auto v = EstimateDecode(GpuSpec::V100S(), config);
+  auto a = EstimateDecode(GpuSpec::A100(), config);
+  EXPECT_GE(a.tokens_per_second, v.tokens_per_second * 0.95);
+}
+
+TEST(GpuEstimateTest, SmallModelIsLaunchBound) {
+  // stories15M on a datacenter GPU: per-kernel launch overhead dominates
+  // the roofline terms -- the effect the paper's fusion argument exploits.
+  auto config = llama::ModelConfig::Stories15M();
+  auto e = EstimateDecode(GpuSpec::A100(), config);
+  EXPECT_GT(e.launch_ms_per_token,
+            std::max(e.compute_ms_per_token, e.memory_ms_per_token));
+}
+
+TEST(GpuEstimateTest, KernelsPerTokenMatchesGraph) {
+  for (auto config :
+       {llama::ModelConfig::Tiny(), llama::ModelConfig::Stories15M()}) {
+    auto dg = graph::BuildDecodeGraph(config);
+    EXPECT_EQ(KernelsPerToken(config),
+              static_cast<std::int64_t>(dg.graph.ops().size()));
+  }
+}
+
+TEST(GpuEstimateTest, Int8HalvesMemoryTime) {
+  auto config = llama::ModelConfig::Stories15M();
+  auto fp32 = EstimateDecode(GpuSpec::A100(), config, 4.0);
+  auto int8 = EstimateDecode(GpuSpec::A100(), config, 1.0);
+  EXPECT_NEAR(int8.memory_ms_per_token, fp32.memory_ms_per_token / 4.0,
+              fp32.memory_ms_per_token * 0.01);
+}
+
+TEST(GpuEstimateTest, ThroughputConsistentWithParts) {
+  auto config = llama::ModelConfig::Stories15M();
+  auto e = EstimateDecode(GpuSpec::V100S(), config);
+  double ms = std::max(e.compute_ms_per_token, e.memory_ms_per_token) +
+              e.launch_ms_per_token;
+  EXPECT_NEAR(e.tokens_per_second, 1e3 / ms, 1e-6);
+  EXPECT_NEAR(e.tokens_per_second_per_dollar,
+              e.tokens_per_second / kV100SPriceUsd, 1e-12);
+}
+
+TEST(GpuEstimateTest, BiggerModelIsSlower) {
+  auto small = EstimateDecode(GpuSpec::A100(), llama::ModelConfig::Stories15M());
+  auto big = EstimateDecode(GpuSpec::A100(), llama::ModelConfig::Stories110M());
+  EXPECT_GT(small.tokens_per_second, big.tokens_per_second);
+}
+
+}  // namespace
+}  // namespace speedllm::baseline

@@ -1,0 +1,350 @@
+// Unit tests for src/common: status, tensors, rng, threadpool, table, cli.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "common/tensor.hpp"
+#include "common/threadpool.hpp"
+
+namespace speedllm {
+namespace {
+
+// ---------------- Status ----------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad dim");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Internal("a"), Internal("a"));
+  EXPECT_FALSE(Internal("a") == Internal("b"));
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgument("not positive");
+  return v;
+}
+
+Status UsesAssignOrReturn(int v, int* out) {
+  SPEEDLLM_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+
+  auto bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(3, &out).ok());
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(UsesAssignOrReturn(-3, &out).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+// ---------------- Shape / Tensor ----------------
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{3, 4};
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.dim(0), 3);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s.num_elements(), 12);
+  EXPECT_EQ(s.ToString(), "[3, 4]");
+  EXPECT_EQ(Shape{}.num_elements(), 1);  // scalar
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2}), (Shape{2, 1}));
+}
+
+TEST(TensorTest, ZerosAndFull) {
+  auto z = TensorF::Zeros(Shape{5});
+  for (float v : z.span()) EXPECT_EQ(v, 0.0f);
+  auto f = TensorF::Full(Shape{4}, 2.5f);
+  for (float v : f.span()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, AlignmentIs64Bytes) {
+  TensorF t(Shape{17});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  auto a = TensorF::Full(Shape{3}, 1.0f);
+  auto b = a.Clone();
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 9.0f);
+}
+
+TEST(TensorTest, RowAndAtAccessors) {
+  TensorF t(Shape{2, 3});
+  std::iota(t.data(), t.data() + 6, 0.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  auto row = t.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 3.0f);
+}
+
+TEST(TensorTest, DiffHelpers) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {1.0f, 2.5f, 3.0f};
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+  EXPECT_EQ(MaxAbsDiff(a, a), 0.0f);
+  EXPECT_GT(RelativeL2Error(a, b), 0.0f);
+  EXPECT_EQ(RelativeL2Error(a, a), 0.0f);
+}
+
+// ---------------- Rng ----------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, FloatInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng root(7);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng r1(9), r2(9);
+  EXPECT_EQ(r1.Fork(5).NextU64(), r2.Fork(5).NextU64());
+}
+
+// ---------------- ThreadPool ----------------
+
+TEST(ThreadPoolTest, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](std::int64_t, std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(1, [&](std::int64_t b, std::int64_t e) {
+    sum += e - b;
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::int64_t sum = 0;
+  pool.ParallelFor(100, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      pool.ParallelFor(8, [&](std::int64_t b2, std::int64_t e2) {
+        total += e2 - b2;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 8);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+}
+
+class ThreadPoolSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ThreadPoolSweep, SumMatchesSerial) {
+  const std::int64_t n = GetParam();
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(n, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadPoolSweep,
+                         ::testing::Values(1, 2, 7, 8, 9, 63, 64, 65, 1000,
+                                           4096, 100001));
+
+// ---------------- Table ----------------
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow();
+  t.Cell("a");
+  t.Cell(static_cast<std::int64_t>(42));
+  t.AddRow();
+  t.Cell("longer");
+  t.Cell(3.14159, 2);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.Row({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.Row({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3ull << 20), "3.00 MiB");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(0.5e-9 * 2), "1.0 ns");
+  EXPECT_EQ(FormatSeconds(2.5e-3), "2.50 ms");
+  EXPECT_EQ(FormatSeconds(3.0), "3.00 s");
+}
+
+// ---------------- RunningStats ----------------
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+// ---------------- CommandLine ----------------
+
+TEST(CommandLineTest, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=3", "--name", "x", "pos1", "--flag"};
+  auto cl = CommandLine::Parse(6, argv, {"alpha", "name", "flag"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetInt("alpha", 0), 3);
+  EXPECT_EQ(cl->GetString("name", ""), "x");
+  EXPECT_TRUE(cl->GetBool("flag", false));
+  ASSERT_EQ(cl->positional().size(), 1u);
+  EXPECT_EQ(cl->positional()[0], "pos1");
+}
+
+TEST(CommandLineTest, UnknownFlagIsError) {
+  const char* argv[] = {"prog", "--oops=1"};
+  auto cl = CommandLine::Parse(2, argv, {"alpha"});
+  EXPECT_FALSE(cl.ok());
+  EXPECT_EQ(cl.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CommandLineTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  auto cl = CommandLine::Parse(1, argv, {"a"});
+  ASSERT_TRUE(cl.ok());
+  EXPECT_EQ(cl->GetInt("a", 7), 7);
+  EXPECT_EQ(cl->GetDouble("a", 2.5), 2.5);
+  EXPECT_FALSE(cl->HasFlag("a"));
+}
+
+}  // namespace
+}  // namespace speedllm

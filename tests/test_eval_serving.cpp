@@ -1,0 +1,193 @@
+// Unit tests for the quality evaluation and serving simulation modules.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+#include "runtime/eval.hpp"
+#include "runtime/serving.hpp"
+
+namespace speedllm::runtime {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+};
+
+// ---------------- EvaluateAgainstReference ----------------
+
+TEST(EvalTest, Fp32PathIsExact) {
+  Fixture f;
+  auto dev = AcceleratorDevice::Create(f.weights, Variant::kSpeedLLM, f.u280);
+  ASSERT_TRUE(dev.ok());
+  auto stream = SyntheticEvalStream(f.config, 24, 3);
+  auto report = EvaluateAgainstReference(f.weights, *dev, stream);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->positions, 23);
+  EXPECT_EQ(report->top1_agreement, 1.0);
+  EXPECT_EQ(report->max_logit_err, 0.0f);
+  EXPECT_DOUBLE_EQ(report->ref_avg_nll, report->test_avg_nll);
+  EXPECT_GT(report->ref_perplexity(), 1.0);
+}
+
+TEST(EvalTest, Int8PathCloseButNotExact) {
+  Fixture f;
+  auto opt = compiler::CompilerOptions::SpeedLLM();
+  opt.int8_weights = true;
+  auto dev = AcceleratorDevice::Create(f.weights, opt, f.u280);
+  ASSERT_TRUE(dev.ok());
+  auto stream = SyntheticEvalStream(f.config, 24, 3);
+  auto report = EvaluateAgainstReference(f.weights, *dev, stream);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->max_logit_err, 0.0f);      // quantization is lossy...
+  EXPECT_LT(report->max_logit_err, 0.5f);      // ...but bounded
+  // Perplexities within a few percent of each other.
+  EXPECT_NEAR(report->test_avg_nll, report->ref_avg_nll,
+              0.05 * report->ref_avg_nll);
+  EXPECT_GT(report->top1_agreement, 0.8);
+}
+
+TEST(EvalTest, RejectsDegenerateStreams) {
+  Fixture f;
+  auto dev = AcceleratorDevice::Create(f.weights, Variant::kSpeedLLM, f.u280);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_FALSE(EvaluateAgainstReference(f.weights, *dev, {1}).ok());
+  std::vector<std::int32_t> too_long(f.config.seq_len + 1, 1);
+  EXPECT_FALSE(EvaluateAgainstReference(f.weights, *dev, too_long).ok());
+}
+
+TEST(EvalTest, SyntheticStreamShape) {
+  auto stream = SyntheticEvalStream(llama::ModelConfig::Tiny(), 16, 7);
+  EXPECT_EQ(stream.size(), 16u);
+  EXPECT_EQ(stream[0], llama::kBosToken);
+  for (auto t : stream) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, llama::ModelConfig::Tiny().vocab_size);
+  }
+  EXPECT_EQ(SyntheticEvalStream(llama::ModelConfig::Tiny(), 16, 7), stream);
+}
+
+// ---------------- ServingSimulator ----------------
+
+std::vector<ServingRequest> MakeRequests(int n, int gen, double spacing) {
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    ServingRequest r;
+    r.prompt = {llama::kBosToken, static_cast<std::int32_t>(10 + i),
+                static_cast<std::int32_t>(20 + i)};
+    r.max_new_tokens = gen;
+    r.arrival_seconds = i * spacing;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+accel::Program CompileVariant(const Fixture& f, Variant v) {
+  auto r = compiler::Compile(f.config, OptionsFor(v), f.u280);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value().program;
+}
+
+TEST(ServingTest, CompletesAllRequests) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  ServingSimulator sim(prog, f.weights, f.u280);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  auto report = sim.Run(MakeRequests(3, 5, 1e-4), sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->outcomes.size(), 3u);
+  for (const auto& o : report->outcomes) {
+    EXPECT_EQ(o.generated.size(), 5u);
+    EXPECT_GE(o.time_to_first_token(), 0.0);
+    EXPECT_GE(o.latency(), o.time_to_first_token());
+  }
+  EXPECT_EQ(report->total_tokens, 3 * (3 + 5));
+  EXPECT_GT(report->device_tokens_per_second, 0.0);
+  EXPECT_GT(report->makespan_seconds, 0.0);
+}
+
+TEST(ServingTest, DeterministicAcrossRuns) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.7f;
+  sc.seed = 5;
+  ServingSimulator sim1(prog, f.weights, f.u280);
+  ServingSimulator sim2(prog, f.weights, f.u280);
+  auto a = sim1.Run(MakeRequests(3, 6, 1e-4), sc);
+  auto b = sim2.Run(MakeRequests(3, 6, 1e-4), sc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->outcomes.size(); ++i) {
+    EXPECT_EQ(a->outcomes[i].generated, b->outcomes[i].generated);
+    EXPECT_DOUBLE_EQ(a->outcomes[i].completion_seconds,
+                     b->outcomes[i].completion_seconds);
+  }
+}
+
+TEST(ServingTest, RequestsAreIndependentStreams) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  ServingSimulator sim(prog, f.weights, f.u280);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.9f;
+  sc.seed = 5;
+  // Two identical prompts should usually diverge (different seeds).
+  std::vector<ServingRequest> reqs = MakeRequests(2, 8, 0.0);
+  reqs[1].prompt = reqs[0].prompt;
+  auto report = sim.Run(reqs, sc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->outcomes[0].generated, report->outcomes[1].generated);
+}
+
+TEST(ServingTest, LateArrivalWaits) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  ServingSimulator sim(prog, f.weights, f.u280);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  auto reqs = MakeRequests(2, 2, 0.0);
+  reqs[1].arrival_seconds = 10.0;  // long after the first finishes
+  auto report = sim.Run(reqs, sc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->outcomes[0].completion_seconds, 1.0);
+  EXPECT_GE(report->outcomes[1].first_token_seconds, 10.0);
+  EXPECT_GE(report->makespan_seconds, 10.0);
+}
+
+TEST(ServingTest, FasterVariantImprovesLatency) {
+  Fixture f;
+  auto fast = CompileVariant(f, Variant::kSpeedLLM);
+  auto slow = CompileVariant(f, Variant::kUnoptimized);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  ServingSimulator sim_fast(fast, f.weights, f.u280);
+  ServingSimulator sim_slow(slow, f.weights, f.u280);
+  auto a = sim_fast.Run(MakeRequests(4, 6, 0.0), sc);
+  auto b = sim_slow.Run(MakeRequests(4, 6, 0.0), sc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->mean_latency(), b->mean_latency());
+  EXPECT_LT(a->mean_ttft(), b->mean_ttft());
+  EXPECT_LT(a->p99ish_latency(), b->p99ish_latency());
+}
+
+TEST(ServingTest, RejectsBadRequests) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  ServingSimulator sim(prog, f.weights, f.u280);
+  llama::SamplerConfig sc;
+  std::vector<ServingRequest> empty_prompt(1);
+  EXPECT_FALSE(sim.Run(empty_prompt, sc).ok());
+  std::vector<ServingRequest> too_long(1);
+  too_long[0].prompt = {llama::kBosToken};
+  too_long[0].max_new_tokens = f.config.seq_len + 5;
+  EXPECT_FALSE(sim.Run(too_long, sc).ok());
+  auto ok = sim.Run({}, sc);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->outcomes.empty());
+}
+
+}  // namespace
+}  // namespace speedllm::runtime

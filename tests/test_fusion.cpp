@@ -1,0 +1,146 @@
+// Unit tests for the operator fusion pass.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/fusion.hpp"
+#include "graph/graph.hpp"
+
+namespace speedllm::compiler {
+namespace {
+
+using graph::BuildDecodeGraph;
+using graph::OpKind;
+using graph::ValueKind;
+
+TEST(FusionTest, DisabledGivesSingletons) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, /*enable_fusion=*/false);
+  EXPECT_EQ(groups.size(), dg.graph.ops().size());
+  for (const auto& g : groups) EXPECT_EQ(g.ops.size(), 1u);
+  EXPECT_TRUE(ValidateGroups(dg.graph, groups).ok());
+}
+
+TEST(FusionTest, EnabledGroupCountFormula) {
+  for (auto config :
+       {llama::ModelConfig::Tiny(), llama::ModelConfig::Stories15M()}) {
+    auto dg = BuildDecodeGraph(config);
+    auto groups = BuildFusionGroups(dg.graph, true);
+    // embed + 4 fused groups per layer + fused head.
+    EXPECT_EQ(groups.size(),
+              static_cast<std::size_t>(1 + 4 * config.n_layers + 1));
+    EXPECT_TRUE(ValidateGroups(dg.graph, groups).ok());
+  }
+}
+
+TEST(FusionTest, GroupsPartitionOpsInOrder) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, true);
+  std::set<graph::OpId> seen;
+  graph::OpId prev = -1;
+  for (const auto& g : groups) {
+    for (auto id : g.ops) {
+      EXPECT_EQ(id, prev + 1);  // contiguous ascending
+      prev = id;
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), dg.graph.ops().size());
+}
+
+TEST(FusionTest, ExpectedPatternNames) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, true);
+  int qkv = 0, core = 0, gate = 0, down = 0, head = 0;
+  for (const auto& g : groups) {
+    if (g.name.find("attn_qkv") != std::string::npos) ++qkv;
+    if (g.name.find("attn_core") != std::string::npos) ++core;
+    if (g.name.find("ffn_gate") != std::string::npos) ++gate;
+    if (g.name.find("ffn_down") != std::string::npos) ++down;
+    if (g.name.find("head") != std::string::npos) ++head;
+  }
+  auto layers = llama::ModelConfig::Tiny().n_layers;
+  EXPECT_EQ(qkv, layers);
+  EXPECT_EQ(core, layers);
+  EXPECT_EQ(gate, layers);
+  EXPECT_EQ(down, layers);
+  EXPECT_EQ(head, 1);
+}
+
+TEST(FusionTest, ValidateRejectsGaps) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, true);
+  groups[1].ops.erase(groups[1].ops.begin());  // drop an op
+  EXPECT_FALSE(ValidateGroups(dg.graph, groups).ok());
+}
+
+TEST(FusionTest, ValidateRejectsEmptyGroup) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, true);
+  groups.push_back(FusedGroup{static_cast<std::int32_t>(groups.size()),
+                              "empty", {}});
+  EXPECT_FALSE(ValidateGroups(dg.graph, groups).ok());
+}
+
+// Brute-force check of ValuesInternalToGroups against the definition.
+TEST(FusionTest, InternalValuesMatchBruteForce) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  for (bool fusion : {false, true}) {
+    auto groups = BuildFusionGroups(dg.graph, fusion);
+    auto internal = ValuesInternalToGroups(dg.graph, groups);
+
+    std::vector<std::int32_t> group_of(dg.graph.ops().size(), -1);
+    for (const auto& g : groups) {
+      for (auto id : g.ops) group_of[id] = g.id;
+    }
+    for (const auto& v : dg.graph.values()) {
+      if (v.kind != ValueKind::kActivation) {
+        if (v.kind == ValueKind::kOutput) EXPECT_FALSE(internal[v.id]);
+        continue;
+      }
+      graph::OpId producer = dg.graph.Producer(v.id);
+      ASSERT_GE(producer, 0) << v.name;
+      bool expect_internal = true;
+      for (const auto& op : dg.graph.ops()) {
+        for (auto in : op.inputs) {
+          if (in == v.id && group_of[op.id] != group_of[producer]) {
+            expect_internal = false;
+          }
+        }
+      }
+      EXPECT_EQ(internal[v.id], expect_internal)
+          << v.name << " fusion=" << fusion;
+    }
+  }
+}
+
+TEST(FusionTest, UnfusedHasNoInternalActivations) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, false);
+  auto internal = ValuesInternalToGroups(dg.graph, groups);
+  for (const auto& v : dg.graph.values()) {
+    if (v.kind == ValueKind::kActivation) {
+      // Singleton groups: every consumed activation crosses a group edge.
+      if (dg.graph.LastConsumer(v.id) >= 0) {
+        EXPECT_FALSE(internal[v.id]) << v.name;
+      }
+    }
+  }
+}
+
+TEST(FusionTest, FusionKeepsMostActivationsInternal) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto groups = BuildFusionGroups(dg.graph, true);
+  auto internal = ValuesInternalToGroups(dg.graph, groups);
+  int total = 0, kept = 0;
+  for (const auto& v : dg.graph.values()) {
+    if (v.kind != ValueKind::kActivation) continue;
+    ++total;
+    if (internal[v.id]) ++kept;
+  }
+  // The fusion patterns keep the clear majority of intermediates on-chip.
+  EXPECT_GT(kept * 2, total);
+}
+
+}  // namespace
+}  // namespace speedllm::compiler

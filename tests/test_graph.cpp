@@ -1,0 +1,195 @@
+// Unit tests for the operator graph IR and liveness analysis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.hpp"
+#include "graph/liveness.hpp"
+
+namespace speedllm::graph {
+namespace {
+
+TEST(GraphBuildTest, DecodeGraphValidates) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  EXPECT_TRUE(dg.graph.Validate().ok());
+  auto dg15 = BuildDecodeGraph(llama::ModelConfig::Stories15M());
+  EXPECT_TRUE(dg15.graph.Validate().ok());
+}
+
+TEST(GraphBuildTest, OpCountFormula) {
+  for (auto config :
+       {llama::ModelConfig::Tiny(), llama::ModelConfig::Stories15M()}) {
+    auto dg = BuildDecodeGraph(config);
+    // embed + 18 per layer + final norm + classifier.
+    EXPECT_EQ(dg.graph.ops().size(),
+              static_cast<std::size_t>(1 + 18 * config.n_layers + 2));
+  }
+}
+
+TEST(GraphBuildTest, LayerValueIdsAreWired) {
+  auto config = llama::ModelConfig::Tiny();
+  auto dg = BuildDecodeGraph(config);
+  ASSERT_EQ(dg.layers.size(), static_cast<std::size_t>(config.n_layers));
+  for (const auto& ids : dg.layers) {
+    EXPECT_EQ(dg.graph.value(ids.wq).kind, ValueKind::kWeight);
+    EXPECT_EQ(dg.graph.value(ids.wq).elements,
+              static_cast<std::int64_t>(config.dim) * config.dim);
+    EXPECT_EQ(dg.graph.value(ids.k_cache).kind, ValueKind::kKvCache);
+    EXPECT_EQ(dg.graph.value(ids.k_cache).elements,
+              static_cast<std::int64_t>(config.seq_len) * config.kv_dim());
+  }
+}
+
+TEST(GraphBuildTest, ClassifierDims) {
+  auto config = llama::ModelConfig::Tiny();
+  auto dg = BuildDecodeGraph(config);
+  const Op& cls = dg.graph.ops().back();
+  EXPECT_EQ(cls.kind, OpKind::kMatMul);
+  EXPECT_EQ(cls.m, config.vocab_size);
+  EXPECT_EQ(cls.k, config.dim);
+  EXPECT_EQ(cls.outputs[0], dg.logits);
+  EXPECT_EQ(dg.graph.value(dg.logits).kind, ValueKind::kOutput);
+}
+
+TEST(GraphBuildTest, SharedClassifierReusesEmbedding) {
+  auto config = llama::ModelConfig::Tiny();
+  auto dg = BuildDecodeGraph(config);
+  EXPECT_EQ(dg.wcls, dg.token_embedding);
+  config.shared_classifier = false;
+  auto dg2 = BuildDecodeGraph(config);
+  EXPECT_NE(dg2.wcls, dg2.token_embedding);
+}
+
+TEST(GraphBuildTest, MatMulWeightIsFirstInput) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  for (const Op& op : dg.graph.ops()) {
+    if (op.kind != OpKind::kMatMul) continue;
+    EXPECT_EQ(dg.graph.value(op.inputs[0]).kind, ValueKind::kWeight)
+        << op.name;
+    EXPECT_GT(op.m, 0);
+    EXPECT_GT(op.k, 0);
+    EXPECT_EQ(op.macs(), op.m * op.k);
+  }
+}
+
+TEST(GraphBuildTest, AttentionOpsCarryHeadGeometry) {
+  auto config = llama::ModelConfig::Tiny();
+  auto dg = BuildDecodeGraph(config);
+  int att_ops = 0;
+  for (const Op& op : dg.graph.ops()) {
+    if (op.kind == OpKind::kAttScores || op.kind == OpKind::kAttMix) {
+      EXPECT_EQ(op.n_heads, config.n_heads);
+      EXPECT_EQ(op.head_dim, config.head_dim());
+      ++att_ops;
+    }
+  }
+  EXPECT_EQ(att_ops, 2 * config.n_layers);
+}
+
+TEST(GraphValidateTest, CatchesUseBeforeDef) {
+  Graph g;
+  ValueId a = g.AddValue("a", ValueKind::kActivation, DType::kF32, 4);
+  ValueId b = g.AddValue("b", ValueKind::kActivation, DType::kF32, 4);
+  Op op;
+  op.kind = OpKind::kSilu;
+  op.name = "bad";
+  op.inputs = {a};  // never produced
+  op.outputs = {b};
+  g.AddOp(op);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, CatchesDoubleProduction) {
+  Graph g;
+  ValueId w = g.AddValue("w", ValueKind::kWeight, DType::kF32, 4);
+  ValueId a = g.AddValue("a", ValueKind::kActivation, DType::kF32, 4);
+  Op op1;
+  op1.kind = OpKind::kRmsNorm;
+  op1.inputs = {w, w};
+  op1.outputs = {a};
+  g.AddOp(op1);
+  Op op2 = op1;
+  g.AddOp(op2);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, CatchesWeightWrite) {
+  Graph g;
+  ValueId w = g.AddValue("w", ValueKind::kWeight, DType::kF32, 4);
+  Op op;
+  op.kind = OpKind::kSilu;
+  op.inputs = {w};
+  op.outputs = {w};
+  g.AddOp(op);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphTest, ProducerAndLastConsumer) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  const Graph& g = dg.graph;
+  // The embed output is produced by op 0 and consumed by the first
+  // rmsnorm and the first residual add.
+  const Op& embed = g.ops()[0];
+  ASSERT_EQ(embed.kind, OpKind::kEmbedLookup);
+  ValueId x0 = embed.outputs[0];
+  EXPECT_EQ(g.Producer(x0), embed.id);
+  OpId last = g.LastConsumer(x0);
+  EXPECT_GT(last, embed.id);
+  EXPECT_EQ(g.op(last).kind, OpKind::kEltAdd);
+}
+
+// ---------------- Liveness ----------------
+
+TEST(LivenessTest, IntervalsWellFormed) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto intervals = ComputeLiveness(dg.graph);
+  ASSERT_EQ(intervals.size(), dg.graph.values().size());
+  for (const auto& iv : intervals) {
+    const auto& v = dg.graph.value(iv.value);
+    if (v.kind == ValueKind::kWeight || v.kind == ValueKind::kKvCache) {
+      EXPECT_EQ(iv.def, -1) << v.name;  // excluded from liveness
+    } else {
+      EXPECT_GE(iv.def, 0) << v.name;
+      EXPECT_GE(iv.last, iv.def) << v.name;
+    }
+  }
+}
+
+TEST(LivenessTest, ResidualStreamSpansLayer) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto intervals = ComputeLiveness(dg.graph);
+  // x.embed lives from the embed op to the first residual add.
+  const Op& embed = dg.graph.ops()[0];
+  const auto& iv = intervals[embed.outputs[0]];
+  EXPECT_EQ(iv.def, embed.id);
+  EXPECT_EQ(dg.graph.op(iv.last).kind, OpKind::kEltAdd);
+}
+
+TEST(LivenessTest, OverlapPredicate) {
+  LiveInterval a{0, 0, 5};
+  LiveInterval b{1, 5, 9};
+  LiveInterval c{2, 6, 9};
+  EXPECT_TRUE(a.Overlaps(b));   // touch at 5
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(b.Overlaps(c));
+}
+
+TEST(LivenessTest, PeakIsBetweenMaxValueAndSum) {
+  auto dg = BuildDecodeGraph(llama::ModelConfig::Tiny());
+  auto intervals = ComputeLiveness(dg.graph);
+  std::uint64_t peak = PeakLiveBytes(dg.graph, intervals);
+  std::uint64_t sum = 0, max_single = 0;
+  for (const auto& v : dg.graph.values()) {
+    if (v.kind == ValueKind::kWeight || v.kind == ValueKind::kKvCache) {
+      continue;
+    }
+    sum += v.bytes();
+    max_single = std::max(max_single, v.bytes());
+  }
+  EXPECT_GE(peak, max_single);
+  EXPECT_LE(peak, sum);
+  EXPECT_LT(peak, sum);  // reuse opportunity must exist in a real graph
+}
+
+}  // namespace
+}  // namespace speedllm::graph

@@ -1,0 +1,209 @@
+// Unit tests for src/hw: HBM stack timing, resource ledger, energy meter.
+#include <gtest/gtest.h>
+
+#include "hw/hbm.hpp"
+#include "hw/power.hpp"
+#include "hw/resources.hpp"
+#include "hw/u280_config.hpp"
+
+namespace speedllm::hw {
+namespace {
+
+// ---------------- HbmStack ----------------
+
+HbmConfig TestHbm() {
+  HbmConfig c;
+  c.num_channels = 8;
+  c.bytes_per_cycle_per_channel = 32;
+  c.latency_cycles = 10;
+  return c;
+}
+
+TEST(HbmTest, TransferCyclesMath) {
+  HbmStack hbm(TestHbm());
+  // 320 bytes over 1 channel: 10 cycles stream + 10 latency.
+  EXPECT_EQ(hbm.TransferCycles(320, 1), 20u);
+  // Over 2 channels: 5 cycles stream + latency.
+  EXPECT_EQ(hbm.TransferCycles(320, 2), 15u);
+  // Rounding up.
+  EXPECT_EQ(hbm.TransferCycles(321, 1), 21u);
+  // Tiny transfer still pays latency.
+  EXPECT_EQ(hbm.TransferCycles(1, 4), 11u);
+}
+
+TEST(HbmTest, ChannelContentionQueues) {
+  HbmStack hbm(TestHbm());
+  auto t1 = hbm.Transfer(0, 320, 0, 1, true);
+  EXPECT_EQ(t1.start, 0u);
+  EXPECT_EQ(t1.end, 20u);
+  // Same channel: queued behind t1.
+  auto t2 = hbm.Transfer(0, 320, 0, 1, true);
+  EXPECT_EQ(t2.start, 20u);
+  // Different channel: starts immediately.
+  auto t3 = hbm.Transfer(0, 320, 1, 1, true);
+  EXPECT_EQ(t3.start, 0u);
+}
+
+TEST(HbmTest, StripedGroupMovesInLockStep) {
+  HbmStack hbm(TestHbm());
+  hbm.Transfer(0, 640, 2, 1, true);         // occupies channel 2 until 30
+  auto t = hbm.Transfer(0, 640, 0, 4, true);  // group {0..3} includes ch 2
+  EXPECT_EQ(t.start, 30u);  // whole group waits for the busy member
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(hbm.channel(c).free_at(), t.end);
+  }
+}
+
+TEST(HbmTest, ByteAccounting) {
+  HbmStack hbm(TestHbm());
+  hbm.Transfer(0, 100, 0, 2, /*is_read=*/true);
+  hbm.Transfer(0, 50, 2, 2, /*is_read=*/false);
+  EXPECT_EQ(hbm.total_bytes_read(), 100u);
+  EXPECT_EQ(hbm.total_bytes_written(), 50u);
+  EXPECT_EQ(hbm.total_bytes(), 150u);
+  EXPECT_EQ(hbm.num_transfers(), 2u);
+  hbm.Reset();
+  EXPECT_EQ(hbm.total_bytes(), 0u);
+  EXPECT_EQ(hbm.channel(0).free_at(), 0u);
+}
+
+class HbmSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(HbmSweep, MoreChannelsNeverSlower) {
+  auto [bytes, channels] = GetParam();
+  HbmStack hbm(TestHbm());
+  if (channels + 1 <= hbm.num_channels()) {
+    EXPECT_GE(hbm.TransferCycles(bytes, channels),
+              hbm.TransferCycles(bytes, channels + 1));
+  }
+  // More bytes never faster.
+  EXPECT_GE(hbm.TransferCycles(bytes + 1024, channels),
+            hbm.TransferCycles(bytes, channels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HbmSweep,
+    ::testing::Combine(::testing::Values(1u, 64u, 4096u, 1u << 20),
+                       ::testing::Values(1, 2, 4, 7)));
+
+// ---------------- ResourceLedger ----------------
+
+TEST(LedgerTest, ChargeAndUtilization) {
+  FabricConfig f;
+  ResourceLedger ledger(f);
+  EXPECT_TRUE(ledger.Charge(Resource::kDsp, 1000, "mpe").ok());
+  EXPECT_EQ(ledger.used(Resource::kDsp), 1000u);
+  EXPECT_EQ(ledger.used_by_tag(Resource::kDsp, "mpe"), 1000u);
+  EXPECT_NEAR(ledger.utilization(Resource::kDsp), 1000.0 / f.dsps, 1e-12);
+}
+
+TEST(LedgerTest, OverSubscriptionFailsAtomically) {
+  FabricConfig f;
+  f.dsps = 100;
+  ResourceLedger ledger(f);
+  EXPECT_TRUE(ledger.Charge(Resource::kDsp, 90, "a").ok());
+  Status s = ledger.Charge(Resource::kDsp, 20, "b");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger.used(Resource::kDsp), 90u);  // nothing charged
+  EXPECT_EQ(ledger.used_by_tag(Resource::kDsp, "b"), 0u);
+}
+
+TEST(LedgerTest, ReleaseValidation) {
+  FabricConfig f;
+  ResourceLedger ledger(f);
+  ASSERT_TRUE(ledger.Charge(Resource::kLut, 500, "x").ok());
+  EXPECT_FALSE(ledger.Release(Resource::kLut, 600, "x").ok());
+  EXPECT_TRUE(ledger.Release(Resource::kLut, 500, "x").ok());
+  EXPECT_EQ(ledger.used(Resource::kLut), 0u);
+  EXPECT_FALSE(ledger.Release(Resource::kLut, 1, "never_charged").ok());
+}
+
+TEST(LedgerTest, ReportContainsAllKinds) {
+  FabricConfig f;
+  ResourceLedger ledger(f);
+  std::string report = ledger.Report();
+  for (const char* name : {"LUT", "FF", "DSP", "BRAM36", "URAM"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(LedgerTest, U280CapacitiesMatchDatasheet) {
+  FabricConfig f;
+  EXPECT_EQ(f.dsps, 9024u);
+  EXPECT_EQ(f.bram_blocks, 2016u);
+  EXPECT_EQ(f.uram_blocks, 960u);
+  // ~9 MiB BRAM + ~34.6 MiB URAM.
+  EXPECT_NEAR(static_cast<double>(f.bram_bytes()) / (1 << 20), 8.86, 0.2);
+  EXPECT_NEAR(static_cast<double>(f.uram_bytes()) / (1 << 20), 33.75, 0.2);
+}
+
+// ---------------- EnergyMeter ----------------
+
+TEST(EnergyTest, EventEnergies) {
+  PowerConfig p;
+  EnergyMeter m(p, 300.0);
+  m.AddHbmBytes(1'000'000);
+  EXPECT_NEAR(m.breakdown().hbm_j, p.pj_per_hbm_byte * 1e-12 * 1e6, 1e-15);
+  m.AddMacs(1'000'000, false);
+  EXPECT_NEAR(m.breakdown().mac_j, p.pj_per_mac_fp32 * 1e-12 * 1e6, 1e-15);
+  m.AddMacs(1'000'000, true);
+  EXPECT_NEAR(m.breakdown().mac_j,
+              (p.pj_per_mac_fp32 + p.pj_per_mac_int8) * 1e-12 * 1e6, 1e-15);
+}
+
+TEST(EnergyTest, UnitActiveIdleSplit) {
+  PowerConfig p;
+  EnergyMeter m(p, 300.0);
+  // 300 MHz: 300e6 cycles == 1 second.
+  m.FinalizeUnit(150'000'000, 300'000'000, 10.0, 1.0);
+  EXPECT_NEAR(m.breakdown().unit_active_j, 10.0 * 0.5, 1e-9);
+  EXPECT_NEAR(m.breakdown().unit_idle_j, 1.0 * 0.5, 1e-9);
+}
+
+TEST(EnergyTest, StaticEnergy) {
+  PowerConfig p;
+  p.static_w = 11.0;
+  EnergyMeter m(p, 300.0);
+  m.FinalizeStatic(300'000'000);  // 1 s
+  EXPECT_NEAR(m.breakdown().static_j, 11.0, 1e-9);
+}
+
+TEST(EnergyTest, BreakdownSumsToTotal) {
+  PowerConfig p;
+  EnergyMeter m(p, 300.0);
+  m.AddHbmBytes(1000);
+  m.AddBramBytes(1000);
+  m.AddSfuOps(1000);
+  m.AddKernelLaunches(3);
+  m.FinalizeUnit(100, 200, 5.0, 0.5);
+  m.FinalizeStatic(200);
+  const auto& e = m.breakdown();
+  EXPECT_NEAR(e.total_j(), e.dynamic_j() + e.static_j, 1e-18);
+  EXPECT_NEAR(e.dynamic_j(),
+              e.hbm_j + e.bram_j + e.mac_j + e.sfu_j + e.launch_j +
+                  e.unit_active_j + e.unit_idle_j,
+              1e-18);
+  EXPECT_GT(m.total_joules(), 0.0);
+}
+
+TEST(EnergyTest, BreakdownAccumulate) {
+  EnergyBreakdown a, b;
+  a.hbm_j = 1.0;
+  b.hbm_j = 2.0;
+  b.static_j = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.hbm_j, 3.0);
+  EXPECT_DOUBLE_EQ(a.static_j, 3.0);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+TEST(U280ConfigTest, ClockConversion) {
+  U280Config c;
+  c.clock_mhz = 300.0;
+  EXPECT_NEAR(c.cycles_to_seconds(300'000'000), 1.0, 1e-12);
+  EXPECT_NEAR(c.seconds_per_cycle(), 1.0 / 3e8, 1e-20);
+}
+
+}  // namespace
+}  // namespace speedllm::hw

@@ -1,0 +1,266 @@
+// Unit tests for src/llama/kernels: the float ground-truth kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "llama/kernels.hpp"
+
+namespace speedllm::llama {
+namespace {
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+// ---------------- MatMul ----------------
+
+TEST(MatMulTest, KnownSmallCase) {
+  // W = [[1,2],[3,4],[5,6]], x = [10, 100] -> [210, 430, 650]
+  std::vector<float> w = {1, 2, 3, 4, 5, 6};
+  std::vector<float> x = {10, 100};
+  std::vector<float> out(3);
+  MatMul(out, w, x, 3, 2);
+  EXPECT_FLOAT_EQ(out[0], 210.0f);
+  EXPECT_FLOAT_EQ(out[1], 430.0f);
+  EXPECT_FLOAT_EQ(out[2], 650.0f);
+}
+
+TEST(MatMulTest, IdentityMatrix) {
+  const std::int64_t n = 16;
+  std::vector<float> w(n * n, 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) w[i * n + i] = 1.0f;
+  auto x = RandomVec(n, 5);
+  std::vector<float> out(n);
+  MatMul(out, w, x, n, n);
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], x[i]);
+}
+
+class MatMulSweep
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(MatMulSweep, ThreadedMatchesSerial) {
+  auto [d, n] = GetParam();
+  auto w = RandomVec(static_cast<std::size_t>(d * n), 11);
+  auto x = RandomVec(static_cast<std::size_t>(n), 12);
+  std::vector<float> serial(d), threaded(d);
+  MatMul(serial, w, x, d, n, nullptr);
+  ThreadPool pool(4);
+  MatMul(threaded, w, x, d, n, &pool);
+  for (std::int64_t i = 0; i < d; ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulSweep,
+    ::testing::Values(std::make_pair<std::int64_t, std::int64_t>(1, 1),
+                      std::make_pair<std::int64_t, std::int64_t>(3, 7),
+                      std::make_pair<std::int64_t, std::int64_t>(64, 64),
+                      std::make_pair<std::int64_t, std::int64_t>(288, 288),
+                      std::make_pair<std::int64_t, std::int64_t>(768, 288),
+                      std::make_pair<std::int64_t, std::int64_t>(288, 768)));
+
+// ---------------- RmsNorm ----------------
+
+TEST(RmsNormTest, UnitGainNormalizes) {
+  std::vector<float> x = {3.0f, 4.0f};  // rms = sqrt(12.5)
+  std::vector<float> gain = {1.0f, 1.0f};
+  std::vector<float> out(2);
+  RmsNorm(out, x, gain);
+  float rms = std::sqrt(12.5f + 1e-5f);
+  EXPECT_NEAR(out[0], 3.0f / rms, 1e-5f);
+  EXPECT_NEAR(out[1], 4.0f / rms, 1e-5f);
+}
+
+TEST(RmsNormTest, GainScalesElementwise) {
+  auto x = RandomVec(64, 3);
+  std::vector<float> g1(64, 1.0f), g2(64, 2.0f);
+  std::vector<float> o1(64), o2(64);
+  RmsNorm(o1, x, g1);
+  RmsNorm(o2, x, g2);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(o2[i], 2.0f * o1[i], 1e-5f);
+}
+
+TEST(RmsNormTest, ApproxScaleInvariance) {
+  auto x = RandomVec(128, 9);
+  std::vector<float> xs(128);
+  for (int i = 0; i < 128; ++i) xs[i] = 100.0f * x[i];
+  std::vector<float> gain(128, 1.0f), a(128), b(128);
+  RmsNorm(a, x, gain);
+  RmsNorm(b, xs, gain);
+  for (int i = 0; i < 128; ++i) EXPECT_NEAR(a[i], b[i], 1e-3f);
+}
+
+TEST(RmsNormTest, ZeroInputIsFinite) {
+  std::vector<float> x(16, 0.0f), gain(16, 1.0f), out(16);
+  RmsNorm(out, x, gain);
+  for (float v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+// ---------------- Softmax ----------------
+
+TEST(SoftmaxTest, SumsToOne) {
+  auto x = RandomVec(100, 17);
+  Softmax(x);
+  float sum = 0.0f;
+  for (float v : x) {
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, StableForLargeInputs) {
+  std::vector<float> x = {1000.0f, 1001.0f, 999.0f};
+  Softmax(x);
+  for (float v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(x[1], x[0]);
+  EXPECT_GT(x[0], x[2]);
+}
+
+TEST(SoftmaxTest, PreservesOrdering) {
+  std::vector<float> x = {0.5f, -1.0f, 2.0f, 0.0f};
+  Softmax(x);
+  EXPECT_GT(x[2], x[0]);
+  EXPECT_GT(x[0], x[3]);
+  EXPECT_GT(x[3], x[1]);
+}
+
+TEST(SoftmaxTest, UniformInputsUniformOutput) {
+  std::vector<float> x(8, 3.0f);
+  Softmax(x);
+  for (float v : x) EXPECT_NEAR(v, 0.125f, 1e-6f);
+}
+
+TEST(SoftmaxTest, SingletonAndEmpty) {
+  std::vector<float> one = {42.0f};
+  Softmax(one);
+  EXPECT_FLOAT_EQ(one[0], 1.0f);
+  std::vector<float> none;
+  Softmax(none);  // must not crash
+}
+
+// ---------------- Silu / elementwise ----------------
+
+TEST(SiluTest, KnownValues) {
+  std::vector<float> x = {0.0f, 10.0f, -10.0f};
+  Silu(x);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_NEAR(x[1], 10.0f, 1e-3f);   // sigmoid(10) ~ 1
+  EXPECT_NEAR(x[2], 0.0f, 1e-3f);    // sigmoid(-10) ~ 0
+}
+
+TEST(SiluTest, MatchesFormula) {
+  auto x = RandomVec(64, 23);
+  auto y = x;
+  Silu(y);
+  for (int i = 0; i < 64; ++i) {
+    float expected = x[i] / (1.0f + std::exp(-x[i]));
+    EXPECT_NEAR(y[i], expected, 1e-6f);
+  }
+}
+
+TEST(ElementwiseTest, AddAndMul) {
+  std::vector<float> a = {1, 2, 3}, b = {10, 20, 30};
+  AddInPlace(a, b);
+  EXPECT_EQ(a, (std::vector<float>{11, 22, 33}));
+  std::vector<float> c = {2, 3, 4};
+  MulInPlace(a, c);
+  EXPECT_EQ(a, (std::vector<float>{22, 66, 132}));
+}
+
+// ---------------- Rope ----------------
+
+TEST(RopeTest, PositionZeroIsIdentity) {
+  auto q = RandomVec(32, 31);
+  auto k = RandomVec(16, 32);
+  auto q0 = q, k0 = k;
+  Rope(q, k, /*pos=*/0, /*head_dim=*/8);
+  for (std::size_t i = 0; i < q.size(); ++i) EXPECT_FLOAT_EQ(q[i], q0[i]);
+  for (std::size_t i = 0; i < k.size(); ++i) EXPECT_FLOAT_EQ(k[i], k0[i]);
+}
+
+TEST(RopeTest, PreservesPairNorms) {
+  auto q = RandomVec(32, 33);
+  auto k = RandomVec(32, 34);
+  auto q0 = q;
+  Rope(q, k, /*pos=*/7, /*head_dim=*/8);
+  for (std::size_t i = 0; i + 1 < q.size(); i += 2) {
+    float n0 = q0[i] * q0[i] + q0[i + 1] * q0[i + 1];
+    float n1 = q[i] * q[i] + q[i + 1] * q[i + 1];
+    EXPECT_NEAR(n0, n1, 1e-4f);
+  }
+}
+
+TEST(RopeTest, RelativeRotationProperty) {
+  // Rotating by pos a then measuring dot products against pos b depends
+  // only on (a - b): check dot(q(a), k(a)) == dot(q(0), k(0)) per pair.
+  std::vector<float> q = {1.0f, 0.0f}, k = {0.5f, 0.5f};
+  auto q1 = q, k1 = k;
+  Rope(q1, k1, /*pos=*/5, /*head_dim=*/2);
+  float dot0 = q[0] * k[0] + q[1] * k[1];
+  float dot1 = q1[0] * k1[0] + q1[1] * k1[1];
+  EXPECT_NEAR(dot0, dot1, 1e-5f);
+}
+
+// ---------------- AttentionHead ----------------
+
+TEST(AttentionHeadTest, SingleTimestepReturnsV) {
+  const std::int32_t hd = 4;
+  auto q = RandomVec(hd, 41);
+  std::vector<float> k_cache = {1, 2, 3, 4};
+  std::vector<float> v_cache = {5, 6, 7, 8};
+  std::vector<float> out(hd), scratch(8);
+  AttentionHead(out, q, k_cache.data(), v_cache.data(), /*pos=*/0, hd,
+                /*stride=*/hd, scratch);
+  // Softmax over one score is 1 -> out == v[0].
+  for (int i = 0; i < hd; ++i) EXPECT_FLOAT_EQ(out[i], v_cache[i]);
+}
+
+TEST(AttentionHeadTest, IdenticalKeysGiveUniformMix) {
+  const std::int32_t hd = 2, pos = 3;
+  std::vector<float> q = {1.0f, 1.0f};
+  std::vector<float> k_cache(static_cast<std::size_t>(hd) * (pos + 1), 0.5f);
+  std::vector<float> v_cache;
+  for (int t = 0; t <= pos; ++t) {
+    v_cache.push_back(static_cast<float>(t));
+    v_cache.push_back(0.0f);
+  }
+  std::vector<float> out(hd), scratch(16);
+  AttentionHead(out, q, k_cache.data(), v_cache.data(), pos, hd, hd, scratch);
+  EXPECT_NEAR(out[0], (0 + 1 + 2 + 3) / 4.0f, 1e-5f);
+  EXPECT_NEAR(out[1], 0.0f, 1e-6f);
+}
+
+TEST(AttentionHeadTest, AttendsToMatchingKey) {
+  const std::int32_t hd = 4, pos = 2;
+  // Keys: e0, e1, e2-ish; query strongly aligned with key 1.
+  std::vector<float> k_cache = {
+      10, 0, 0, 0,   //
+      0, 10, 0, 0,   //
+      0, 0, 10, 0,   //
+  };
+  std::vector<float> v_cache = {
+      1, 0, 0, 0,  //
+      0, 1, 0, 0,  //
+      0, 0, 1, 0,  //
+  };
+  std::vector<float> q = {0, 10, 0, 0};
+  std::vector<float> out(hd), scratch(8);
+  AttentionHead(out, q, k_cache.data(), v_cache.data(), pos, hd, hd, scratch);
+  EXPECT_GT(out[1], 0.99f);  // nearly all mass on timestep 1
+  EXPECT_LT(out[0], 0.01f);
+}
+
+}  // namespace
+}  // namespace speedllm::llama

@@ -1,0 +1,138 @@
+// Cross-module property suites: randomized round-trips and monotonicity
+// invariants that individual unit tests do not sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/executor.hpp"
+#include "common/rng.hpp"
+#include "compiler/compiler.hpp"
+#include "llama/tokenizer.hpp"
+#include "runtime/variants.hpp"
+
+namespace speedllm {
+namespace {
+
+// ---------------- Tokenizer fuzz: random printable ASCII round-trips ---
+
+class TokenizerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenizerFuzz, RandomAsciiRoundTrips) {
+  static const llama::Tokenizer tok = llama::SyntheticTokenizer(4096, 3);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t len = 1 + rng.NextBounded(60);
+    std::string text;
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(' ' + rng.NextBounded(95));  // printable
+    }
+    auto toks = tok.Encode(text, /*bos=*/true, /*eos=*/false);
+    EXPECT_EQ(tok.DecodeAll(toks), text) << "trial " << trial << ": '" << text
+                                         << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(TokenizerFuzzTest, RandomBytesRoundTripViaFallback) {
+  llama::Tokenizer tok = llama::SyntheticTokenizer(2048, 9);
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t len = 1 + rng.NextBounded(24);
+    std::string text;
+    for (std::size_t i = 0; i < len; ++i) {
+      // Arbitrary bytes except NUL (llama2.c strings are NUL-free).
+      text += static_cast<char>(1 + rng.NextBounded(255));
+    }
+    auto toks = tok.Encode(text, /*bos=*/true, /*eos=*/false);
+    EXPECT_EQ(tok.DecodeAll(toks), text) << "trial " << trial;
+  }
+}
+
+// ---------------- Executor: cost monotonicity in position ----------------
+
+TEST(ExecutorPropertyTest, CyclesNonDecreasingInPosition) {
+  auto config = llama::ModelConfig::Tiny();
+  auto weights = llama::GenerateSyntheticWeights(config, 5);
+  auto u280 = hw::U280Config::Default();
+  auto cr = compiler::Compile(config, compiler::CompilerOptions::SpeedLLM(),
+                              u280);
+  ASSERT_TRUE(cr.ok());
+  accel::Executor exec(cr->program, weights, u280);
+  sim::Cycles prev = 0;
+  for (std::int32_t pos = 0; pos < 48; ++pos) {
+    ASSERT_TRUE(exec.Forward(2, pos).ok());
+    // KV streaming only grows; everything else is constant, so per-token
+    // cycles must be non-decreasing.
+    EXPECT_GE(exec.last_stats().cycles + 2, prev) << "pos " << pos;
+    prev = exec.last_stats().cycles;
+  }
+}
+
+TEST(ExecutorPropertyTest, EnergyScalesWithWork) {
+  auto config = llama::ModelConfig::Tiny();
+  auto weights = llama::GenerateSyntheticWeights(config, 5);
+  auto u280 = hw::U280Config::Default();
+  auto cr = compiler::Compile(config, compiler::CompilerOptions::SpeedLLM(),
+                              u280);
+  ASSERT_TRUE(cr.ok());
+  accel::Executor exec(cr->program, weights, u280);
+  ASSERT_TRUE(exec.Forward(2, 0).ok());
+  double early = exec.last_stats().joules;
+  for (std::int32_t pos = 1; pos < 40; ++pos) {
+    ASSERT_TRUE(exec.Forward(2, pos).ok());
+  }
+  // More KV work at pos 39 than pos 0.
+  EXPECT_GT(exec.last_stats().joules, early);
+}
+
+// ---------------- Compiler: channel clamping is safe ----------------
+
+class ChannelClampTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelClampTest, ExtremeWidthsStillCompileAndRun) {
+  auto config = llama::ModelConfig::Tiny();
+  auto weights = llama::GenerateSyntheticWeights(config, 5);
+  auto u280 = hw::U280Config::Default();
+  compiler::CompilerOptions opt = compiler::CompilerOptions::SpeedLLM();
+  opt.weight_channels = GetParam();
+  opt.kv_channels = GetParam();
+  opt.act_channels = GetParam();
+  auto cr = compiler::Compile(config, opt, u280);
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  accel::Executor exec(cr->program, weights, u280);
+  auto r = exec.Forward(1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(exec.last_stats().cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChannelClampTest,
+                         ::testing::Values(1, 2, 31, 32, 64));
+
+// ---------------- Whole-pipeline determinism across variants ----------
+
+TEST(DeterminismTest, CyclesIdenticalAcrossRebuilds) {
+  auto config = llama::ModelConfig::Tiny();
+  auto weights = llama::GenerateSyntheticWeights(config, 5);
+  auto u280 = hw::U280Config::Default();
+  for (auto v : runtime::PaperVariants()) {
+    sim::Cycles first = 0;
+    for (int rebuild = 0; rebuild < 2; ++rebuild) {
+      auto cr = compiler::Compile(config, runtime::OptionsFor(v), u280);
+      ASSERT_TRUE(cr.ok());
+      accel::Executor exec(cr->program, weights, u280);
+      ASSERT_TRUE(exec.Forward(7, 0).ok());
+      ASSERT_TRUE(exec.Forward(9, 1).ok());
+      if (rebuild == 0) {
+        first = exec.total_stats().cycles;
+      } else {
+        EXPECT_EQ(exec.total_stats().cycles, first)
+            << runtime::VariantName(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace speedllm

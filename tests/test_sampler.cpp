@@ -1,0 +1,121 @@
+// Unit tests for the token samplers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "llama/sampler.hpp"
+
+namespace speedllm::llama {
+namespace {
+
+TEST(SamplerTest, ArgMaxPicksLargest) {
+  std::vector<float> logits = {0.1f, 2.0f, -1.0f, 1.9f};
+  EXPECT_EQ(Sampler::ArgMax(logits), 1);
+}
+
+TEST(SamplerTest, ArgMaxFirstOnTies) {
+  std::vector<float> logits = {1.0f, 2.0f, 2.0f};
+  EXPECT_EQ(Sampler::ArgMax(logits), 1);
+}
+
+TEST(SamplerTest, TemperatureZeroIsGreedy) {
+  SamplerConfig cfg;
+  cfg.temperature = 0.0f;
+  Sampler s(cfg);
+  std::vector<float> logits = {0.0f, 5.0f, 1.0f};
+  for (int i = 0; i < 10; ++i) {
+    auto copy = logits;
+    EXPECT_EQ(s.Sample(copy), 1);
+  }
+}
+
+TEST(SamplerTest, DeterministicBySeed) {
+  SamplerConfig cfg;
+  cfg.temperature = 1.0f;
+  cfg.top_p = 0.9f;
+  cfg.seed = 123;
+  Sampler a(cfg), b(cfg);
+  std::vector<float> logits = {1.0f, 1.2f, 0.8f, 1.1f, 0.5f};
+  for (int i = 0; i < 50; ++i) {
+    auto la = logits, lb = logits;
+    EXPECT_EQ(a.Sample(la), b.Sample(lb));
+  }
+}
+
+TEST(SamplerTest, MultinomialFollowsDistribution) {
+  SamplerConfig cfg;
+  cfg.temperature = 1.0f;
+  cfg.top_p = 1.0f;  // plain multinomial
+  cfg.seed = 7;
+  Sampler s(cfg);
+  // logits chosen so softmax ~ [0.09, 0.24, 0.67]
+  std::vector<float> base = {0.0f, 1.0f, 2.0f};
+  std::map<int, int> counts;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto logits = base;
+    counts[s.Sample(logits)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.09, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.245, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.665, 0.02);
+}
+
+TEST(SamplerTest, TopPExcludesTail) {
+  SamplerConfig cfg;
+  cfg.temperature = 1.0f;
+  cfg.top_p = 0.5f;
+  cfg.seed = 11;
+  Sampler s(cfg);
+  // One dominant token (softmax mass ~0.84); nucleus of 0.5 = {2} only.
+  std::vector<float> base = {0.0f, 0.0f, 3.0f};
+  for (int i = 0; i < 200; ++i) {
+    auto logits = base;
+    EXPECT_EQ(s.Sample(logits), 2);
+  }
+}
+
+TEST(SamplerTest, TopPOneIsUnrestricted) {
+  SamplerConfig cfg;
+  cfg.temperature = 1.0f;
+  cfg.top_p = 1.0f;
+  cfg.seed = 13;
+  Sampler s(cfg);
+  std::vector<float> base = {1.0f, 1.0f, 1.0f};
+  std::map<int, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    auto logits = base;
+    counts[s.Sample(logits)]++;
+  }
+  // All three tokens reachable.
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(SamplerTest, HighTemperatureFlattens) {
+  SamplerConfig hot;
+  hot.temperature = 100.0f;
+  hot.top_p = 1.0f;
+  hot.seed = 17;
+  Sampler s(hot);
+  std::vector<float> base = {0.0f, 4.0f};
+  int ones = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto logits = base;
+    ones += s.Sample(logits) == 1 ? 1 : 0;
+  }
+  // At T=100 the distribution is near uniform.
+  EXPECT_NEAR(ones / static_cast<double>(kDraws), 0.5, 0.03);
+}
+
+TEST(SamplerTest, SingleTokenVocab) {
+  SamplerConfig cfg;
+  cfg.temperature = 1.0f;
+  Sampler s(cfg);
+  std::vector<float> logits = {0.3f};
+  EXPECT_EQ(s.Sample(logits), 0);
+}
+
+}  // namespace
+}  // namespace speedllm::llama

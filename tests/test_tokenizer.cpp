@@ -1,0 +1,190 @@
+// Unit tests for the llama2.c-compatible BPE tokenizer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "llama/tokenizer.hpp"
+
+namespace speedllm::llama {
+namespace {
+
+Tokenizer MakeTok(std::int32_t vocab = 2048) {
+  return SyntheticTokenizer(vocab, 42);
+}
+
+TEST(TokenizerTest, SpecialAndByteTokenLayout) {
+  Tokenizer t = MakeTok();
+  EXPECT_EQ(t.piece(kUnkToken), "<unk>");
+  EXPECT_EQ(t.piece(kBosToken), "<s>");
+  EXPECT_EQ(t.piece(kEosToken), "</s>");
+  EXPECT_EQ(t.piece(kFirstByteToken), "<0x00>");
+  EXPECT_EQ(t.piece(kFirstByteToken + 255), "<0xFF>");
+  EXPECT_EQ(t.vocab_size(), 2048);
+}
+
+TEST(TokenizerTest, EncodeAddsBosAndDummyPrefix) {
+  Tokenizer t = MakeTok();
+  auto toks = t.Encode("the", /*bos=*/true, /*eos=*/false);
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0], kBosToken);
+  // "the" is a common word: " the" should be merged into few tokens.
+  EXPECT_LE(toks.size(), 3u);
+}
+
+TEST(TokenizerTest, EncodeEmptyText) {
+  Tokenizer t = MakeTok();
+  auto toks = t.Encode("", true, true);
+  EXPECT_EQ(toks, (std::vector<std::int32_t>{kBosToken, kEosToken}));
+  EXPECT_TRUE(t.Encode("", false, false).empty());
+}
+
+TEST(TokenizerTest, CommonWordMergesToSingleToken) {
+  Tokenizer t = MakeTok();
+  std::int32_t id = t.PieceId(" the");
+  ASSERT_GE(id, 0);
+  auto toks = t.Encode("the", false, false);
+  // dummy prefix " " then merging should collapse to the " the" token.
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], id);
+}
+
+TEST(TokenizerTest, RoundTripAsciiSentences) {
+  Tokenizer t = MakeTok();
+  for (const char* text :
+       {"the cat sat", "once upon a time there lived a dog",
+        "hello world 123", "a", "punctuation, and; more!"}) {
+    auto toks = t.Encode(text, /*bos=*/true, /*eos=*/false);
+    // DecodeAll strips the dummy-prefix space after BOS.
+    EXPECT_EQ(t.DecodeAll(toks), text) << "text: " << text;
+  }
+}
+
+TEST(TokenizerTest, RoundTripUtf8ViaByteFallback) {
+  Tokenizer t = MakeTok();
+  std::string text = "caf\xC3\xA9 \xE2\x82\xAC";  // "café €"
+  auto toks = t.Encode(text, true, false);
+  EXPECT_EQ(t.DecodeAll(toks), text);
+  // Multi-byte codepoints are not in the vocab: they must use byte tokens.
+  bool used_byte_fallback = false;
+  for (auto id : toks) {
+    if (id >= kFirstByteToken && id < kFirstByteToken + 256 &&
+        static_cast<unsigned char>(t.Decode(-1, id)[0]) >= 0x80) {
+      used_byte_fallback = true;
+    }
+  }
+  EXPECT_TRUE(used_byte_fallback);
+}
+
+TEST(TokenizerTest, DecodeStripsSpaceAfterBosOnly) {
+  Tokenizer t = MakeTok();
+  std::int32_t the = t.PieceId(" the");
+  ASSERT_GE(the, 0);
+  EXPECT_EQ(t.Decode(kBosToken, the), "the");
+  EXPECT_EQ(t.Decode(the, the), " the");
+}
+
+TEST(TokenizerTest, EosAppended) {
+  Tokenizer t = MakeTok();
+  auto toks = t.Encode("hi", false, true);
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks.back(), kEosToken);
+}
+
+TEST(TokenizerTest, MergePrefersHigherScore) {
+  // Construct a tiny vocab where "ab" exists with a higher score than
+  // "bc": encoding "abc" must merge (a,b) first.
+  std::vector<std::string> pieces;
+  std::vector<float> scores;
+  pieces.push_back("<unk>");
+  scores.push_back(0);
+  pieces.push_back("<s>");
+  scores.push_back(0);
+  pieces.push_back("</s>");
+  scores.push_back(0);
+  for (int b = 0; b < 256; ++b) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "<0x%02X>", b);
+    pieces.push_back(buf);
+    scores.push_back(-1e6f);
+  }
+  for (const char* s : {" ", "a", "b", "c"}) {
+    pieces.push_back(s);
+    scores.push_back(-1e5f);
+  }
+  pieces.push_back("ab");
+  scores.push_back(10.0f);
+  pieces.push_back("bc");
+  scores.push_back(5.0f);
+  // Pad to minimum size.
+  while (pieces.size() < 512) {
+    pieces.push_back("pad" + std::to_string(pieces.size()));
+    scores.push_back(-2e5f);
+  }
+  auto t = Tokenizer::FromVocab(pieces, scores);
+  ASSERT_TRUE(t.ok());
+  auto toks = t->Encode("abc", false, false);
+  // " " + "ab" + "c" (no " a" merge piece exists).
+  std::vector<std::string> decoded;
+  for (auto id : toks) decoded.push_back(t->piece(id));
+  EXPECT_EQ(decoded, (std::vector<std::string>{" ", "ab", "c"}));
+}
+
+TEST(TokenizerTest, FromVocabValidatesByteTokens) {
+  std::vector<std::string> pieces(600, "x");
+  std::vector<float> scores(600, 0.0f);
+  auto t = Tokenizer::FromVocab(pieces, scores);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TokenizerTest, SaveLoadRoundTrip) {
+  Tokenizer t = MakeTok(1024);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "speedllm_tok_test.bin")
+          .string();
+  ASSERT_TRUE(t.Save(path).ok());
+  auto loaded = Tokenizer::Load(path, t.vocab_size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->vocab_size(), t.vocab_size());
+  for (std::int32_t i = 0; i < t.vocab_size(); i += 97) {
+    EXPECT_EQ(loaded->piece(i), t.piece(i));
+    EXPECT_EQ(loaded->score(i), t.score(i));
+  }
+  // Encoding behaviour identical after reload.
+  std::string text = "once upon a time";
+  EXPECT_EQ(loaded->Encode(text, true, false), t.Encode(text, true, false));
+  std::remove(path.c_str());
+}
+
+TEST(TokenizerTest, LoadMissingFileFails) {
+  auto t = Tokenizer::Load("/nonexistent/tok.bin", 512);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TokenizerTest, SyntheticDeterministicBySeed) {
+  Tokenizer a = SyntheticTokenizer(4096, 7);
+  Tokenizer b = SyntheticTokenizer(4096, 7);
+  for (std::int32_t i = 0; i < a.vocab_size(); i += 131) {
+    EXPECT_EQ(a.piece(i), b.piece(i));
+  }
+}
+
+class TokenizerRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerRoundTrip, EncodeDecodeIdentity) {
+  Tokenizer t = MakeTok();
+  std::string text = GetParam();
+  EXPECT_EQ(t.DecodeAll(t.Encode(text, true, false)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Texts, TokenizerRoundTrip,
+    ::testing::Values("the quick brown fox", "Once upon a time",
+                      "numbers 0123456789", "MiXeD CaSe TeXt",
+                      "special chars: @#$%^&*()", "tabs\tand\nnewlines",
+                      "repeated the the the the"));
+
+}  // namespace
+}  // namespace speedllm::llama

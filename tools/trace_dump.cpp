@@ -1,0 +1,95 @@
+// SpeedLLM -- program disassembly + Chrome trace dump.
+//
+// Compiles a variant, prints the instruction listing, executes one token
+// and writes the schedule as a Chrome trace (open in about://tracing or
+// ui.perfetto.dev) so the pipeline overlap can be inspected visually.
+//
+//   trace_dump --variant speedllm --pos 5 --trace /tmp/speedllm.json
+#include <cstdio>
+
+#include "accel/disasm.hpp"
+#include "accel/executor.hpp"
+#include "accel/profile.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "compiler/compiler.hpp"
+#include "llama/weights.hpp"
+#include "runtime/variants.hpp"
+#include "sim/trace_export.hpp"
+
+using namespace speedllm;
+
+int main(int argc, char** argv) {
+  auto cl_or = CommandLine::Parse(
+      argc, argv, {"variant", "preset", "pos", "trace", "max_instrs"});
+  if (!cl_or.ok()) {
+    std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
+    return 1;
+  }
+  const CommandLine& cl = cl_or.value();
+  const std::string variant_name = cl.GetString("variant", "speedllm");
+  const std::string preset = cl.GetString("preset", "tiny");
+  const std::int32_t pos = static_cast<std::int32_t>(cl.GetInt("pos", 0));
+  const std::string trace_path = cl.GetString("trace", "");
+  const std::size_t max_instrs =
+      static_cast<std::size_t>(cl.GetInt("max_instrs", 120));
+
+  runtime::Variant variant = runtime::Variant::kSpeedLLM;
+  if (variant_name == "unoptimized") variant = runtime::Variant::kUnoptimized;
+  else if (variant_name == "nofuse") variant = runtime::Variant::kNoFuse;
+  else if (variant_name == "nopipeline") variant = runtime::Variant::kNoPipeline;
+  else if (variant_name == "noreuse") variant = runtime::Variant::kNoReuse;
+  else if (variant_name != "speedllm") {
+    std::fprintf(stderr, "unknown variant '%s'\n", variant_name.c_str());
+    return 1;
+  }
+
+  llama::ModelConfig config = preset == "stories15m"
+                                  ? llama::ModelConfig::Stories15M()
+                                  : llama::ModelConfig::Tiny();
+  auto u280 = hw::U280Config::Default();
+  auto cr = compiler::Compile(config, runtime::OptionsFor(variant), u280);
+  if (!cr.ok()) {
+    std::fprintf(stderr, "%s\n", cr.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(accel::Disassemble(cr->program, max_instrs).c_str(), stdout);
+
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 42);
+  accel::Executor exec(cr->program, weights, u280);
+  exec.EnableTrace(true);
+  for (std::int32_t p = 0; p <= pos; ++p) {
+    auto r = exec.Forward(5, p);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const auto& st = exec.last_stats();
+  std::printf("\ntoken at pos %d: %llu cycles, %s, overlap %llu cycles\n", pos,
+              static_cast<unsigned long long>(st.cycles),
+              FormatSeconds(st.seconds).c_str(),
+              static_cast<unsigned long long>(
+                  exec.trace().OverlappedCycles()));
+
+  std::printf("\nper-station profile:\n%s",
+              accel::RenderProfile(accel::ProfileByStation(exec.trace()),
+                                   st.cycles)
+                  .c_str());
+  std::printf("\ntop operators:\n");
+  auto by_op = accel::ProfileByOperator(exec.trace());
+  if (by_op.size() > 12) by_op.resize(12);
+  std::fputs(accel::RenderProfile(by_op, st.cycles).c_str(), stdout);
+
+  if (!trace_path.empty()) {
+    double ns_per_cycle = 1e3 / u280.clock_mhz;
+    if (auto s = sim::WriteChromeTrace(exec.trace(), trace_path, ns_per_cycle);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (%zu spans)\n", trace_path.c_str(),
+                exec.trace().spans().size());
+  }
+  return 0;
+}
