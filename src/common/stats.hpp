@@ -5,8 +5,24 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace speedllm {
+
+/// Linearly interpolated percentile (inclusive method: rank p*(n-1)).
+/// `p` is a fraction in [0, 1]; samples need not be sorted. Returns 0 for
+/// an empty sample set. Matches numpy.percentile's default behavior so
+/// serving-latency numbers are comparable with external tooling.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
 
 /// Welford-style running mean/variance with min/max. Used by benches to
 /// summarize repeated runs without storing the sample vector.

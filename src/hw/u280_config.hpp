@@ -21,6 +21,14 @@ struct HbmConfig {
   /// Per-transfer DMA descriptor setup cost on the issuing engine, cycles.
   std::uint32_t dma_setup_cycles = 24;
   std::uint64_t capacity_bytes = 8ull << 30;
+
+  /// Bytes left for the paged KV-cache pool after `reserved_bytes`
+  /// (resident weights, activation scratch, DMA staging) are carved out
+  /// of the stack. Zero when the reservation already exceeds capacity.
+  std::uint64_t kv_budget_bytes(std::uint64_t reserved_bytes) const {
+    return reserved_bytes >= capacity_bytes ? 0
+                                            : capacity_bytes - reserved_bytes;
+  }
 };
 
 /// Programmable-logic resource capacities (XCU280 die totals).

@@ -2,57 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "accel/executor.hpp"
 
 namespace speedllm::runtime {
 
-double ServingReport::mean_ttft() const {
-  if (outcomes.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& o : outcomes) sum += o.time_to_first_token();
-  return sum / static_cast<double>(outcomes.size());
-}
-
-double ServingReport::mean_latency() const {
-  if (outcomes.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& o : outcomes) sum += o.latency();
-  return sum / static_cast<double>(outcomes.size());
-}
-
-double ServingReport::p99ish_latency() const {
-  double worst = 0.0;
-  for (const auto& o : outcomes) worst = std::max(worst, o.latency());
-  return worst;
-}
-
 ServingSimulator::ServingSimulator(const accel::Program& program,
                                    const llama::Weights& weights,
-                                   const hw::U280Config& u280)
-    : program_(&program), weights_(&weights), u280_(u280) {}
+                                   const hw::U280Config& u280,
+                                   ServingMode mode,
+                                   serving::SchedulerConfig scheduler_config)
+    : program_(&program),
+      weights_(&weights),
+      u280_(u280),
+      mode_(mode),
+      scheduler_config_(std::move(scheduler_config)) {}
+
+StatusOr<ServingReport> ServingSimulator::Run(
+    const std::vector<ServingRequest>& requests,
+    const llama::SamplerConfig& sampler_config) {
+  if (mode_ == ServingMode::kLegacyRoundRobin) {
+    return RunLegacyRoundRobin(requests, sampler_config);
+  }
+  serving::ContinuousBatchScheduler scheduler(*program_, *weights_, u280_,
+                                              scheduler_config_);
+  return scheduler.Run(requests, sampler_config);
+}
 
 namespace {
 
-/// Per-sequence decode state.
+/// Per-sequence decode state of the legacy path.
 struct Sequence {
   const ServingRequest* request = nullptr;
-  std::size_t index = 0;        // into the requests vector
+  std::size_t index = 0;
   std::unique_ptr<accel::Executor> exec;
   llama::Sampler sampler;
-  std::int32_t pos = 0;               // next position to run
-  std::size_t prompt_cursor = 0;      // prompt tokens already fed
-  std::int32_t pending_token = -1;    // token to feed next (after prefill)
+  std::int32_t pos = 0;
+  std::size_t prompt_cursor = 0;
+  std::int32_t pending_token = -1;
   std::vector<float> last_logits;
   RequestOutcome outcome;
   bool done = false;
 
-  Sequence(llama::Sampler s) : sampler(std::move(s)) {}
+  explicit Sequence(llama::Sampler s) : sampler(std::move(s)) {}
 
   bool Arrived(double now) const { return request->arrival_seconds <= now; }
 };
 
 }  // namespace
 
-StatusOr<ServingReport> ServingSimulator::Run(
+StatusOr<ServingReport> ServingSimulator::RunLegacyRoundRobin(
     const std::vector<ServingRequest>& requests,
     const llama::SamplerConfig& sampler_config) {
   ServingReport report;
@@ -66,6 +66,17 @@ StatusOr<ServingReport> ServingSimulator::Run(
       return InvalidArgument("request " + std::to_string(i) +
                              " has an empty prompt");
     }
+    if (req.max_new_tokens <= 0) {
+      return InvalidArgument("request " + std::to_string(i) +
+                             " must generate at least one token (got " +
+                             std::to_string(req.max_new_tokens) + ")");
+    }
+    if (!(req.arrival_seconds >= 0.0) || !std::isfinite(req.arrival_seconds)) {
+      // Same check as the scheduler path: a NaN arrival would otherwise
+      // pin the idle-jump below and spin this loop forever.
+      return InvalidArgument("request " + std::to_string(i) +
+                             " has a non-finite or negative arrival");
+    }
     if (static_cast<std::int64_t>(req.prompt.size()) + req.max_new_tokens >
         program_->model.seq_len) {
       return OutOfRange("request " + std::to_string(i) + " exceeds seq_len");
@@ -77,6 +88,7 @@ StatusOr<ServingReport> ServingSimulator::Run(
     seq.index = i;
     seq.exec = std::make_unique<accel::Executor>(*program_, *weights_, u280_);
     seq.outcome.arrival_seconds = req.arrival_seconds;
+    seq.outcome.prompt_tokens = static_cast<std::int32_t>(req.prompt.size());
     seqs.push_back(std::move(seq));
   }
 
@@ -110,6 +122,9 @@ StatusOr<ServingReport> ServingSimulator::Run(
     bool is_prefill = seq.prompt_cursor < seq.request->prompt.size();
     if (is_prefill) {
       token = seq.request->prompt[seq.prompt_cursor++];
+      if (seq.prompt_cursor == 1 && seq.outcome.admission_seconds == 0.0) {
+        seq.outcome.admission_seconds = now;
+      }
     } else {
       token = seq.pending_token;
     }

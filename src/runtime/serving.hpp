@@ -1,67 +1,58 @@
-// SpeedLLM -- multi-request serving simulation.
+// SpeedLLM -- multi-request serving simulation (compatibility wrapper).
 //
-// Models the edge-server scenario the paper's introduction motivates:
-// one U280 accelerator card serving several concurrent generation
-// requests. Requests arrive at simulated times; the card decodes one
-// token at a time, round-robin across active sequences (each sequence
-// has its own KV cache via a dedicated executor, all sharing the same
-// compiled program). Reports per-request time-to-first-token and
-// completion latency plus aggregate throughput.
+// The real serving layer lives in src/serving/: a continuous-batching
+// scheduler (serving/scheduler.hpp) over a paged KV-cache block pool
+// (serving/kv_pool.hpp). This wrapper keeps the original ServingSimulator
+// entry point alive: by default it delegates to the scheduler, and it can
+// still run the seed's round-robin one-token-at-a-time loop (dedicated
+// executor and monolithic KV cache per request) as an explicit baseline
+// for benchmarking the batching win.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "accel/executor.hpp"
+#include "accel/program.hpp"
 #include "common/status.hpp"
 #include "llama/sampler.hpp"
+#include "serving/request.hpp"
+#include "serving/scheduler.hpp"
 
 namespace speedllm::runtime {
 
-struct ServingRequest {
-  std::vector<std::int32_t> prompt;
-  std::int32_t max_new_tokens = 16;
-  double arrival_seconds = 0.0;  // simulated arrival time
+using serving::RequestOutcome;
+using serving::ServingReport;
+using serving::ServingRequest;
+
+/// Which serving engine backs the simulator.
+enum class ServingMode {
+  kContinuousBatching,  // serving::ContinuousBatchScheduler (default)
+  kLegacyRoundRobin,    // seed behavior: round-robin, one token per step
 };
 
-struct RequestOutcome {
-  std::vector<std::int32_t> generated;
-  double arrival_seconds = 0.0;
-  double first_token_seconds = 0.0;  // absolute time of first decoded token
-  double completion_seconds = 0.0;   // absolute time of last token
-  double time_to_first_token() const {
-    return first_token_seconds - arrival_seconds;
-  }
-  double latency() const { return completion_seconds - arrival_seconds; }
-};
-
-struct ServingReport {
-  std::vector<RequestOutcome> outcomes;
-  double makespan_seconds = 0.0;
-  std::int64_t total_tokens = 0;  // prompt + generated processed tokens
-  double device_tokens_per_second = 0.0;
-  double mean_ttft() const;
-  double mean_latency() const;
-  double p99ish_latency() const;  // max over requests (small-N stand-in)
-};
-
-/// Simulates serving `requests` on one accelerator program. The sampler
-/// seed is offset per request so streams are independent but the whole
-/// simulation stays deterministic.
 class ServingSimulator {
  public:
   /// `program` and `weights` must outlive the simulator.
   ServingSimulator(const accel::Program& program,
-                   const llama::Weights& weights, const hw::U280Config& u280);
+                   const llama::Weights& weights, const hw::U280Config& u280,
+                   ServingMode mode = ServingMode::kContinuousBatching,
+                   serving::SchedulerConfig scheduler_config = {});
 
   StatusOr<ServingReport> Run(const std::vector<ServingRequest>& requests,
                               const llama::SamplerConfig& sampler_config);
 
+  ServingMode mode() const { return mode_; }
+
  private:
+  StatusOr<ServingReport> RunLegacyRoundRobin(
+      const std::vector<ServingRequest>& requests,
+      const llama::SamplerConfig& sampler_config);
+
   const accel::Program* program_;
   const llama::Weights* weights_;
   hw::U280Config u280_;
+  ServingMode mode_;
+  serving::SchedulerConfig scheduler_config_;
 };
 
 }  // namespace speedllm::runtime

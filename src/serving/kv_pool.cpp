@@ -1,0 +1,108 @@
+#include "serving/kv_pool.hpp"
+
+#include <cassert>
+
+namespace speedllm::serving {
+
+std::uint32_t KvBytesPerToken(const llama::ModelConfig& config) {
+  // K and V vectors of kv_dim floats per layer.
+  return static_cast<std::uint32_t>(2ll * config.n_layers * config.kv_dim() *
+                                    static_cast<std::int64_t>(sizeof(float)));
+}
+
+KvBlockPool::KvBlockPool(const KvPoolConfig& config) : config_(config) {
+  assert(config_.bytes_per_token > 0 && "bytes_per_token must be set");
+  assert(config_.block_size_tokens > 0 && "block_size_tokens must be set");
+  const std::uint64_t block_bytes = config_.block_bytes();
+  num_blocks_ =
+      block_bytes == 0
+          ? 0
+          : static_cast<std::int64_t>(config_.pool_bytes / block_bytes);
+  free_list_.reserve(static_cast<std::size_t>(num_blocks_));
+  // Push descending so the LIFO hands out ids 0, 1, 2, ... first.
+  for (std::int64_t b = num_blocks_ - 1; b >= 0; --b) {
+    free_list_.push_back(static_cast<std::int32_t>(b));
+  }
+}
+
+std::int64_t KvBlockPool::BlocksForTokens(std::int64_t tokens) const {
+  if (tokens <= 0) return 0;
+  const std::int64_t bs = config_.block_size_tokens;
+  return (tokens + bs - 1) / bs;
+}
+
+Status KvBlockPool::Register(std::uint64_t seq) {
+  if (seqs_.count(seq)) {
+    return FailedPrecondition("sequence " + std::to_string(seq) +
+                              " already registered in KV pool");
+  }
+  seqs_.emplace(seq, SeqState{});
+  ++stats_.sequence_registers;
+  return Status::Ok();
+}
+
+Status KvBlockPool::Append(std::uint64_t seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) {
+    return NotFound("sequence " + std::to_string(seq) +
+                    " not registered in KV pool");
+  }
+  SeqState& state = it->second;
+  const bool needs_block =
+      state.tokens % static_cast<std::int64_t>(config_.block_size_tokens) == 0;
+  if (needs_block) {
+    if (free_list_.empty()) {
+      return ResourceExhausted("KV pool out of blocks (" +
+                               std::to_string(num_blocks_) + " total)");
+    }
+    state.blocks.push_back(free_list_.back());
+    free_list_.pop_back();
+    ++used_blocks_;
+    ++stats_.block_allocs;
+    stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
+    assert(bytes_in_use() <= config_.pool_bytes &&
+           "KV pool exceeded its HBM budget");
+  }
+  ++state.tokens;
+  ++total_tokens_;
+  return Status::Ok();
+}
+
+Status KvBlockPool::Release(std::uint64_t seq, bool preempted) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) {
+    return NotFound("sequence " + std::to_string(seq) +
+                    " not registered in KV pool");
+  }
+  for (std::int32_t b : it->second.blocks) {
+    free_list_.push_back(b);
+    --used_blocks_;
+    ++stats_.block_frees;
+  }
+  total_tokens_ -= it->second.tokens;
+  seqs_.erase(it);
+  ++stats_.sequence_releases;
+  if (preempted) ++stats_.preemption_releases;
+  return Status::Ok();
+}
+
+std::int64_t KvBlockPool::SequenceTokens(std::uint64_t seq) const {
+  auto it = seqs_.find(seq);
+  return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+const std::vector<std::int32_t>& KvBlockPool::BlockTable(
+    std::uint64_t seq) const {
+  auto it = seqs_.find(seq);
+  assert(it != seqs_.end() && "BlockTable of unregistered sequence");
+  return it->second.blocks;
+}
+
+std::uint64_t KvBlockPool::fragmentation_bytes() const {
+  const std::uint64_t allocated = bytes_in_use();
+  const std::uint64_t used =
+      static_cast<std::uint64_t>(total_tokens_) * config_.bytes_per_token;
+  return allocated - used;
+}
+
+}  // namespace speedllm::serving

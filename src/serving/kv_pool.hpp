@@ -1,0 +1,120 @@
+// SpeedLLM -- paged KV-cache block manager.
+//
+// Carves a slice of U280 HBM (hw::HbmConfig::capacity_bytes minus the
+// resident-weight / scratch reservation) into fixed-size token blocks, in
+// the style of vLLM's PagedAttention block allocator. Each resident
+// sequence owns a block table (ordered list of physical block ids); a
+// block holds `block_size_tokens` consecutive KV entries for one
+// sequence, so internal fragmentation is bounded by one block per
+// sequence. The pool is a capacity/accounting model: the functional KV
+// values live in the per-slot executor buffers, while this class decides
+// who fits, who must be preempted, and what the HBM footprint is.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "llama/config.hpp"
+
+namespace speedllm::serving {
+
+/// Bytes one token's K+V vectors occupy across all layers (fp32 cache,
+/// matching the executor's on-device layout).
+std::uint32_t KvBytesPerToken(const llama::ModelConfig& config);
+
+struct KvPoolConfig {
+  std::uint64_t pool_bytes = 0;        // total budget carved from HBM
+  std::uint32_t block_size_tokens = 16;
+  std::uint32_t bytes_per_token = 0;   // see KvBytesPerToken
+
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(block_size_tokens) * bytes_per_token;
+  }
+};
+
+struct KvPoolStats {
+  std::int64_t block_allocs = 0;
+  std::int64_t block_frees = 0;
+  std::int64_t peak_used_blocks = 0;
+  std::int64_t sequence_registers = 0;
+  std::int64_t sequence_releases = 0;
+  std::int64_t preemption_releases = 0;  // releases flagged as swap-outs
+};
+
+class KvBlockPool {
+ public:
+  /// `config.pool_bytes` and `config.bytes_per_token` must be non-zero.
+  explicit KvBlockPool(const KvPoolConfig& config);
+
+  // ----- capacity queries -----
+  std::int64_t num_blocks() const { return num_blocks_; }
+  std::int64_t used_blocks() const { return used_blocks_; }
+  std::int64_t free_blocks() const { return num_blocks_ - used_blocks_; }
+  std::uint64_t capacity_bytes() const { return config_.pool_bytes; }
+  std::uint64_t bytes_in_use() const {
+    return static_cast<std::uint64_t>(used_blocks_) * config_.block_bytes();
+  }
+  const KvPoolConfig& config() const { return config_; }
+
+  /// Blocks a sequence of `tokens` tokens occupies (ceiling division).
+  std::int64_t BlocksForTokens(std::int64_t tokens) const;
+
+  /// True if `tokens` more tokens could be appended to a fresh sequence
+  /// right now without evicting anyone.
+  bool CanReserve(std::int64_t tokens) const {
+    return BlocksForTokens(tokens) <= free_blocks();
+  }
+
+  // ----- sequence lifecycle -----
+  /// Registers `seq` with an empty block table. Fails on duplicates.
+  Status Register(std::uint64_t seq);
+
+  /// Accounts one more token for `seq`, allocating a fresh block when the
+  /// current tail block is full. Returns kResourceExhausted when the pool
+  /// is out of blocks (callers preempt and retry).
+  Status Append(std::uint64_t seq);
+
+  /// Frees all blocks of `seq` and forgets it. `preempted` marks the
+  /// release as a scheduler swap-out in the stats.
+  Status Release(std::uint64_t seq, bool preempted = false);
+
+  bool Contains(std::uint64_t seq) const { return seqs_.count(seq) > 0; }
+  std::int64_t num_sequences() const {
+    return static_cast<std::int64_t>(seqs_.size());
+  }
+  /// Tokens currently accounted for `seq` (0 if unknown).
+  std::int64_t SequenceTokens(std::uint64_t seq) const;
+  /// Physical block ids of `seq`, in token order. `seq` must be registered.
+  const std::vector<std::int32_t>& BlockTable(std::uint64_t seq) const;
+
+  // ----- fragmentation / utilization -----
+  /// Allocated-but-unused tail bytes across all block tables (internal
+  /// fragmentation; fixed-size paging has no external fragmentation).
+  std::uint64_t fragmentation_bytes() const;
+  /// Fraction of the pool's blocks currently allocated.
+  double utilization() const {
+    return num_blocks_ == 0 ? 0.0
+                            : static_cast<double>(used_blocks_) /
+                                  static_cast<double>(num_blocks_);
+  }
+
+  const KvPoolStats& stats() const { return stats_; }
+
+ private:
+  struct SeqState {
+    std::vector<std::int32_t> blocks;
+    std::int64_t tokens = 0;
+  };
+
+  KvPoolConfig config_;
+  std::int64_t num_blocks_ = 0;
+  std::int64_t used_blocks_ = 0;
+  std::int64_t total_tokens_ = 0;
+  std::vector<std::int32_t> free_list_;  // LIFO for deterministic reuse
+  std::map<std::uint64_t, SeqState> seqs_;
+  KvPoolStats stats_;
+};
+
+}  // namespace speedllm::serving

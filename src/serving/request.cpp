@@ -1,0 +1,48 @@
+#include "serving/request.hpp"
+
+#include "common/stats.hpp"
+
+namespace speedllm::serving {
+
+namespace {
+
+template <typename Getter>
+double MeanOf(const std::vector<RequestOutcome>& outcomes, Getter get) {
+  if (outcomes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& o : outcomes) sum += get(o);
+  return sum / static_cast<double>(outcomes.size());
+}
+
+template <typename Getter>
+double PercentileOf(const std::vector<RequestOutcome>& outcomes, double p,
+                    Getter get) {
+  std::vector<double> samples;
+  samples.reserve(outcomes.size());
+  for (const auto& o : outcomes) samples.push_back(get(o));
+  return Percentile(std::move(samples), p);
+}
+
+}  // namespace
+
+double ServingReport::mean_ttft() const {
+  return MeanOf(outcomes,
+                [](const RequestOutcome& o) { return o.time_to_first_token(); });
+}
+
+double ServingReport::mean_latency() const {
+  return MeanOf(outcomes, [](const RequestOutcome& o) { return o.latency(); });
+}
+
+double ServingReport::ttft_percentile(double p) const {
+  return PercentileOf(outcomes, p, [](const RequestOutcome& o) {
+    return o.time_to_first_token();
+  });
+}
+
+double ServingReport::latency_percentile(double p) const {
+  return PercentileOf(outcomes, p,
+                      [](const RequestOutcome& o) { return o.latency(); });
+}
+
+}  // namespace speedllm::serving

@@ -1,0 +1,79 @@
+// SpeedLLM -- serving request / outcome / report types.
+//
+// Shared vocabulary between the continuous-batching scheduler
+// (serving/scheduler.hpp) and the legacy round-robin simulator
+// (runtime/serving.hpp). Latency accounting follows the llm-serving
+// convention: TTFT is measured from arrival to the first sampled token,
+// end-to-end latency from arrival to the last committed token.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace speedllm::serving {
+
+struct ServingRequest {
+  std::vector<std::int32_t> prompt;
+  std::int32_t max_new_tokens = 16;
+  double arrival_seconds = 0.0;  // simulated arrival time
+};
+
+struct RequestOutcome {
+  std::vector<std::int32_t> generated;
+  double arrival_seconds = 0.0;
+  double admission_seconds = 0.0;    // first tick this request was scheduled
+  double first_token_seconds = 0.0;  // absolute time of first decoded token
+  double completion_seconds = 0.0;   // absolute time of last token
+  std::int32_t prompt_tokens = 0;
+  std::int32_t preemptions = 0;  // times swapped out of the KV pool
+
+  double time_to_first_token() const {
+    return first_token_seconds - arrival_seconds;
+  }
+  double latency() const { return completion_seconds - arrival_seconds; }
+  double queueing_delay() const { return admission_seconds - arrival_seconds; }
+};
+
+/// One scheduler step (recorded when SchedulerConfig::record_ticks is on;
+/// the `*_seqs` vectors hold indices into the original request vector).
+struct TickRecord {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  std::vector<std::size_t> decode_seqs;
+  std::vector<std::size_t> prefill_seqs;
+  std::int32_t prefill_tokens = 0;
+
+  std::int32_t batch_width() const {
+    return static_cast<std::int32_t>(decode_seqs.size() +
+                                     prefill_seqs.size());
+  }
+};
+
+struct ServingReport {
+  std::vector<RequestOutcome> outcomes;
+  double makespan_seconds = 0.0;
+  std::int64_t total_tokens = 0;  // unique prompt + generated tokens processed
+  double device_tokens_per_second = 0.0;
+
+  // Continuous-batching aggregates (zero on the legacy round-robin path).
+  std::int64_t ticks = 0;
+  double mean_batch_width = 0.0;
+  std::int64_t preemptions = 0;
+  std::int64_t recomputed_tokens = 0;  // swap-in recompute work
+  std::int64_t peak_kv_blocks = 0;
+  std::int64_t kv_block_capacity = 0;
+  std::uint64_t kv_block_bytes = 0;     // bytes per block
+  std::uint64_t kv_capacity_bytes = 0;  // pool budget
+  std::vector<TickRecord> tick_log;     // only when record_ticks
+
+  double mean_ttft() const;
+  double mean_latency() const;
+  /// Interpolated percentiles; `p` is a fraction in [0, 1].
+  double ttft_percentile(double p) const;
+  double latency_percentile(double p) const;
+  /// Real interpolated p99 end-to-end latency (historically "p99ish",
+  /// which was a max; the name survives for source compatibility).
+  double p99ish_latency() const { return latency_percentile(0.99); }
+};
+
+}  // namespace speedllm::serving

@@ -1,0 +1,105 @@
+// SpeedLLM -- continuous-batching serving scheduler.
+//
+// vLLM-style iteration-level scheduling on one simulated U280 card. The
+// scheduler is driven by sim::Engine events: request arrivals enqueue
+// work, and each scheduler tick forms a batch (all active decode
+// sequences plus prompt-prefill chunks up to a token budget), executes
+// one grouped forward pass, and reschedules itself at the tick's end
+// time. KV capacity is governed by the paged KvBlockPool; when the pool
+// runs dry a late-admitted sequence is preempted by swap (its blocks are
+// freed and its KV is recomputed on readmission), so decode progress for
+// older sequences never deadlocks on memory.
+//
+// Timing model of a grouped step: every token forwarded this tick pays
+// its executor-simulated cost, but the weight stream and kernel-launch
+// overhead -- which a grouped launch issues exactly once for the whole
+// batch, cf. the grouped-matmul formulation the paper's serving scenario
+// implies -- is charged once per tick instead of once per token:
+//
+//   tick = max_i(shared_i) + sum_i (forward_i - shared_i)
+//
+// with shared_i clamped below forward_i. For a batch of one this reduces
+// exactly to the sequential executor cost, so the legacy round-robin
+// path and a width-1 scheduler agree.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "accel/program.hpp"
+#include "common/status.hpp"
+#include "hw/u280_config.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "serving/kv_pool.hpp"
+#include "serving/request.hpp"
+
+namespace speedllm::serving {
+
+/// Admission-ordering policy for waiting requests. Decode tokens always
+/// schedule ahead of prefill within a tick; policies govern which waiting
+/// request is admitted next and how much prefill a tick may carry.
+enum class BatchPolicy {
+  kFcfs,                // arrival order, head-of-line blocking on capacity
+  kShortestPromptFirst, // shortest remaining prompt first, with aging
+  kDecodePriority,      // FCFS admission, prefill capped per tick
+};
+
+std::string_view BatchPolicyName(BatchPolicy policy);
+
+struct SchedulerConfig {
+  BatchPolicy policy = BatchPolicy::kFcfs;
+  /// Maximum resident sequences (= executor slots, i.e. grouped-launch
+  /// batch width the datapath was generated for).
+  std::int32_t max_batch_seqs = 8;
+  /// Per-tick token budget across decode + prefill.
+  std::int32_t max_batch_tokens = 64;
+  /// Prefill tokens a kDecodePriority tick may carry (chunked prefill).
+  std::int32_t prefill_chunk_tokens = 8;
+  /// Paged KV block size in tokens.
+  std::uint32_t block_size_tokens = 16;
+  /// Swap-by-recompute preemption when the KV pool is exhausted.
+  bool allow_preemption = true;
+  /// A waiting request older than this many ticks jumps the policy order
+  /// (prevents shortest-prompt-first starvation).
+  std::int32_t starvation_grace_ticks = 32;
+  /// KV pool budget override in bytes; 0 derives it from HBM capacity
+  /// minus the resident weight footprint and an activation reserve.
+  std::uint64_t kv_pool_bytes = 0;
+  /// Record a TickRecord per tick into the report (tests / debugging).
+  bool record_ticks = false;
+};
+
+class ContinuousBatchScheduler {
+ public:
+  /// `program` and `weights` must outlive the scheduler.
+  ContinuousBatchScheduler(const accel::Program& program,
+                           const llama::Weights& weights,
+                           const hw::U280Config& u280,
+                           SchedulerConfig config = {});
+
+  /// Serves `requests` to completion. Sampler seeds are offset per
+  /// request (seed + index * 7919) so streams are independent of batch
+  /// composition: the same request yields the same tokens under any
+  /// policy, batch width, or preemption schedule.
+  StatusOr<ServingReport> Run(const std::vector<ServingRequest>& requests,
+                              const llama::SamplerConfig& sampler_config);
+
+  const SchedulerConfig& config() const { return config_; }
+  /// Pool budget the scheduler will use (after derivation), for sizing
+  /// admission tests and benches.
+  std::uint64_t pool_bytes() const { return pool_bytes_; }
+  /// Amortized per-tick cost (weight stream + grouped launch), seconds.
+  double shared_step_seconds() const { return shared_seconds_; }
+
+ private:
+  const accel::Program* program_;
+  const llama::Weights* weights_;
+  hw::U280Config u280_;
+  SchedulerConfig config_;
+  std::uint64_t pool_bytes_ = 0;
+  double shared_seconds_ = 0.0;
+};
+
+}  // namespace speedllm::serving

@@ -1,0 +1,81 @@
+#include "serving/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llama/config.hpp"
+#include "llama/tokenizer.hpp"
+
+namespace speedllm::serving {
+
+namespace {
+
+/// Exponential inter-arrival gap with mean 1/rate.
+double ExpGap(Rng& rng, double rate) {
+  double u = rng.NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  return -std::log(u) / rate;
+}
+
+std::int32_t UniformInclusive(Rng& rng, std::int32_t lo, std::int32_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::int32_t>(
+                  rng.NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+ServingRequest MakeRequest(Rng& rng, const WorkloadConfig& config,
+                           double arrival) {
+  ServingRequest req;
+  const std::int32_t prompt_len = std::max<std::int32_t>(
+      1, UniformInclusive(rng, config.min_prompt_tokens,
+                          config.max_prompt_tokens));
+  // Skip control ids at the bottom of the vocab when there is room (the
+  // llama2.c tokenizer reserves ~259 ids for specials + raw bytes).
+  const std::int32_t lo = config.vocab_size > 300 ? 259 : 3;
+  req.prompt.reserve(static_cast<std::size_t>(prompt_len));
+  req.prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < prompt_len; ++t) {
+    req.prompt.push_back(
+        lo + static_cast<std::int32_t>(rng.NextBounded(
+                 static_cast<std::uint64_t>(config.vocab_size - lo))));
+  }
+  req.max_new_tokens = std::max<std::int32_t>(
+      1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+  req.arrival_seconds = arrival;
+  return req;
+}
+
+}  // namespace
+
+std::vector<ServingRequest> PoissonTrace(Rng& rng,
+                                         const WorkloadConfig& config) {
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  double now = 0.0;
+  for (std::int32_t i = 0; i < config.num_requests; ++i) {
+    now += ExpGap(rng, config.rate_rps);
+    trace.push_back(MakeRequest(rng, config, now));
+  }
+  return trace;
+}
+
+std::vector<ServingRequest> BurstyTrace(Rng& rng,
+                                        const WorkloadConfig& config) {
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  const std::int32_t burst = std::max<std::int32_t>(1, config.burst_size);
+  const double epoch_rate = config.rate_rps / static_cast<double>(burst);
+  double epoch = 0.0;
+  while (static_cast<std::int32_t>(trace.size()) < config.num_requests) {
+    epoch += ExpGap(rng, epoch_rate);
+    for (std::int32_t b = 0;
+         b < burst &&
+         static_cast<std::int32_t>(trace.size()) < config.num_requests;
+         ++b) {
+      trace.push_back(MakeRequest(rng, config, epoch));
+    }
+  }
+  return trace;
+}
+
+}  // namespace speedllm::serving

@@ -1,0 +1,42 @@
+// SpeedLLM -- synthetic serving workload generators.
+//
+// Builds deterministic request traces for the scheduler benches and the
+// load-generator example: Poisson arrivals (open-loop, memoryless) and a
+// bursty variant where requests arrive in clumps, which is what stresses
+// admission control and preemption. All randomness flows through an
+// explicit common/rng.hpp stream, so a (seed, config) pair always yields
+// the same trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serving/request.hpp"
+
+namespace speedllm::serving {
+
+struct WorkloadConfig {
+  std::int32_t num_requests = 16;
+  double rate_rps = 50.0;  // mean arrival rate, requests per second
+
+  std::int32_t min_prompt_tokens = 4;
+  std::int32_t max_prompt_tokens = 24;  // inclusive
+  std::int32_t min_new_tokens = 8;
+  std::int32_t max_new_tokens = 24;  // inclusive
+  std::int32_t vocab_size = 32000;
+
+  // Bursty shaping: requests arrive in clumps of `burst_size` whose burst
+  // epochs are Poisson at rate_rps / burst_size (so the long-run request
+  // rate matches the Poisson trace at the same rate_rps).
+  std::int32_t burst_size = 4;
+};
+
+/// Open-loop Poisson arrivals with i.i.d. prompt / generation lengths.
+std::vector<ServingRequest> PoissonTrace(Rng& rng,
+                                         const WorkloadConfig& config);
+
+/// Clumped arrivals: same marginal rate, much worse instantaneous load.
+std::vector<ServingRequest> BurstyTrace(Rng& rng, const WorkloadConfig& config);
+
+}  // namespace speedllm::serving

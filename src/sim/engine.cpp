@@ -4,6 +4,11 @@
 
 namespace speedllm::sim {
 
+std::optional<Cycles> Engine::NextEventTime() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
+
 void Engine::ScheduleAt(Cycles t, Callback fn) {
   assert(t >= now_ && "cannot schedule events in the simulated past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});

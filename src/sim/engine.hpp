@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -44,6 +45,11 @@ class Engine {
 
   /// True if no events are pending.
   bool Idle() const { return queue_.empty(); }
+
+  /// Time of the earliest pending event, or nullopt when the queue is
+  /// drained -- a peek for clients that interleave external work with
+  /// the event queue.
+  std::optional<Cycles> NextEventTime() const;
 
  private:
   struct Event {

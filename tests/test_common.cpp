@@ -317,6 +317,25 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+// ---------------- Percentile ----------------
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 1.0), 4.0);
+  // rank = 0.99 * 3 = 2.97 -> between 3.0 and 4.0.
+  EXPECT_NEAR(Percentile(samples, 0.99), 3.97, 1e-12);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.99), 7.0);
+  // Out-of-range p clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, -1.0), 1.0);
+}
+
 // ---------------- CommandLine ----------------
 
 TEST(CommandLineTest, ParsesFlagsAndPositional) {

@@ -189,5 +189,41 @@ TEST(ServingTest, RejectsBadRequests) {
   EXPECT_TRUE(ok->outcomes.empty());
 }
 
+TEST(ServingTest, RejectsNonPositiveMaxNewTokens) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  llama::SamplerConfig sc;
+  std::vector<ServingRequest> reqs(1);
+  reqs[0].prompt = {llama::kBosToken};
+  reqs[0].max_new_tokens = 0;
+  for (ServingMode mode :
+       {ServingMode::kContinuousBatching, ServingMode::kLegacyRoundRobin}) {
+    ServingSimulator sim(prog, f.weights, f.u280, mode);
+    auto report = sim.Run(reqs, sc);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServingTest, LegacyAndBatchedModesAgreeOnTokens) {
+  Fixture f;
+  auto prog = CompileVariant(f, Variant::kSpeedLLM);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.7f;
+  sc.seed = 21;
+  auto reqs = MakeRequests(3, 6, 1e-4);
+  ServingSimulator legacy(prog, f.weights, f.u280,
+                          ServingMode::kLegacyRoundRobin);
+  ServingSimulator batched(prog, f.weights, f.u280);
+  auto a = legacy.Run(reqs, sc);
+  auto b = batched.Run(reqs, sc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_tokens, b->total_tokens);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(a->outcomes[i].generated, b->outcomes[i].generated);
+  }
+}
+
 }  // namespace
 }  // namespace speedllm::runtime

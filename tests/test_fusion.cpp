@@ -95,7 +95,9 @@ TEST(FusionTest, InternalValuesMatchBruteForce) {
     }
     for (const auto& v : dg.graph.values()) {
       if (v.kind != ValueKind::kActivation) {
-        if (v.kind == ValueKind::kOutput) EXPECT_FALSE(internal[v.id]);
+        if (v.kind == ValueKind::kOutput) {
+          EXPECT_FALSE(internal[v.id]);
+        }
         continue;
       }
       graph::OpId producer = dg.graph.Producer(v.id);

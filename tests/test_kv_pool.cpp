@@ -1,0 +1,124 @@
+// Unit tests for the paged KV-cache block manager (serving/kv_pool.hpp).
+#include <gtest/gtest.h>
+
+#include "serving/kv_pool.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+/// 8 blocks of 4 tokens x 64 bytes: small enough to exhaust by hand.
+KvPoolConfig SmallPool() {
+  KvPoolConfig config;
+  config.bytes_per_token = 64;
+  config.block_size_tokens = 4;
+  config.pool_bytes = 8 * 4 * 64;
+  return config;
+}
+
+TEST(KvPoolTest, CapacityMath) {
+  KvBlockPool pool(SmallPool());
+  EXPECT_EQ(pool.num_blocks(), 8);
+  EXPECT_EQ(pool.free_blocks(), 8);
+  EXPECT_EQ(pool.used_blocks(), 0);
+  EXPECT_EQ(pool.capacity_bytes(), 8u * 4 * 64);
+  EXPECT_EQ(pool.BlocksForTokens(0), 0);
+  EXPECT_EQ(pool.BlocksForTokens(1), 1);
+  EXPECT_EQ(pool.BlocksForTokens(4), 1);
+  EXPECT_EQ(pool.BlocksForTokens(5), 2);
+  EXPECT_TRUE(pool.CanReserve(32));
+  EXPECT_FALSE(pool.CanReserve(33));
+}
+
+TEST(KvPoolTest, KvBytesPerTokenMatchesModelShape) {
+  auto config = llama::ModelConfig::Tiny();
+  EXPECT_EQ(KvBytesPerToken(config),
+            2u * static_cast<std::uint32_t>(config.n_layers) *
+                static_cast<std::uint32_t>(config.kv_dim()) * sizeof(float));
+}
+
+TEST(KvPoolTest, AppendAllocatesOnlyAtBlockBoundaries) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(7).ok());
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(pool.Append(7).ok());
+    EXPECT_EQ(pool.used_blocks(), 1);
+  }
+  ASSERT_TRUE(pool.Append(7).ok());  // token 5 crosses into block 2
+  EXPECT_EQ(pool.used_blocks(), 2);
+  EXPECT_EQ(pool.SequenceTokens(7), 5);
+  EXPECT_EQ(pool.BlockTable(7).size(), 2u);
+  EXPECT_EQ(pool.bytes_in_use(), 2u * 4 * 64);
+}
+
+TEST(KvPoolTest, ExhaustionReturnsResourceExhausted) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(0).ok());
+  for (int t = 0; t < 32; ++t) {
+    ASSERT_TRUE(pool.Append(0).ok()) << "token " << t;
+  }
+  EXPECT_EQ(pool.free_blocks(), 0);
+  Status st = pool.Append(0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // The pool never exceeded its byte budget.
+  EXPECT_LE(pool.bytes_in_use(), pool.capacity_bytes());
+  EXPECT_EQ(pool.utilization(), 1.0);
+}
+
+TEST(KvPoolTest, ReleaseRecyclesBlocksDeterministically) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(1).ok());
+  ASSERT_TRUE(pool.Register(2).ok());
+  for (int t = 0; t < 5; ++t) ASSERT_TRUE(pool.Append(1).ok());
+  for (int t = 0; t < 3; ++t) ASSERT_TRUE(pool.Append(2).ok());
+  const auto blocks_of_1 = pool.BlockTable(1);
+  ASSERT_TRUE(pool.Release(1).ok());
+  EXPECT_EQ(pool.used_blocks(), 1);
+  EXPECT_FALSE(pool.Contains(1));
+  // LIFO free list: the next registrations get seq 1's blocks back in
+  // reverse release order.
+  ASSERT_TRUE(pool.Register(3).ok());
+  ASSERT_TRUE(pool.Append(3).ok());
+  EXPECT_EQ(pool.BlockTable(3)[0], blocks_of_1.back());
+}
+
+TEST(KvPoolTest, FragmentationIsBoundedByOneBlockPerSequence) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(1).ok());
+  ASSERT_TRUE(pool.Register(2).ok());
+  for (int t = 0; t < 5; ++t) ASSERT_TRUE(pool.Append(1).ok());  // 2 blocks
+  ASSERT_TRUE(pool.Append(2).ok());                              // 1 block
+  // seq 1 wastes 3 token slots, seq 2 wastes 3.
+  EXPECT_EQ(pool.fragmentation_bytes(), 6u * 64);
+  EXPECT_LE(pool.fragmentation_bytes(),
+            2u * pool.config().block_bytes());  // <= one block per sequence
+}
+
+TEST(KvPoolTest, StatsTrackPeakAndPreemptions) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(1).ok());
+  for (int t = 0; t < 9; ++t) ASSERT_TRUE(pool.Append(1).ok());  // 3 blocks
+  ASSERT_TRUE(pool.Release(1, /*preempted=*/true).ok());
+  ASSERT_TRUE(pool.Register(2).ok());
+  ASSERT_TRUE(pool.Append(2).ok());
+  const KvPoolStats& stats = pool.stats();
+  EXPECT_EQ(stats.block_allocs, 4);
+  EXPECT_EQ(stats.block_frees, 3);
+  EXPECT_EQ(stats.peak_used_blocks, 3);
+  EXPECT_EQ(stats.sequence_registers, 2);
+  EXPECT_EQ(stats.sequence_releases, 1);
+  EXPECT_EQ(stats.preemption_releases, 1);
+}
+
+TEST(KvPoolTest, LifecycleErrors) {
+  KvBlockPool pool(SmallPool());
+  ASSERT_TRUE(pool.Register(5).ok());
+  Status dup = pool.Register(5);
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.Append(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(pool.Release(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(pool.SequenceTokens(99), 0);
+}
+
+}  // namespace
+}  // namespace speedllm::serving

@@ -32,6 +32,17 @@ TEST(EngineTest, TiesBreakFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EngineTest, NextEventTimePeeksEarliestPending) {
+  Engine eng;
+  EXPECT_FALSE(eng.NextEventTime().has_value());
+  eng.ScheduleAt(40, [] {});
+  eng.ScheduleAt(15, [] {});
+  ASSERT_TRUE(eng.NextEventTime().has_value());
+  EXPECT_EQ(*eng.NextEventTime(), 15u);
+  eng.Run();
+  EXPECT_FALSE(eng.NextEventTime().has_value());
+}
+
 TEST(EngineTest, CallbacksCanScheduleMore) {
   Engine eng;
   int fired = 0;

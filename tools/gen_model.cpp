@@ -5,7 +5,7 @@
 // trained on TinyStories (see DESIGN.md "Substitutions").
 //
 // Usage:
-//   gen_model --out model.bin --tokenizer tokenizer.bin \
+//   gen_model --out model.bin --tokenizer tokenizer.bin
 //             [--preset stories15m|stories110m|tiny] [--seed 42]
 #include <cstdio>
 
