@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -19,6 +20,31 @@
 namespace speedllm::bench {
 
 inline constexpr std::uint64_t kWeightSeed = 20240517;
+
+/// Machine-readable bench result: named scalar metrics written as JSON
+/// for CI artifacts and the tools/check_bench.py perf-regression gate.
+/// The schema is {"bench": <name>, "metrics": {<key>: <value>, ...}}.
+/// Returns false (after printing to stderr) when the file cannot be
+/// written, so benches can fail the job instead of silently skipping the
+/// gate.
+inline bool WriteBenchJson(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+               bench_name.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  return true;
+}
 
 /// Parses the common bench flags (--preset, --seed).
 inline llama::ModelConfig PresetFromFlag(const std::string& preset) {

@@ -1,0 +1,32 @@
+#include "hw/cluster.hpp"
+
+#include <string>
+
+namespace speedllm::hw {
+
+MultiCardConfig MultiCardConfig::Homogeneous(const U280Config& card,
+                                             int num_cards) {
+  MultiCardConfig config;
+  if (num_cards > 0) {
+    config.cards.assign(static_cast<std::size_t>(num_cards), card);
+  }
+  return config;
+}
+
+Status MultiCardConfig::Validate() const {
+  if (cards.empty()) {
+    return InvalidArgument("cluster needs at least one card");
+  }
+  const double clock = cards.front().clock_mhz;
+  for (std::size_t i = 1; i < cards.size(); ++i) {
+    if (cards[i].clock_mhz != clock) {
+      return InvalidArgument(
+          "cluster cards must share one kernel clock: card 0 runs at " +
+          std::to_string(clock) + " MHz, card " + std::to_string(i) +
+          " at " + std::to_string(cards[i].clock_mhz) + " MHz");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace speedllm::hw

@@ -1,0 +1,30 @@
+// SpeedLLM -- multi-card platform description.
+//
+// A serving cluster is N U280 cards behind one host scheduler (see
+// serving/cluster.hpp). Cards may differ in HBM capacity (mixed board
+// revisions, or capacity partitioned between tenants), but they must
+// share one kernel clock: the cluster drives every card off a single
+// discrete-event engine whose time unit is the kernel-clock cycle, so a
+// heterogeneous clock would make "cycle" ambiguous across consumers.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/u280_config.hpp"
+
+namespace speedllm::hw {
+
+struct MultiCardConfig {
+  std::vector<U280Config> cards;
+
+  int num_cards() const { return static_cast<int>(cards.size()); }
+
+  /// N identical copies of `card` -- the common deployment.
+  static MultiCardConfig Homogeneous(const U280Config& card, int num_cards);
+
+  /// Non-empty and clock-uniform (see file comment).
+  Status Validate() const;
+};
+
+}  // namespace speedllm::hw

@@ -12,12 +12,16 @@ ServingSimulator::ServingSimulator(const accel::Program& program,
                                    const llama::Weights& weights,
                                    const hw::U280Config& u280,
                                    ServingMode mode,
-                                   serving::SchedulerConfig scheduler_config)
+                                   serving::SchedulerConfig scheduler_config,
+                                   int num_cards,
+                                   serving::PlacementPolicy placement)
     : program_(&program),
       weights_(&weights),
       u280_(u280),
       mode_(mode),
-      scheduler_config_(std::move(scheduler_config)) {}
+      scheduler_config_(std::move(scheduler_config)),
+      num_cards_(std::max(1, num_cards)),
+      placement_(placement) {}
 
 StatusOr<ServingReport> ServingSimulator::Run(
     const std::vector<ServingRequest>& requests,
@@ -25,9 +29,30 @@ StatusOr<ServingReport> ServingSimulator::Run(
   if (mode_ == ServingMode::kLegacyRoundRobin) {
     return RunLegacyRoundRobin(requests, sampler_config);
   }
+  if (num_cards_ > 1) {
+    SPEEDLLM_ASSIGN_OR_RETURN(serving::ClusterReport cluster,
+                              RunCluster(requests, sampler_config));
+    return std::move(cluster.merged);
+  }
   serving::ContinuousBatchScheduler scheduler(*program_, *weights_, u280_,
                                               scheduler_config_);
   return scheduler.Run(requests, sampler_config);
+}
+
+StatusOr<serving::ClusterReport> ServingSimulator::RunCluster(
+    const std::vector<ServingRequest>& requests,
+    const llama::SamplerConfig& sampler_config) {
+  if (mode_ == ServingMode::kLegacyRoundRobin) {
+    return FailedPrecondition(
+        "cluster serving requires continuous-batching mode");
+  }
+  serving::ClusterConfig config;
+  config.placement = placement_;
+  config.shard = scheduler_config_;
+  serving::ClusterRouter router(
+      *program_, *weights_, hw::MultiCardConfig::Homogeneous(u280_, num_cards_),
+      std::move(config));
+  return router.Run(requests, sampler_config);
 }
 
 namespace {

@@ -15,6 +15,7 @@
 #include "accel/program.hpp"
 #include "common/status.hpp"
 #include "llama/sampler.hpp"
+#include "serving/cluster.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
 
@@ -32,16 +33,30 @@ enum class ServingMode {
 
 class ServingSimulator {
  public:
-  /// `program` and `weights` must outlive the simulator.
+  /// `program` and `weights` must outlive the simulator. `num_cards` > 1
+  /// (continuous-batching mode only) shards the workload across that many
+  /// identical cards through a serving::ClusterRouter on one shared
+  /// clock; `placement` picks the routing policy.
   ServingSimulator(const accel::Program& program,
                    const llama::Weights& weights, const hw::U280Config& u280,
                    ServingMode mode = ServingMode::kContinuousBatching,
-                   serving::SchedulerConfig scheduler_config = {});
+                   serving::SchedulerConfig scheduler_config = {},
+                   int num_cards = 1,
+                   serving::PlacementPolicy placement =
+                       serving::PlacementPolicy::kRoundRobin);
 
   StatusOr<ServingReport> Run(const std::vector<ServingRequest>& requests,
                               const llama::SamplerConfig& sampler_config);
 
+  /// Full per-card detail (utilization, imbalance, rebalances). Valid for
+  /// any card count in continuous-batching mode; a single card is a
+  /// cluster of one.
+  StatusOr<serving::ClusterReport> RunCluster(
+      const std::vector<ServingRequest>& requests,
+      const llama::SamplerConfig& sampler_config);
+
   ServingMode mode() const { return mode_; }
+  int num_cards() const { return num_cards_; }
 
  private:
   StatusOr<ServingReport> RunLegacyRoundRobin(
@@ -53,6 +68,9 @@ class ServingSimulator {
   hw::U280Config u280_;
   ServingMode mode_;
   serving::SchedulerConfig scheduler_config_;
+  int num_cards_ = 1;
+  serving::PlacementPolicy placement_ =
+      serving::PlacementPolicy::kRoundRobin;
 };
 
 }  // namespace speedllm::runtime

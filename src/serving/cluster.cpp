@@ -1,0 +1,296 @@
+#include "serving/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "serving/shard.hpp"
+#include "sim/engine.hpp"
+
+namespace speedllm::serving {
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+    case PlacementPolicy::kLeastOutstandingTokens: return "least-outstanding";
+    case PlacementPolicy::kBestFitFreeKv: return "best-fit-kv";
+  }
+  return "unknown";
+}
+
+double ClusterReport::imbalance() const {
+  if (shard_reports.empty()) return 0.0;
+  std::int64_t max_tokens = 0;
+  std::int64_t sum_tokens = 0;
+  for (const ServingReport& r : shard_reports) {
+    max_tokens = std::max(max_tokens, r.total_tokens);
+    sum_tokens += r.total_tokens;
+  }
+  if (sum_tokens == 0) return 0.0;
+  const double mean = static_cast<double>(sum_tokens) /
+                      static_cast<double>(shard_reports.size());
+  return static_cast<double>(max_tokens) / mean;
+}
+
+double ClusterReport::mean_utilization() const {
+  if (card_utilization.empty()) return 0.0;
+  double sum = 0.0;
+  for (double u : card_utilization) sum += u;
+  return sum / static_cast<double>(card_utilization.size());
+}
+
+ClusterRouter::ClusterRouter(const accel::Program& program,
+                             const llama::Weights& weights,
+                             hw::MultiCardConfig cards, ClusterConfig config)
+    : program_(&program),
+      weights_(&weights),
+      cards_(std::move(cards)),
+      config_(std::move(config)) {
+  config_.shard = NormalizeSchedulerConfig(config_.shard);
+}
+
+std::uint64_t ClusterRouter::pool_bytes(int card) const {
+  std::uint64_t override_bytes = config_.shard.kv_pool_bytes;
+  const std::size_t c = static_cast<std::size_t>(card);
+  if (c < config_.kv_pool_bytes_per_card.size() &&
+      config_.kv_pool_bytes_per_card[c] > 0) {
+    override_bytes = config_.kv_pool_bytes_per_card[c];
+  }
+  return DeriveKvPoolBytes(*program_, cards_.cards[c], override_bytes);
+}
+
+namespace {
+
+/// One Run() invocation: the shared engine, the per-card shards, and the
+/// routing/rebalancing state.
+class ClusterRun {
+ public:
+  ClusterRun(const accel::Program& program, const llama::Weights& weights,
+             const hw::MultiCardConfig& cards, const ClusterConfig& config,
+             const std::vector<std::uint64_t>& pool_bytes,
+             const std::vector<ServingRequest>& requests,
+             const llama::SamplerConfig& sampler_config)
+      : config_(config),
+        requests_(requests),
+        sampler_config_(sampler_config),
+        clock_mhz_(cards.cards.front().clock_mhz),
+        shard_of_request_(requests.size(), -1),
+        migrations_(requests.size(), 0) {
+    const int n = cards.num_cards();
+    shards_.reserve(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+      SchedulerConfig shard_config = config.shard;
+      shard_config.kv_pool_bytes = pool_bytes[static_cast<std::size_t>(c)];
+      shards_.push_back(std::make_unique<ShardScheduler>(
+          program, weights, cards.cards[static_cast<std::size_t>(c)],
+          shard_config, engine_));
+      shards_.back()->set_kv_pressure_hook(
+          [this, c] { Rebalance(static_cast<std::size_t>(c)); });
+    }
+  }
+
+  StatusOr<ClusterReport> Execute() {
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      const sim::Cycles at = ArrivalCycles(requests_[i].arrival_seconds);
+      engine_.ScheduleAt(at, [this, i] { Place(i); });
+    }
+    engine_.Run();
+
+    ClusterReport report;
+    report.shard_of_request.assign(shard_of_request_.begin(),
+                                   shard_of_request_.end());
+    report.rebalanced_requests = rebalanced_;
+    report.merged.outcomes.resize(requests_.size());
+    report.card_utilization.resize(shards_.size(), 0.0);
+
+    std::vector<double> busy(shards_.size(), 0.0);
+    std::vector<std::size_t> stream_indices;
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      SPEEDLLM_RETURN_IF_ERROR(shards_[c]->Finalize());
+      busy[c] = shards_[c]->busy_seconds();
+      ServingReport shard = shards_[c]->TakeReport(&stream_indices);
+      for (std::size_t k = 0; k < stream_indices.size(); ++k) {
+        report.merged.outcomes[stream_indices[k]] = shard.outcomes[k];
+      }
+      ServingReport& m = report.merged;
+      m.total_tokens += shard.total_tokens;
+      m.recomputed_tokens += shard.recomputed_tokens;
+      m.preemptions += shard.preemptions;
+      m.peak_kv_blocks += shard.peak_kv_blocks;
+      m.kv_block_capacity += shard.kv_block_capacity;
+      m.kv_capacity_bytes += shard.kv_capacity_bytes;
+      m.kv_block_bytes = shard.kv_block_bytes;  // uniform block geometry
+      m.mean_batch_width += shard.mean_batch_width *
+                            static_cast<double>(shard.ticks);
+      m.ticks += shard.ticks;
+      m.makespan_seconds = std::max(m.makespan_seconds,
+                                    shard.makespan_seconds);
+      report.shard_reports.push_back(std::move(shard));
+    }
+    ServingReport& m = report.merged;
+    if (m.ticks > 0) m.mean_batch_width /= static_cast<double>(m.ticks);
+    m.device_tokens_per_second =
+        m.makespan_seconds > 0.0
+            ? static_cast<double>(m.total_tokens) / m.makespan_seconds
+            : 0.0;
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      report.card_utilization[c] =
+          m.makespan_seconds > 0.0 ? busy[c] / m.makespan_seconds : 0.0;
+    }
+    return report;
+  }
+
+ private:
+  sim::Cycles ArrivalCycles(double seconds) const {
+    // Every card shares one kernel clock (MultiCardConfig::Validate), so
+    // any shard's conversion works; shard 0 stands in for the cluster.
+    return static_cast<sim::Cycles>(std::llround(
+        seconds * clock_mhz_ * 1e6));
+  }
+
+  /// Routes request `i` to a card at its arrival event.
+  void Place(std::size_t i) {
+    const std::size_t card = PickCard(requests_[i]);
+    shard_of_request_[i] = static_cast<std::int32_t>(card);
+    shards_[card]->Submit(requests_[i], i, sampler_config_);
+  }
+
+  std::size_t PickCard(const ServingRequest& request) {
+    switch (config_.placement) {
+      case PlacementPolicy::kRoundRobin:
+        return rr_counter_++ % shards_.size();
+      case PlacementPolicy::kLeastOutstandingTokens: {
+        std::size_t best = 0;
+        std::int64_t best_tokens = shards_[0]->outstanding_tokens();
+        for (std::size_t c = 1; c < shards_.size(); ++c) {
+          const std::int64_t t = shards_[c]->outstanding_tokens();
+          if (t < best_tokens) {
+            best = c;
+            best_tokens = t;
+          }
+        }
+        return best;
+      }
+      case PlacementPolicy::kBestFitFreeKv: {
+        // Most projected headroom among the cards that can cover the
+        // request's full footprint outright; when no card can, fall back
+        // to the most headroom overall (the shard's preemption machinery
+        // absorbs the pressure). Ties break toward the lowest card id.
+        std::size_t best = 0;
+        std::int64_t best_free = shards_[0]->projected_free_kv_blocks();
+        std::size_t covering = shards_.size();
+        std::int64_t covering_free = 0;
+        for (std::size_t c = 0; c < shards_.size(); ++c) {
+          const std::int64_t f = shards_[c]->projected_free_kv_blocks();
+          if (f > best_free) {
+            best = c;
+            best_free = f;
+          }
+          const std::int64_t need = shards_[c]->BlocksForRequest(request);
+          if (f >= need && (covering == shards_.size() || f > covering_free)) {
+            covering = c;
+            covering_free = f;
+          }
+        }
+        return covering != shards_.size() ? covering : best;
+      }
+    }
+    return 0;
+  }
+
+  /// KV-pressure hook: shard `donor` could not admit (or decode) for want
+  /// of blocks. Migrate its queued, never-prefilled requests to the card
+  /// with the most projected-free blocks, newest first. Each request
+  /// migrates at most (num_cards - 1) times, so rebalancing terminates
+  /// even when every pool is tight.
+  void Rebalance(std::size_t donor) {
+    if (!config_.rebalance_queued || shards_.size() < 2) return;
+    // Requests that exhausted their migration budget stay put; older
+    // eligible queued requests behind them are still considered.
+    const ShardScheduler::StreamPredicate eligible =
+        [this](std::size_t stream) {
+          return migrations_[stream] <
+                 static_cast<std::int32_t>(shards_.size()) - 1;
+        };
+    while (true) {
+      auto queued = shards_[donor]->PeekNewestQueued(eligible);
+      if (!queued) return;
+      const auto [request, stream] = *queued;
+      const std::int64_t need = shards_[donor]->BlocksForRequest(*request);
+      const std::int64_t donor_free =
+          shards_[donor]->projected_free_kv_blocks();
+      std::size_t target = donor;
+      std::int64_t target_free = donor_free;
+      for (std::size_t c = 0; c < shards_.size(); ++c) {
+        if (c == donor) continue;
+        const std::int64_t f = shards_[c]->projected_free_kv_blocks();
+        if (f > target_free) {
+          target = c;
+          target_free = f;
+        }
+      }
+      // Move only when the target is strictly better off AND can cover
+      // the whole request; otherwise shuffling would not help anyone.
+      if (target == donor || target_free < need) return;
+      shards_[donor]->StealNewestQueued(eligible);
+      ++migrations_[stream];
+      ++rebalanced_;
+      shard_of_request_[stream] = static_cast<std::int32_t>(target);
+      shards_[target]->Submit(*request, stream, sampler_config_);
+    }
+  }
+
+  const ClusterConfig& config_;
+  const std::vector<ServingRequest>& requests_;
+  const llama::SamplerConfig& sampler_config_;
+  const double clock_mhz_;  // uniform across cards (Validate enforces)
+
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<ShardScheduler>> shards_;
+  std::vector<std::int32_t> shard_of_request_;
+  std::vector<std::int32_t> migrations_;
+  std::size_t rr_counter_ = 0;
+  std::int64_t rebalanced_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ClusterReport> ClusterRouter::Run(
+    const std::vector<ServingRequest>& requests,
+    const llama::SamplerConfig& sampler_config) {
+  SPEEDLLM_RETURN_IF_ERROR(cards_.Validate());
+  ClusterReport report;
+  report.shard_reports.resize(static_cast<std::size_t>(num_cards()));
+  report.card_utilization.resize(static_cast<std::size_t>(num_cards()), 0.0);
+  if (requests.empty()) return report;
+
+  // A request must fit every card's pool: placement is free to pick any
+  // card, and rebalancing may move queued work anywhere.
+  const std::uint32_t bytes_per_token = KvBytesPerToken(program_->model);
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(config_.shard.block_size_tokens) *
+      bytes_per_token;
+  std::vector<std::uint64_t> per_card_pool;
+  std::int64_t min_blocks = std::numeric_limits<std::int64_t>::max();
+  for (int c = 0; c < num_cards(); ++c) {
+    const std::uint64_t bytes = pool_bytes(c);
+    per_card_pool.push_back(bytes);
+    const std::int64_t blocks =
+        block_bytes == 0 ? 0 : static_cast<std::int64_t>(bytes / block_bytes);
+    min_blocks = std::min(min_blocks, blocks);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SPEEDLLM_RETURN_IF_ERROR(
+        ValidateRequest(requests[i], "request " + std::to_string(i),
+                        program_->model, min_blocks,
+                        config_.shard.block_size_tokens));
+  }
+
+  ClusterRun run(*program_, *weights_, cards_, config_, per_card_pool,
+                 requests, sampler_config);
+  return run.Execute();
+}
+
+}  // namespace speedllm::serving

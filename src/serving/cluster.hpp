@@ -1,0 +1,110 @@
+// SpeedLLM -- multi-card cluster router over N serving shards.
+//
+// Scales the PR-1 single-card serving stack across N U280 cards, the way
+// a vLLM-style deployment shards traffic across replicas: each card is a
+// ShardScheduler (its own paged KvBlockPool carved from its own
+// hw::HbmConfig plus the continuous-batching tick loop), and a
+// ClusterRouter places every arriving request on one card via a pluggable
+// placement policy. All shards chain their ticks on ONE shared
+// sim::Engine, so per-card steps interleave on a single simulated clock
+// and cluster-wide metrics (aggregate tokens/s, per-card utilization and
+// imbalance, TTFT/TPOT percentiles) fall out of one coherent timeline.
+//
+// Placement policies:
+//  * round-robin            -- arrival order modulo card count;
+//  * least-outstanding      -- card owing the fewest prefill+decode tokens;
+//  * best-fit-free-KV       -- card with the most projected-free KV blocks
+//                              (free blocks minus queued-but-unadmitted
+//                              demand), i.e. the most capacity headroom.
+//
+// When a shard's pool runs dry (admission or decode blocked on KV
+// capacity) the router rebalances: queued requests that have not started
+// prefill migrate to the card with the most projected-free blocks,
+// newest-first, each at most once per other card so rebalancing always
+// terminates. Token streams are seeded per request (global index), so
+// generated tokens are byte-identical for any card count, placement
+// policy, or preemption schedule.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "accel/program.hpp"
+#include "common/status.hpp"
+#include "hw/cluster.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "serving/request.hpp"
+#include "serving/scheduler.hpp"
+
+namespace speedllm::serving {
+
+enum class PlacementPolicy {
+  kRoundRobin,              // arrival order, ignores card state
+  kLeastOutstandingTokens,  // min remaining prefill+decode tokens
+  kBestFitFreeKv,           // max projected-free KV blocks
+};
+
+std::string_view PlacementPolicyName(PlacementPolicy policy);
+
+struct ClusterConfig {
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  /// Per-card scheduler knobs (batch policy, budgets, block size, ...).
+  SchedulerConfig shard;
+  /// Optional per-card KV pool override in bytes; entry 0 (or an empty
+  /// vector) falls back to `shard.kv_pool_bytes` / HBM derivation. Lets
+  /// tests and heterogeneous deployments size each card's pool apart.
+  std::vector<std::uint64_t> kv_pool_bytes_per_card;
+  /// Migrate queued (never-prefilled) requests away from a dry shard.
+  bool rebalance_queued = true;
+};
+
+struct ClusterReport {
+  /// Cluster-wide view: outcomes in original request order, aggregate
+  /// tokens/s over the shared-clock makespan, summed tick/preemption/KV
+  /// counters. Latency percentiles (ttft/tpot/latency) come from here.
+  ServingReport merged;
+  /// Per-card reports (outcomes of the requests that card served).
+  std::vector<ServingReport> shard_reports;
+  /// Card that served each request (after any rebalancing).
+  std::vector<std::int32_t> shard_of_request;
+  /// Per-card busy-time fraction of the cluster makespan.
+  std::vector<double> card_utilization;
+  /// Queued requests migrated between cards by the rebalancer.
+  std::int64_t rebalanced_requests = 0;
+
+  /// Max-over-mean of per-card token counts: 1.0 is perfectly balanced,
+  /// N means one card did everything.
+  double imbalance() const;
+  double mean_utilization() const;
+};
+
+class ClusterRouter {
+ public:
+  /// `program` and `weights` must outlive the router. All cards run the
+  /// same compiled program; cards may differ in HBM capacity but must
+  /// share one kernel clock (hw::MultiCardConfig::Validate).
+  ClusterRouter(const accel::Program& program, const llama::Weights& weights,
+                hw::MultiCardConfig cards, ClusterConfig config = {});
+
+  /// Serves `requests` to completion across the cluster. Deterministic:
+  /// the same (requests, sampler_config, cluster config) always yields
+  /// the same report, and generated token streams match a single card
+  /// serving the same requests.
+  StatusOr<ClusterReport> Run(const std::vector<ServingRequest>& requests,
+                              const llama::SamplerConfig& sampler_config);
+
+  int num_cards() const { return cards_.num_cards(); }
+  const ClusterConfig& config() const { return config_; }
+  /// KV pool budget card `card` will use (after overrides/derivation).
+  std::uint64_t pool_bytes(int card) const;
+
+ private:
+  const accel::Program* program_;
+  const llama::Weights* weights_;
+  hw::MultiCardConfig cards_;
+  ClusterConfig config_;
+};
+
+}  // namespace speedllm::serving

@@ -45,4 +45,12 @@ double ServingReport::latency_percentile(double p) const {
                       [](const RequestOutcome& o) { return o.latency(); });
 }
 
+double ServingReport::tpot_percentile(double p) const {
+  std::vector<double> samples;
+  for (const auto& o : outcomes) {
+    if (!o.generated.empty()) samples.push_back(o.time_per_output_token());
+  }
+  return Percentile(std::move(samples), p);
+}
+
 }  // namespace speedllm::serving

@@ -32,6 +32,15 @@ struct RequestOutcome {
   }
   double latency() const { return completion_seconds - arrival_seconds; }
   double queueing_delay() const { return admission_seconds - arrival_seconds; }
+  /// Mean decode time per generated token. `first_token_seconds` marks
+  /// the *sampling* of the first token (end of prefill); each of the n
+  /// generated tokens then commits one decode tick later, so the span
+  /// covers exactly n inter-tick gaps and divides by n, not n-1.
+  double time_per_output_token() const {
+    if (generated.empty()) return 0.0;
+    return (completion_seconds - first_token_seconds) /
+           static_cast<double>(generated.size());
+  }
 };
 
 /// One scheduler step (recorded when SchedulerConfig::record_ticks is on;
@@ -71,6 +80,8 @@ struct ServingReport {
   /// Interpolated percentiles; `p` is a fraction in [0, 1].
   double ttft_percentile(double p) const;
   double latency_percentile(double p) const;
+  /// Time-per-output-token percentile over multi-token generations.
+  double tpot_percentile(double p) const;
   /// Real interpolated p99 end-to-end latency (historically "p99ish",
   /// which was a max; the name survives for source compatibility).
   double p99ish_latency() const { return latency_percentile(0.99); }

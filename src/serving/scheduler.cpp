@@ -1,13 +1,9 @@
 #include "serving/scheduler.hpp"
 
-#include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <deque>
-#include <memory>
 #include <utility>
 
-#include "accel/executor.hpp"
+#include "serving/shard.hpp"
 #include "sim/engine.hpp"
 
 namespace speedllm::serving {
@@ -21,548 +17,15 @@ std::string_view BatchPolicyName(BatchPolicy policy) {
   return "unknown";
 }
 
-namespace {
-
-/// The amortized shared cost may never swallow a whole forward: even in a
-/// perfectly grouped launch each sequence still owns its KV traffic and
-/// compute tail.
-constexpr double kSharedShareCap = 0.95;
-
-enum class SeqState { kWaiting, kPrefill, kDecode, kDone };
-
-struct Sequence {
-  const ServingRequest* request = nullptr;
-  std::size_t index = 0;
-  llama::Sampler sampler;
-  SeqState state = SeqState::kWaiting;
-
-  // Committed tokens fed to the model: prompt followed by generated
-  // tokens. `cursor` counts tokens fed since the last (re)admission;
-  // `high_water` marks how much of `fed` has been processed at least
-  // once, so swap-in recompute work is distinguishable from first-pass
-  // prefill.
-  std::vector<std::int32_t> fed;
-  std::int32_t cursor = 0;
-  std::int32_t high_water = 0;
-  std::int32_t pending_token = -1;  // sampled but not yet committed
-  int slot = -1;                    // executor slot while resident
-  std::int64_t admission_order = -1;
-  std::int64_t wait_since_tick = 0;
-  bool ever_admitted = false;
-  RequestOutcome outcome;
-
-  explicit Sequence(llama::Sampler s) : sampler(std::move(s)) {}
-
-  std::int32_t remaining_prefill() const {
-    return static_cast<std::int32_t>(fed.size()) - cursor;
-  }
-  bool budget_left() const {
-    return static_cast<std::int32_t>(outcome.generated.size()) <
-           request->max_new_tokens;
-  }
-};
-
-/// One Run() invocation: owns the event engine, the KV pool, the
-/// executor slots, and all per-sequence state.
-class SchedulerRun {
- public:
-  SchedulerRun(const accel::Program& program, const llama::Weights& weights,
-               const hw::U280Config& u280, const SchedulerConfig& config,
-               double shared_seconds, std::uint64_t pool_bytes,
-               const std::vector<ServingRequest>& requests,
-               const llama::SamplerConfig& sampler_config)
-      : program_(program),
-        weights_(weights),
-        u280_(u280),
-        config_(config),
-        shared_seconds_(shared_seconds),
-        pool_(KvPoolConfig{pool_bytes, config.block_size_tokens,
-                           KvBytesPerToken(program.model)}),
-        requests_(requests) {
-    seqs_.reserve(requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      llama::SamplerConfig sc = sampler_config;
-      sc.seed = sampler_config.seed + i * 7919;  // independent streams
-      Sequence seq{llama::Sampler(sc)};
-      seq.request = &requests[i];
-      seq.index = i;
-      seq.fed = requests[i].prompt;
-      seq.outcome.arrival_seconds = requests[i].arrival_seconds;
-      seq.outcome.prompt_tokens =
-          static_cast<std::int32_t>(requests[i].prompt.size());
-      seqs_.push_back(std::move(seq));
-    }
-  }
-
-  const KvBlockPool& pool() const { return pool_; }
-
-  StatusOr<ServingReport> Execute() {
-    for (std::size_t i = 0; i < seqs_.size(); ++i) {
-      engine_.ScheduleAt(SecondsToCycles(requests_[i].arrival_seconds),
-                         [this, i] { OnArrival(i); });
-    }
-    engine_.Run();
-    if (!error_.ok()) return error_;
-    for (const Sequence& seq : seqs_) {
-      if (seq.state != SeqState::kDone) {
-        return Internal("scheduler stalled: request " +
-                        std::to_string(seq.index) + " never completed");
-      }
-    }
-
-    report_.outcomes.resize(seqs_.size());
-    for (Sequence& seq : seqs_) {
-      report_.outcomes[seq.index] = std::move(seq.outcome);
-    }
-    report_.makespan_seconds = u280_.cycles_to_seconds(last_tick_end_cycles_);
-    report_.device_tokens_per_second =
-        report_.makespan_seconds > 0.0
-            ? static_cast<double>(report_.total_tokens) /
-                  report_.makespan_seconds
-            : 0.0;
-    report_.mean_batch_width =
-        report_.ticks > 0
-            ? static_cast<double>(width_sum_) /
-                  static_cast<double>(report_.ticks)
-            : 0.0;
-    report_.preemptions = pool_.stats().preemption_releases;
-    report_.peak_kv_blocks = pool_.stats().peak_used_blocks;
-    report_.kv_block_capacity = pool_.num_blocks();
-    report_.kv_block_bytes = pool_.config().block_bytes();
-    report_.kv_capacity_bytes = pool_.capacity_bytes();
-    return std::move(report_);
-  }
-
- private:
-  // ---------------------------------------------------------- events
-  void OnArrival(std::size_t i) {
-    if (!error_.ok()) return;
-    seqs_[i].wait_since_tick = tick_index_;
-    waiting_.push_back(i);
-    if (!tick_pending_) ScheduleTick(engine_.now());
-  }
-
-  void ScheduleTick(sim::Cycles at) {
-    tick_pending_ = true;
-    engine_.ScheduleAt(at, [this] { RunTick(); });
-  }
-
-  // ------------------------------------------------------- planning
-  /// Waiting-queue candidates in admission order for this tick. FCFS and
-  /// decode-priority only ever look at the head (head-of-line blocking is
-  /// part of the policy); shortest-prompt-first may skip over requests
-  /// that do not fit, and ages starved requests back to FCFS.
-  std::vector<std::size_t> AdmissionCandidates() const {
-    std::vector<std::size_t> order(waiting_.begin(), waiting_.end());
-    if (config_.policy == BatchPolicy::kShortestPromptFirst) {
-      std::vector<std::size_t> aged, fresh;
-      for (std::size_t pos = 0; pos < order.size(); ++pos) {
-        const Sequence& s = seqs_[order[pos]];
-        if (tick_index_ - s.wait_since_tick >=
-            config_.starvation_grace_ticks) {
-          aged.push_back(order[pos]);
-        } else {
-          fresh.push_back(order[pos]);
-        }
-      }
-      std::stable_sort(fresh.begin(), fresh.end(),
-                       [this](std::size_t a, std::size_t b) {
-                         return seqs_[a].fed.size() < seqs_[b].fed.size();
-                       });
-      aged.insert(aged.end(), fresh.begin(), fresh.end());
-      return aged;
-    }
-    return order;
-  }
-
-  // ------------------------------------------------------ execution
-  /// Accounts one token of KV for `seq`, preempting the most recently
-  /// admitted resident (swap-by-recompute) until it fits. The requester
-  /// never preempts an older sequence on its own behalf: when it is
-  /// itself the newest resident it defers to a later tick instead.
-  bool EnsureKvToken(std::size_t seq_id) {
-    while (true) {
-      Status st = pool_.Append(seq_id);
-      if (st.ok()) return true;
-      if (st.code() != StatusCode::kResourceExhausted) {
-        error_ = st;
-        return false;
-      }
-      if (!config_.allow_preemption) return false;
-      std::size_t victim = seqs_.size();
-      std::int64_t newest = -1;
-      for (std::size_t r : residents_) {
-        if (seqs_[r].admission_order > newest) {
-          newest = seqs_[r].admission_order;
-          victim = r;
-        }
-      }
-      if (victim == seqs_.size() || victim == seq_id) return false;
-      Preempt(victim);
-    }
-  }
-
-  void Preempt(std::size_t victim) {
-    Sequence& seq = seqs_[victim];
-    Status st = pool_.Release(victim, /*preempted=*/true);
-    assert(st.ok());
-    (void)st;
-    ReleaseSlot(seq);
-    residents_.erase(std::find(residents_.begin(), residents_.end(), victim));
-    seq.state = SeqState::kWaiting;
-    seq.cursor = 0;  // KV gone: recompute from scratch on readmission
-    seq.wait_since_tick = tick_index_;
-    // Preempted sequences re-queue at the front: they are the oldest work
-    // and must not starve behind fresh arrivals.
-    waiting_.push_front(victim);
-    ++seq.outcome.preemptions;
-  }
-
-  int AcquireSlot() {
-    if (!free_slots_.empty()) {
-      int slot = free_slots_.back();
-      free_slots_.pop_back();
-      slots_[static_cast<std::size_t>(slot)]->ResetSequence();
-      return slot;
-    }
-    slots_.push_back(
-        std::make_unique<accel::Executor>(program_, weights_, u280_));
-    return static_cast<int>(slots_.size() - 1);
-  }
-
-  void ReleaseSlot(Sequence& seq) {
-    assert(seq.slot >= 0);
-    free_slots_.push_back(seq.slot);
-    seq.slot = -1;
-  }
-
-  /// Runs one forward through the sequence's slot executor and folds its
-  /// simulated cost into the tick. Returns false on a hard error.
-  bool ForwardToken(Sequence& seq, std::int32_t token, std::int32_t pos,
-                    std::span<const float>* logits) {
-    accel::Executor& exec = *slots_[static_cast<std::size_t>(seq.slot)];
-    auto logits_or = exec.Forward(token, pos);
-    if (!logits_or.ok()) {
-      error_ = logits_or.status();
-      return false;
-    }
-    const double f = exec.last_stats().seconds;
-    const double shared = std::min(shared_seconds_, kSharedShareCap * f);
-    tick_max_shared_ = std::max(tick_max_shared_, shared);
-    tick_marginal_ += f - shared;
-    if (logits != nullptr) *logits = *logits_or;
-    return true;
-  }
-
-  void SampleNext(Sequence& seq, std::span<const float> logits) {
-    sample_scratch_.assign(logits.begin(), logits.end());
-    seq.pending_token = seq.sampler.Sample(sample_scratch_);
-  }
-
-  void FinishSequence(std::size_t seq_id) {
-    Sequence& seq = seqs_[seq_id];
-    seq.state = SeqState::kDone;
-    seq.pending_token = -1;
-    Status st = pool_.Release(seq_id);
-    assert(st.ok());
-    (void)st;
-    ReleaseSlot(seq);
-    residents_.erase(std::find(residents_.begin(), residents_.end(), seq_id));
-  }
-
-  void RunTick() {
-    tick_pending_ = false;
-    if (!error_.ok()) return;
-    ++tick_index_;
-    const double start_s = u280_.cycles_to_seconds(engine_.now());
-    tick_max_shared_ = 0.0;
-    tick_marginal_ = 0.0;
-
-    // ---- plan: decode set first, in admission order (rotating only
-    // when the token budget cannot cover every decoding sequence).
-    std::int32_t budget = config_.max_batch_tokens;
-    std::vector<std::size_t> decode_plan;
-    {
-      std::vector<std::size_t> decoding;
-      for (std::size_t r : residents_) {
-        if (seqs_[r].state == SeqState::kDecode) decoding.push_back(r);
-      }
-      if (static_cast<std::int32_t>(decoding.size()) <= budget) {
-        decode_plan = decoding;
-      } else {
-        const std::size_t n = decoding.size();
-        const std::size_t start = rr_offset_ % n;
-        for (std::int32_t k = 0; k < budget; ++k) {
-          decode_plan.push_back(decoding[(start + k) % n]);
-        }
-        rr_offset_ += static_cast<std::size_t>(budget);
-      }
-      budget -= static_cast<std::int32_t>(decode_plan.size());
-    }
-
-    // ---- plan: prefill chunks -- resident partial prefills continue
-    // first, then new admissions per policy.
-    std::int32_t prefill_budget =
-        config_.policy == BatchPolicy::kDecodePriority
-            ? std::min(budget, config_.prefill_chunk_tokens)
-            : budget;
-    std::vector<std::pair<std::size_t, std::int32_t>> prefill_plan;
-    for (std::size_t r : residents_) {
-      if (prefill_budget <= 0) break;
-      Sequence& seq = seqs_[r];
-      if (seq.state != SeqState::kPrefill) continue;
-      const std::int32_t chunk =
-          std::min(seq.remaining_prefill(), prefill_budget);
-      if (chunk > 0) {
-        prefill_plan.emplace_back(r, chunk);
-        prefill_budget -= chunk;
-      }
-    }
-    if (prefill_budget > 0) {
-      // Admissions within one tick reserve against each other: a block
-      // the first admission will consume is not offered to the second.
-      std::int64_t planned_blocks = 0;
-      for (std::size_t cand : AdmissionCandidates()) {
-        if (prefill_budget <= 0) break;
-        if (static_cast<std::int32_t>(residents_.size()) >=
-            config_.max_batch_seqs) {
-          break;
-        }
-        Sequence& seq = seqs_[cand];
-        const std::int64_t need =
-            static_cast<std::int64_t>(seq.fed.size()) + 1;
-        if (pool_.BlocksForTokens(need) + planned_blocks >
-            pool_.free_blocks()) {
-          // Head-of-line blocking for FCFS-family policies; SPF (which
-          // reorders anyway) may skip past an oversized head.
-          if (config_.policy != BatchPolicy::kShortestPromptFirst) break;
-          continue;
-        }
-        planned_blocks += pool_.BlocksForTokens(need);
-        Status st = pool_.Register(cand);
-        assert(st.ok());
-        (void)st;
-        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), cand));
-        seq.slot = AcquireSlot();
-        seq.state = SeqState::kPrefill;
-        seq.admission_order = next_admission_++;
-        residents_.push_back(cand);
-        if (!seq.ever_admitted) {
-          seq.ever_admitted = true;
-          seq.outcome.admission_seconds = start_s;
-        }
-        const std::int32_t chunk =
-            std::min(seq.remaining_prefill(), prefill_budget);
-        prefill_plan.emplace_back(cand, chunk);
-        prefill_budget -= chunk;
-      }
-    }
-
-    // ---- execute. Commit timestamps are applied once the tick length
-    // is known; completions release capacity immediately so later chunks
-    // in the same tick may use it.
-    std::vector<std::size_t> decode_committed;
-    std::vector<std::size_t> ttft_marks;
-    std::vector<std::size_t> decode_executed;
-    std::vector<std::pair<std::size_t, std::int32_t>> prefill_executed;
-
-    for (std::size_t seq_id : decode_plan) {
-      Sequence& seq = seqs_[seq_id];
-      if (seq.state != SeqState::kDecode) continue;  // preempted mid-tick
-      if (!EnsureKvToken(seq_id)) {
-        if (!error_.ok()) return;
-        continue;  // deferred to a later tick
-      }
-      const std::int32_t pos = static_cast<std::int32_t>(seq.fed.size());
-      std::span<const float> logits;
-      if (!ForwardToken(seq, seq.pending_token, pos, &logits)) return;
-      seq.fed.push_back(seq.pending_token);
-      seq.cursor = static_cast<std::int32_t>(seq.fed.size());
-      seq.high_water = std::max(seq.high_water, seq.cursor);
-      seq.outcome.generated.push_back(seq.pending_token);
-      ++report_.total_tokens;
-      decode_committed.push_back(seq_id);
-      decode_executed.push_back(seq_id);
-      if (seq.budget_left()) {
-        SampleNext(seq, logits);
-      } else {
-        FinishSequence(seq_id);
-      }
-    }
-
-    for (auto [seq_id, chunk] : prefill_plan) {
-      Sequence& seq = seqs_[seq_id];
-      if (seq.state != SeqState::kPrefill) continue;  // preempted mid-tick
-      std::int32_t done = 0;
-      for (std::int32_t k = 0; k < chunk; ++k) {
-        if (!EnsureKvToken(seq_id)) {
-          if (!error_.ok()) return;
-          break;  // pool dry with no victims: resume next tick
-        }
-        const std::int32_t pos = seq.cursor;
-        std::span<const float> logits;
-        if (!ForwardToken(seq, seq.fed[static_cast<std::size_t>(pos)], pos,
-                          &logits)) {
-          return;
-        }
-        ++seq.cursor;
-        if (seq.cursor <= seq.high_water) {
-          ++report_.recomputed_tokens;  // swap-in recompute pass
-        } else {
-          seq.high_water = seq.cursor;
-          ++report_.total_tokens;
-        }
-        ++done;
-        if (seq.remaining_prefill() == 0) {
-          if (seq.pending_token < 0) {
-            // Original prefill complete: the first decoded token is
-            // sampled from these logits and committed next tick.
-            SampleNext(seq, logits);
-            if (seq.outcome.first_token_seconds == 0.0) {
-              ttft_marks.push_back(seq_id);
-            }
-          }
-          seq.state = SeqState::kDecode;
-          break;
-        }
-      }
-      if (done > 0) prefill_executed.emplace_back(seq_id, done);
-    }
-
-    // ---- close the tick.
-    const std::int64_t executed_tokens =
-        static_cast<std::int64_t>(decode_executed.size()) +
-        [&] {
-          std::int64_t s = 0;
-          for (auto& [id, n] : prefill_executed) {
-            (void)id;
-            s += n;
-          }
-          return s;
-        }();
-    if (executed_tokens == 0) {
-      // Nothing runnable (e.g. every planned item was deferred). Progress
-      // requires an external event; arrivals restart the tick chain.
-      if (!residents_.empty() || !waiting_.empty()) {
-        error_ = Internal("scheduler tick made no progress with " +
-                          std::to_string(residents_.size()) +
-                          " residents and " +
-                          std::to_string(waiting_.size()) + " waiting");
-      }
-      return;
-    }
-
-    const double tick_seconds = tick_max_shared_ + tick_marginal_;
-    const sim::Cycles tick_cycles =
-        std::max<sim::Cycles>(1, SecondsToCycles(tick_seconds));
-    const sim::Cycles end_cycles = engine_.now() + tick_cycles;
-    const double end_s = u280_.cycles_to_seconds(end_cycles);
-    last_tick_end_cycles_ = std::max(last_tick_end_cycles_, end_cycles);
-
-    for (std::size_t seq_id : decode_committed) {
-      seqs_[seq_id].outcome.completion_seconds = end_s;
-    }
-    for (std::size_t seq_id : ttft_marks) {
-      if (seqs_[seq_id].outcome.first_token_seconds == 0.0) {
-        seqs_[seq_id].outcome.first_token_seconds = end_s;
-      }
-    }
-
-    ++report_.ticks;
-    width_sum_ += static_cast<std::int64_t>(decode_executed.size() +
-                                            prefill_executed.size());
-    if (config_.record_ticks) {
-      TickRecord rec;
-      rec.start_seconds = start_s;
-      rec.end_seconds = end_s;
-      for (std::size_t id : decode_executed) {
-        rec.decode_seqs.push_back(seqs_[id].index);
-      }
-      for (auto& [id, n] : prefill_executed) {
-        rec.prefill_seqs.push_back(seqs_[id].index);
-        rec.prefill_tokens += n;
-      }
-      report_.tick_log.push_back(std::move(rec));
-    }
-
-    if (!residents_.empty() || !waiting_.empty()) ScheduleTick(end_cycles);
-  }
-
-  sim::Cycles SecondsToCycles(double seconds) const {
-    return static_cast<sim::Cycles>(
-        std::llround(seconds * u280_.clock_mhz * 1e6));
-  }
-
-  const accel::Program& program_;
-  const llama::Weights& weights_;
-  const hw::U280Config& u280_;
-  const SchedulerConfig& config_;
-  const double shared_seconds_;
-
-  sim::Engine engine_;
-  KvBlockPool pool_;
-  const std::vector<ServingRequest>& requests_;
-  std::vector<Sequence> seqs_;
-  std::deque<std::size_t> waiting_;      // arrived, not resident
-  std::vector<std::size_t> residents_;   // admission order
-  std::vector<std::unique_ptr<accel::Executor>> slots_;
-  std::vector<int> free_slots_;
-  std::vector<float> sample_scratch_;
-
-  bool tick_pending_ = false;
-  std::int64_t tick_index_ = 0;
-  std::int64_t next_admission_ = 0;
-  std::size_t rr_offset_ = 0;
-  sim::Cycles last_tick_end_cycles_ = 0;
-  double tick_max_shared_ = 0.0;
-  double tick_marginal_ = 0.0;
-  std::int64_t width_sum_ = 0;
-  Status error_;
-  ServingReport report_;
-};
-
-}  // namespace
-
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     const accel::Program& program, const llama::Weights& weights,
     const hw::U280Config& u280, SchedulerConfig config)
     : program_(&program),
       weights_(&weights),
       u280_(u280),
-      config_(std::move(config)) {
-  config_.max_batch_seqs = std::max(1, config_.max_batch_seqs);
-  config_.max_batch_tokens = std::max(1, config_.max_batch_tokens);
-  config_.prefill_chunk_tokens = std::max(1, config_.prefill_chunk_tokens);
-  config_.block_size_tokens = std::max(1u, config_.block_size_tokens);
-
-  if (config_.kv_pool_bytes > 0) {
-    pool_bytes_ = std::min(config_.kv_pool_bytes, u280_.hbm.capacity_bytes);
-  } else {
-    // Resident weights plus a fixed activation/staging reserve come out
-    // of the 8 GiB stack; the KV pool gets the rest.
-    const std::uint64_t bytes_per_param =
-        program.exec.int8_weights ? 2 : 4;  // int8 codes + grouped scales
-    const std::uint64_t weight_bytes =
-        static_cast<std::uint64_t>(program.model.num_params()) *
-        bytes_per_param;
-    const std::uint64_t reserve = weight_bytes + (256ull << 20);
-    pool_bytes_ = u280_.hbm.kv_budget_bytes(reserve);
-  }
-
-  // Grouped-launch shared cost: the weight stream crosses HBM once per
-  // tick no matter the batch width, and launch/DMA-setup control runs
-  // once per kernel group.
-  const auto& st = program.stats;
-  const auto& ex = program.exec;
-  const auto& hbm = u280_.hbm;
-  const std::uint64_t bytes_per_cycle = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(hbm.num_channels) *
-             hbm.bytes_per_cycle_per_channel);
-  const sim::Cycles weight_cycles = st.weight_stream_bytes / bytes_per_cycle;
-  const sim::Cycles launch_cycles =
-      st.num_groups *
-      (ex.kernel_launch_cycles + ex.dma_setup_cycles + hbm.latency_cycles);
-  shared_seconds_ = u280_.cycles_to_seconds(weight_cycles + launch_cycles);
+      config_(NormalizeSchedulerConfig(std::move(config))) {
+  pool_bytes_ = DeriveKvPoolBytes(program, u280, config_.kv_pool_bytes);
+  shared_seconds_ = DeriveSharedStepSeconds(program, u280);
 }
 
 StatusOr<ServingReport> ContinuousBatchScheduler::Run(
@@ -576,38 +39,30 @@ StatusOr<ServingReport> ContinuousBatchScheduler::Run(
   const std::int64_t pool_blocks =
       pool_config.block_bytes() == 0
           ? 0
-          : static_cast<std::int64_t>(pool_bytes_ /
-                                      pool_config.block_bytes());
-  const std::int64_t block_size = config_.block_size_tokens;
+          : static_cast<std::int64_t>(pool_bytes_ / pool_config.block_bytes());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const ServingRequest& req = requests[i];
-    const std::string tag = "request " + std::to_string(i);
-    if (req.prompt.empty()) {
-      return InvalidArgument(tag + " has an empty prompt");
-    }
-    if (req.max_new_tokens <= 0) {
-      return InvalidArgument(tag + " must generate at least one token (got " +
-                             std::to_string(req.max_new_tokens) + ")");
-    }
-    if (!(req.arrival_seconds >= 0.0) ||
-        !std::isfinite(req.arrival_seconds)) {
-      return InvalidArgument(tag + " has a non-finite or negative arrival");
-    }
-    const std::int64_t tokens =
-        static_cast<std::int64_t>(req.prompt.size()) + req.max_new_tokens;
-    if (tokens > program_->model.seq_len) {
-      return OutOfRange(tag + " exceeds seq_len");
-    }
-    if ((tokens + block_size - 1) / block_size > pool_blocks) {
-      return ResourceExhausted(tag + " can never fit the KV pool (" +
-                               std::to_string(pool_blocks) + " blocks of " +
-                               std::to_string(block_size) + " tokens)");
-    }
+    SPEEDLLM_RETURN_IF_ERROR(
+        ValidateRequest(requests[i], "request " + std::to_string(i),
+                        program_->model, pool_blocks,
+                        config_.block_size_tokens));
   }
 
-  SchedulerRun run(*program_, *weights_, u280_, config_, shared_seconds_,
-                   pool_bytes_, requests, sampler_config);
-  return run.Execute();
+  // A single card is a cluster of one: one shard on a private engine,
+  // with arrival events submitting in request order (FIFO ties).
+  sim::Engine engine;
+  SchedulerConfig shard_config = config_;
+  shard_config.kv_pool_bytes = pool_bytes_;
+  ShardScheduler shard(*program_, *weights_, u280_, shard_config, engine);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const sim::Cycles at = static_cast<sim::Cycles>(std::llround(
+        requests[i].arrival_seconds * u280_.clock_mhz * 1e6));
+    engine.ScheduleAt(at, [&shard, &requests, &sampler_config, i] {
+      shard.Submit(requests[i], i, sampler_config);
+    });
+  }
+  engine.Run();
+  SPEEDLLM_RETURN_IF_ERROR(shard.Finalize());
+  return shard.TakeReport(nullptr);
 }
 
 }  // namespace speedllm::serving

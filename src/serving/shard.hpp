@@ -1,0 +1,225 @@
+// SpeedLLM -- one card's continuous-batching shard, externally driven.
+//
+// ShardScheduler is the per-card execution core extracted from the PR-1
+// ContinuousBatchScheduler: a paged KvBlockPool plus the tick loop that
+// batches decode sequences and prefill chunks into grouped forward
+// passes. Unlike the original (which owned its own event engine), a shard
+// schedules its ticks on an engine *provided by the caller*, so N shards
+// can interleave on one shared sim::Engine clock -- the substrate the
+// multi-card ClusterRouter (serving/cluster.hpp) is built on. A
+// single-card ContinuousBatchScheduler is exactly one shard on a private
+// engine, so the two paths share every line of scheduling logic.
+//
+// Requests enter via Submit() (typically from an arrival event or a
+// cluster rebalance); the shard schedules its own tick chain from there.
+// Sampler streams are seeded from the request's *global* stream index, so
+// token streams are identical no matter which shard serves a request.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "accel/program.hpp"
+#include "common/status.hpp"
+#include "hw/u280_config.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "serving/kv_pool.hpp"
+#include "serving/request.hpp"
+#include "serving/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace speedllm::accel {
+class Executor;
+}  // namespace speedllm::accel
+
+namespace speedllm::serving {
+
+/// Clamps scheduler knobs to their sane minima (shared between the
+/// single-card facade and the cluster's per-card fan-out).
+SchedulerConfig NormalizeSchedulerConfig(SchedulerConfig config);
+
+/// KV pool budget for one card: the explicit override clamped to HBM, or
+/// HBM capacity minus the resident-weight + activation/staging reserve.
+std::uint64_t DeriveKvPoolBytes(const accel::Program& program,
+                                const hw::U280Config& u280,
+                                std::uint64_t override_bytes);
+
+/// Amortized per-tick cost of a grouped launch on one card: the weight
+/// stream crosses HBM once per tick regardless of batch width, and
+/// launch/DMA-setup control runs once per kernel group.
+double DeriveSharedStepSeconds(const accel::Program& program,
+                               const hw::U280Config& u280);
+
+/// Validates one request against model limits and a pool of
+/// `pool_blocks` blocks of `block_size` tokens. `tag` labels errors
+/// ("request 3").
+Status ValidateRequest(const ServingRequest& req, const std::string& tag,
+                       const llama::ModelConfig& model,
+                       std::int64_t pool_blocks, std::int64_t block_size);
+
+class ShardScheduler {
+ public:
+  /// `program`, `weights`, and `engine` must outlive the shard. `config`
+  /// must already be normalized. Ticks are scheduled on `engine`; the
+  /// caller drives engine.Run().
+  ShardScheduler(const accel::Program& program, const llama::Weights& weights,
+                 const hw::U280Config& u280, const SchedulerConfig& config,
+                 sim::Engine& engine);
+  ~ShardScheduler();
+
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  /// Enqueues `request` on this shard at the current engine time and
+  /// schedules a tick if none is pending. `stream_index` is the request's
+  /// global index: it seeds the per-request sampler stream
+  /// (sampler_config.seed + stream_index * 7919) and keys the outcome in
+  /// the harvested report. `request` must outlive the shard.
+  void Submit(const ServingRequest& request, std::size_t stream_index,
+              const llama::SamplerConfig& sampler_config);
+
+  // ----- placement-policy queries -----
+  const KvBlockPool& pool() const { return pool_; }
+  std::uint64_t pool_bytes() const { return pool_.capacity_bytes(); }
+  double shared_step_seconds() const { return shared_seconds_; }
+  /// Free KV blocks minus the full eventual footprint (prompt + budget)
+  /// of every queued, never-admitted request -- the headroom a placement
+  /// policy should bid with, since queued demand is already committed.
+  /// O(1): maintained incrementally at submit/admit/steal time.
+  std::int64_t projected_free_kv_blocks() const {
+    return pool_.free_blocks() - queued_demand_blocks_;
+  }
+  /// Tokens of work still owed: remaining prefill plus remaining decode
+  /// budget across every live sequence (waiting or resident). O(1):
+  /// maintained incrementally as tokens are submitted/processed.
+  std::int64_t outstanding_tokens() const { return outstanding_tokens_; }
+  std::int64_t num_waiting() const {
+    return static_cast<std::int64_t>(waiting_.size());
+  }
+  std::int64_t num_residents() const {
+    return static_cast<std::int64_t>(residents_.size());
+  }
+  /// Blocks `request` will occupy at its maximum extent.
+  std::int64_t BlocksForRequest(const ServingRequest& request) const;
+
+  // ----- cluster rebalancing -----
+  /// Filters rebalance candidates by global stream index (e.g. "has this
+  /// request exhausted its migration budget?"). Null accepts everything.
+  using StreamPredicate = std::function<bool(std::size_t stream_index)>;
+  /// Newest queued request that has never been admitted (prefill not
+  /// started) and satisfies `eligible`, or nullopt. Does not remove it.
+  std::optional<std::pair<const ServingRequest*, std::size_t>>
+  PeekNewestQueued(const StreamPredicate& eligible = nullptr) const;
+  /// Removes the newest never-admitted, eligible queued request and
+  /// returns it for resubmission elsewhere. The local sequence is marked
+  /// migrated and excluded from this shard's report.
+  std::optional<std::pair<const ServingRequest*, std::size_t>>
+  StealNewestQueued(const StreamPredicate& eligible = nullptr);
+  /// Invoked at the end of any tick in which admission or decode was
+  /// blocked by KV-pool capacity (the cluster's rebalance trigger). Runs
+  /// after the tick's own state is settled, so the hook may Steal/Submit.
+  void set_kv_pressure_hook(std::function<void()> hook) {
+    kv_pressure_hook_ = std::move(hook);
+  }
+
+  // ----- harvest (after the engine drains) -----
+  /// OK when every submitted (non-migrated) request ran to completion.
+  Status Finalize() const;
+  /// Aggregate report for this shard. Outcomes are ordered by stream
+  /// index; `stream_indices` (optional) receives the global index of each
+  /// outcome. Call once, after Finalize().
+  ServingReport TakeReport(std::vector<std::size_t>* stream_indices);
+
+  /// Wall-clock end of the shard's last tick, cycles.
+  sim::Cycles last_tick_end_cycles() const { return last_tick_end_cycles_; }
+  /// Total simulated seconds this shard's ticks occupied (utilization
+  /// numerator; the denominator is the cluster makespan).
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  enum class SeqState { kWaiting, kPrefill, kDecode, kDone, kMigrated };
+
+  struct Sequence {
+    const ServingRequest* request = nullptr;
+    std::size_t stream_index = 0;
+    llama::Sampler sampler;
+    SeqState state = SeqState::kWaiting;
+
+    // Committed tokens fed to the model: prompt followed by generated
+    // tokens. `cursor` counts tokens fed since the last (re)admission;
+    // `high_water` marks how much of `fed` has been processed at least
+    // once, so swap-in recompute work is distinguishable from first-pass
+    // prefill.
+    std::vector<std::int32_t> fed;
+    std::int32_t cursor = 0;
+    std::int32_t high_water = 0;
+    std::int32_t pending_token = -1;  // sampled but not yet committed
+    int slot = -1;                    // executor slot while resident
+    std::int64_t admission_order = -1;
+    std::int64_t wait_since_tick = 0;
+    bool ever_admitted = false;
+    RequestOutcome outcome;
+
+    explicit Sequence(llama::Sampler s) : sampler(std::move(s)) {}
+
+    std::int32_t remaining_prefill() const {
+      return static_cast<std::int32_t>(fed.size()) - cursor;
+    }
+    bool budget_left() const {
+      return static_cast<std::int32_t>(outcome.generated.size()) <
+             request->max_new_tokens;
+    }
+  };
+
+  void ScheduleTick(sim::Cycles at);
+  void RunTick();
+  std::vector<std::size_t> AdmissionCandidates() const;
+  bool EnsureKvToken(std::size_t seq_id);
+  void Preempt(std::size_t victim);
+  int AcquireSlot();
+  void ReleaseSlot(Sequence& seq);
+  bool ForwardToken(Sequence& seq, std::int32_t token, std::int32_t pos,
+                    std::span<const float>* logits);
+  void SampleNext(Sequence& seq, std::span<const float> logits);
+  void FinishSequence(std::size_t seq_id);
+  sim::Cycles SecondsToCycles(double seconds) const;
+
+  const accel::Program& program_;
+  const llama::Weights& weights_;
+  const hw::U280Config& u280_;
+  SchedulerConfig config_;
+  double shared_seconds_ = 0.0;
+
+  sim::Engine& engine_;
+  KvBlockPool pool_;
+  std::vector<Sequence> seqs_;          // one per submitted request
+  std::deque<std::size_t> waiting_;     // arrived, not resident (local ids)
+  std::vector<std::size_t> residents_;  // admission order (local ids)
+  std::vector<std::unique_ptr<accel::Executor>> slots_;
+  std::vector<int> free_slots_;
+  std::vector<float> sample_scratch_;
+  std::function<void()> kv_pressure_hook_;
+
+  bool tick_pending_ = false;
+  bool kv_blocked_ = false;  // this tick hit pool exhaustion
+  std::int64_t outstanding_tokens_ = 0;    // see outstanding_tokens()
+  std::int64_t queued_demand_blocks_ = 0;  // never-admitted waiting demand
+  std::int64_t tick_index_ = 0;
+  std::int64_t next_admission_ = 0;
+  std::size_t rr_offset_ = 0;
+  sim::Cycles last_tick_end_cycles_ = 0;
+  double busy_seconds_ = 0.0;
+  double tick_max_shared_ = 0.0;
+  double tick_marginal_ = 0.0;
+  std::int64_t width_sum_ = 0;
+  Status error_;
+  ServingReport report_;
+};
+
+}  // namespace speedllm::serving

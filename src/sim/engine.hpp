@@ -19,6 +19,14 @@ using Cycles = std::uint64_t;
 
 /// Event-driven simulator. Deterministic: ties in time break by
 /// scheduling order (FIFO), never by heap internals.
+///
+/// The FIFO tie-break is a global sequence across every client of the
+/// engine, which is what makes *multi-consumer* schedules reproducible:
+/// when N independent consumers (e.g. per-card serving shards) chain
+/// events on one shared engine, same-cycle events interleave in exactly
+/// the order they were scheduled, independent of consumer count or heap
+/// layout. Run() must only be driven from one place; consumers inject
+/// work via ScheduleAt/ScheduleNow from inside callbacks.
 class Engine {
  public:
   using Callback = std::function<void()>;
@@ -33,6 +41,11 @@ class Engine {
   void ScheduleAfter(Cycles delay, Callback fn) {
     ScheduleAt(now_ + delay, std::move(fn));
   }
+
+  /// Schedules `fn` at the current time, behind every event already
+  /// queued for this cycle (FIFO) -- defers follow-up work until the
+  /// in-flight same-cycle batch settles.
+  void ScheduleNow(Callback fn) { ScheduleAt(now_, std::move(fn)); }
 
   /// Runs until the event queue drains. Returns the final time.
   Cycles Run();

@@ -1,0 +1,416 @@
+// Unit tests for the multi-card cluster router (serving/cluster.hpp):
+// the shared-clock determinism invariant (byte-identical token streams
+// for 1 vs N cards under every placement policy, including under forced
+// preemption), placement-policy routing, queued-request rebalancing,
+// per-card accounting, and the scale-out throughput win.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/compiler.hpp"
+#include "llama/tokenizer.hpp"
+#include "runtime/serving.hpp"
+#include "runtime/variants.hpp"
+#include "serving/cluster.hpp"
+#include "serving/workload.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+
+  accel::Program Compile(runtime::Variant v = runtime::Variant::kSpeedLLM) {
+    auto r = compiler::Compile(config, runtime::OptionsFor(v), u280);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value().program;
+  }
+};
+
+ServingRequest MakeRequest(std::int32_t prompt_len, std::int32_t gen,
+                           double arrival, std::int32_t salt = 0) {
+  ServingRequest req;
+  req.prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < prompt_len; ++t) {
+    req.prompt.push_back(3 + (salt * 31 + t * 7) % 500);
+  }
+  req.max_new_tokens = gen;
+  req.arrival_seconds = arrival;
+  return req;
+}
+
+std::vector<ServingRequest> MixedTrace(const llama::ModelConfig& config,
+                                       int n) {
+  Rng rng(4242);
+  WorkloadConfig wc;
+  wc.num_requests = n;
+  wc.rate_rps = 3000.0;
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 10;
+  wc.min_new_tokens = 4;
+  wc.max_new_tokens = 10;
+  wc.vocab_size = config.vocab_size;
+  return PoissonTrace(rng, wc);
+}
+
+constexpr PlacementPolicy kAllPlacements[] = {
+    PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstandingTokens,
+    PlacementPolicy::kBestFitFreeKv};
+
+// ---------------- determinism: 1 vs N cards ----------------
+
+TEST(ClusterTest, TokenStreamsIdenticalForOneVsNCardsUnderEveryPolicy) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 9);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.9f;  // stochastic sampling: the strictest stream test
+  sc.seed = 13;
+
+  ContinuousBatchScheduler single(prog, f.weights, f.u280);
+  auto baseline = single.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (PlacementPolicy placement : kAllPlacements) {
+    for (int cards : {1, 2, 3, 4}) {
+      ClusterConfig config;
+      config.placement = placement;
+      ClusterRouter router(prog, f.weights,
+                           hw::MultiCardConfig::Homogeneous(f.u280, cards),
+                           config);
+      auto report = router.Run(reqs, sc);
+      ASSERT_TRUE(report.ok())
+          << PlacementPolicyName(placement) << " x" << cards << ": "
+          << report.status().ToString();
+      ASSERT_EQ(report->merged.outcomes.size(), reqs.size());
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(report->merged.outcomes[i].generated,
+                  baseline->outcomes[i].generated)
+            << PlacementPolicyName(placement) << " x" << cards
+            << " request " << i;
+      }
+    }
+  }
+}
+
+TEST(ClusterTest, DeterministicAcrossRuns) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 8);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.8f;
+  sc.seed = 21;
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kLeastOutstandingTokens;
+
+  auto run = [&] {
+    ClusterRouter router(prog, f.weights,
+                         hw::MultiCardConfig::Homogeneous(f.u280, 3), config);
+    return router.Run(reqs, sc);
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->shard_of_request, b->shard_of_request);
+  EXPECT_EQ(a->rebalanced_requests, b->rebalanced_requests);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(a->merged.outcomes[i].generated,
+              b->merged.outcomes[i].generated);
+    EXPECT_DOUBLE_EQ(a->merged.outcomes[i].completion_seconds,
+                     b->merged.outcomes[i].completion_seconds);
+  }
+}
+
+TEST(ClusterTest, StreamsSurviveForcedPreemptionOnEveryPolicy) {
+  Fixture f;
+  auto prog = f.Compile();
+  const std::uint32_t bytes_per_token = KvBytesPerToken(f.config);
+  // 8 blocks of 4 tokens per card: three 16-token sequences cannot all be
+  // resident on one card, so decode pressure forces swap-by-recompute.
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 6; ++i) reqs.push_back(MakeRequest(4, 12, 0.0, i));
+  llama::SamplerConfig sc;
+  sc.temperature = 0.85f;
+  sc.seed = 5;
+
+  ContinuousBatchScheduler roomy(prog, f.weights, f.u280);
+  auto baseline = roomy.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok());
+
+  for (PlacementPolicy placement : kAllPlacements) {
+    ClusterConfig config;
+    config.placement = placement;
+    config.shard.block_size_tokens = 4;
+    config.shard.kv_pool_bytes = 8ull * 4 * bytes_per_token;
+    config.shard.max_batch_tokens = 32;
+    ClusterRouter router(prog, f.weights,
+                         hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+    auto report = router.Run(reqs, sc);
+    ASSERT_TRUE(report.ok())
+        << PlacementPolicyName(placement) << ": "
+        << report.status().ToString();
+    EXPECT_GT(report->merged.preemptions, 0)
+        << PlacementPolicyName(placement);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(report->merged.outcomes[i].generated,
+                baseline->outcomes[i].generated)
+          << PlacementPolicyName(placement) << " request " << i;
+    }
+  }
+}
+
+// ---------------- placement policies ----------------
+
+TEST(ClusterTest, RoundRobinAlternatesCards) {
+  Fixture f;
+  auto prog = f.Compile();
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 6; ++i) reqs.push_back(MakeRequest(4, 3, 0.0, i));
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 3), {});
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shard_of_request,
+            (std::vector<std::int32_t>{0, 1, 2, 0, 1, 2}));
+  EXPECT_EQ(report->rebalanced_requests, 0);
+}
+
+TEST(ClusterTest, LeastOutstandingRoutesAwayFromBusyCard) {
+  Fixture f;
+  auto prog = f.Compile();
+  // One heavy request arrives first; the next three arrive while it is
+  // still running and must spread to the idler cards.
+  std::vector<ServingRequest> reqs = {MakeRequest(10, 24, 0.0, 0),
+                                      MakeRequest(4, 4, 0.0001, 1),
+                                      MakeRequest(4, 4, 0.0001, 2),
+                                      MakeRequest(4, 4, 0.0001, 3)};
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kLeastOutstandingTokens;
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shard_of_request[0], 0);
+  // The heavy request owes 34 tokens; every light request (8 tokens) must
+  // land on card 1 until card 1's backlog catches up.
+  EXPECT_EQ(report->shard_of_request[1], 1);
+  EXPECT_EQ(report->shard_of_request[2], 1);
+}
+
+TEST(ClusterTest, BestFitRoutesToCardWithMostFreeKv) {
+  Fixture f;
+  auto prog = f.Compile();
+  const std::uint32_t bytes_per_token = KvBytesPerToken(f.config);
+  std::vector<ServingRequest> reqs = {MakeRequest(4, 4, 0.0, 0),
+                                      MakeRequest(4, 4, 0.0, 1)};
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kBestFitFreeKv;
+  config.shard.block_size_tokens = 4;
+  // Card 1 has twice card 0's pool: the first request ties (16 vs 32
+  // blocks -> card 1 wins outright), and with queued demand projected the
+  // second must also prefer card 1's larger headroom.
+  config.kv_pool_bytes_per_card = {16ull * 4 * bytes_per_token,
+                                   32ull * 4 * bytes_per_token};
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shard_of_request[0], 1);  // most headroom
+  // After projecting request 0's footprint (2 blocks) card 1 still has
+  // 30 > 16 free, so request 1 follows.
+  EXPECT_EQ(report->shard_of_request[1], 1);
+}
+
+// ---------------- rebalancing ----------------
+
+TEST(ClusterTest, QueuedRequestsMigrateOffDryCard) {
+  Fixture f;
+  auto prog = f.Compile();
+  const std::uint32_t bytes_per_token = KvBytesPerToken(f.config);
+  // Card 0's pool holds one 8-token sequence (2 blocks); card 1's holds
+  // sixteen. Round-robin pins half the burst on the starved card 0, whose
+  // queue must drain to card 1 when its pool runs dry.
+  llama::SamplerConfig sc;
+  sc.temperature = 0.7f;
+  sc.seed = 3;
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 8; ++i) reqs.push_back(MakeRequest(4, 4, 0.0, i));
+
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kRoundRobin;
+  config.shard.block_size_tokens = 4;
+  config.kv_pool_bytes_per_card = {2ull * 4 * bytes_per_token,
+                                   32ull * 4 * bytes_per_token};
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->rebalanced_requests, 0);
+  // Migrated requests are served by card 1 and complete with the same
+  // streams as an unconstrained single card.
+  ContinuousBatchScheduler single(prog, f.weights, f.u280);
+  auto baseline = single.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(report->merged.outcomes[i].generated,
+              baseline->outcomes[i].generated)
+        << "request " << i;
+    EXPECT_EQ(report->merged.outcomes[i].generated.size(), 4u);
+  }
+
+  // With rebalancing off the same workload still completes (preemption
+  // keeps card 0 live), but nothing migrates.
+  config.rebalance_queued = false;
+  ClusterRouter frozen(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto frozen_report = frozen.Run(reqs, sc);
+  ASSERT_TRUE(frozen_report.ok()) << frozen_report.status().ToString();
+  EXPECT_EQ(frozen_report->rebalanced_requests, 0);
+  EXPECT_GE(frozen_report->merged.makespan_seconds,
+            report->merged.makespan_seconds);
+}
+
+// ---------------- accounting ----------------
+
+TEST(ClusterTest, PerCardAccountingIsConsistent) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 10);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 4), {});
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::int64_t shard_tokens = 0;
+  std::size_t shard_outcomes = 0;
+  double max_shard_makespan = 0.0;
+  for (const ServingReport& shard : report->shard_reports) {
+    shard_tokens += shard.total_tokens;
+    shard_outcomes += shard.outcomes.size();
+    max_shard_makespan = std::max(max_shard_makespan, shard.makespan_seconds);
+  }
+  EXPECT_EQ(shard_tokens, report->merged.total_tokens);
+  EXPECT_EQ(shard_outcomes, reqs.size());
+  EXPECT_DOUBLE_EQ(max_shard_makespan, report->merged.makespan_seconds);
+  ASSERT_EQ(report->card_utilization.size(), 4u);
+  for (double u : report->card_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GE(report->imbalance(), 1.0);
+  for (std::int32_t s : report->shard_of_request) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+  }
+}
+
+TEST(ClusterTest, ValidatesCardsAndRequests) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+
+  // Heterogeneous clocks are rejected: one shared cycle clock.
+  hw::MultiCardConfig skewed = hw::MultiCardConfig::Homogeneous(f.u280, 2);
+  skewed.cards[1].clock_mhz = 450.0;
+  ClusterRouter bad_clock(prog, f.weights, skewed, {});
+  EXPECT_EQ(bad_clock.Run({MakeRequest(4, 4, 0.0)}, sc).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ClusterRouter empty_cluster(prog, f.weights, hw::MultiCardConfig{}, {});
+  EXPECT_EQ(empty_cluster.Run({MakeRequest(4, 4, 0.0)}, sc).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A request that cannot fit the smallest card's pool is rejected up
+  // front: placement and rebalancing must be free to use any card.
+  ClusterConfig tight;
+  tight.shard.block_size_tokens = 4;
+  tight.kv_pool_bytes_per_card = {
+      32ull * 4 * KvBytesPerToken(f.config),
+      2ull * 4 * KvBytesPerToken(f.config)};  // 8 tokens max on card 1
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), tight);
+  EXPECT_EQ(router.Run({MakeRequest(6, 6, 0.0)}, sc).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Empty workload is trivially fine.
+  EXPECT_TRUE(router.Run({}, sc).ok());
+}
+
+// ---------------- the scale-out win ----------------
+
+TEST(ClusterTest, FourCardsBeatOneCardAtSaturatingLoad) {
+  Fixture f;
+  auto prog = f.Compile();
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 32; ++i) reqs.push_back(MakeRequest(6, 8, 0.0, i));
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+
+  ClusterRouter one(prog, f.weights,
+                    hw::MultiCardConfig::Homogeneous(f.u280, 1), {});
+  auto one_report = one.Run(reqs, sc);
+  ASSERT_TRUE(one_report.ok());
+
+  ClusterRouter four(prog, f.weights,
+                     hw::MultiCardConfig::Homogeneous(f.u280, 4), {});
+  auto four_report = four.Run(reqs, sc);
+  ASSERT_TRUE(four_report.ok());
+
+  EXPECT_GT(four_report->merged.device_tokens_per_second,
+            2.0 * one_report->merged.device_tokens_per_second);
+  EXPECT_LT(four_report->merged.makespan_seconds,
+            one_report->merged.makespan_seconds);
+  EXPECT_LE(four_report->imbalance(), 2.0);  // round-robin spreads a
+                                             // uniform burst evenly
+}
+
+// ---------------- runtime wrapper ----------------
+
+TEST(ClusterTest, ServingSimulatorExposesNumCards) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 6);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.6f;
+  sc.seed = 77;
+
+  runtime::ServingSimulator single(prog, f.weights, f.u280);
+  auto single_report = single.Run(reqs, sc);
+  ASSERT_TRUE(single_report.ok());
+
+  runtime::ServingSimulator sharded(
+      prog, f.weights, f.u280, runtime::ServingMode::kContinuousBatching, {},
+      /*num_cards=*/3, PlacementPolicy::kBestFitFreeKv);
+  EXPECT_EQ(sharded.num_cards(), 3);
+  auto sharded_report = sharded.Run(reqs, sc);
+  ASSERT_TRUE(sharded_report.ok()) << sharded_report.status().ToString();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(sharded_report->outcomes[i].generated,
+              single_report->outcomes[i].generated);
+  }
+
+  auto cluster_report = sharded.RunCluster(reqs, sc);
+  ASSERT_TRUE(cluster_report.ok());
+  EXPECT_EQ(cluster_report->shard_reports.size(), 3u);
+
+  runtime::ServingSimulator legacy(prog, f.weights, f.u280,
+                                   runtime::ServingMode::kLegacyRoundRobin);
+  EXPECT_EQ(legacy.RunCluster(reqs, sc).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace speedllm::serving

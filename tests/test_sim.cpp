@@ -83,6 +83,25 @@ TEST(EngineTest, NowAdvancesMonotonically) {
   eng.Run();
 }
 
+TEST(EngineTest, MultiConsumerInterleavingIsFifoDeterministic) {
+  // N independent consumers chaining same-cycle events on one shared
+  // engine (the cluster-serving shape) must interleave in scheduling
+  // order, regardless of how many consumers there are.
+  std::vector<int> order;
+  Engine eng;
+  for (int consumer = 0; consumer < 3; ++consumer) {
+    eng.ScheduleAt(10, [&, consumer] {
+      order.push_back(consumer);
+      // Same-cycle follow-up work lands behind everything already queued
+      // for this cycle.
+      eng.ScheduleNow([&, consumer] { order.push_back(consumer + 100); });
+    });
+  }
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 100, 101, 102}));
+  EXPECT_EQ(eng.now(), 10u);
+}
+
 // ---------------- Station ----------------
 
 TEST(StationTest, SerializesJobs) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI bench smoke.
+
+Reads one or more bench result files (written by a bench binary's
+``--json`` flag, schema ``{"bench": <name>, "metrics": {<key>: <value>}}``)
+and compares them against the checked-in floors in ``ci/perf_floor.json``
+(schema ``{<bench>: {<metric>: <floor>}}``). The job fails when any
+floored metric is missing or lands below its floor.
+
+The benches report *simulated* device throughput, so the numbers are
+deterministic for a given (workload, seed): a drop means a scheduling or
+timing-model regression, not host noise. Floors are set ~30% below the
+values measured when the floor was last updated, leaving headroom for
+intentional model retunes while still catching order-of-magnitude
+regressions.
+
+Usage:
+    tools/check_bench.py --floors ci/perf_floor.json result.json [...]
+
+Raising a floor (after a deliberate perf win) or lowering it (after a
+deliberate model retune) is a normal, reviewable diff to
+ci/perf_floor.json.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_bench: cannot read {path}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--floors", required=True,
+                        help="JSON file mapping bench -> metric -> floor")
+    parser.add_argument("results", nargs="+",
+                        help="bench result JSON files (--json output)")
+    args = parser.parse_args()
+
+    floors = load_json(args.floors)
+    if not isinstance(floors, dict):
+        sys.exit(f"check_bench: {args.floors} must map bench -> metric -> floor")
+
+    seen = set()
+    failures = []
+    rows = []
+    for path in args.results:
+        result = load_json(path)
+        bench = result.get("bench")
+        metrics = result.get("metrics", {})
+        if not isinstance(bench, str) or not isinstance(metrics, dict):
+            sys.exit(f"check_bench: {path} is not a bench result "
+                     '({"bench": ..., "metrics": {...}})')
+        seen.add(bench)
+        for metric, floor in sorted(floors.get(bench, {}).items()):
+            value = metrics.get(metric)
+            if value is None:
+                failures.append(f"{bench}.{metric}: missing from {path}")
+                rows.append((bench, metric, "missing", floor, "FAIL"))
+                continue
+            ok = value >= floor
+            rows.append((bench, metric, f"{value:.1f}", floor,
+                         "ok" if ok else "FAIL"))
+            if not ok:
+                failures.append(
+                    f"{bench}.{metric}: {value:.1f} is below the floor "
+                    f"{floor:.1f}")
+
+    for bench in sorted(set(floors) - seen):
+        failures.append(f"bench '{bench}' has floors but no result file")
+
+    width = max((len(f"{b}.{m}") for b, m, *_ in rows), default=10)
+    for bench, metric, value, floor, verdict in rows:
+        print(f"{bench + '.' + metric:<{width}}  value={value:>12}  "
+              f"floor={floor:>10.1f}  {verdict}")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: all {len(rows)} floored metrics hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
