@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   std::vector<serving::ServingRequest> probe;
   for (int i = 0; i < 8; ++i) {
     probe.push_back(
-        serving::ServingRequest{bench::MakePrompt(config, 8), gen, 0.0});
+        serving::ServingRequest{bench::MakePrompt(config, 8), gen, 0.0, {}});
   }
   serving::ContinuousBatchScheduler probe_sched(program, weights, u280);
   auto probe_report = probe_sched.Run(probe, sampler);

@@ -14,9 +14,12 @@
 // --json writes {"bench": "serving_batching", "metrics": {...}} for the
 // CI artifact upload and the tools/check_bench.py regression gate.
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "bench_util.hpp"
 #include "compiler/compiler.hpp"
 #include "runtime/serving.hpp"
@@ -86,7 +89,7 @@ int main(int argc, char** argv) {
 
   // Probe the single-stream rate so offered load is model-independent.
   std::vector<serving::ServingRequest> probe = {serving::ServingRequest{
-      bench::MakePrompt(config, 8), gen, 0.0}};
+      bench::MakePrompt(config, 8), gen, 0.0, {}}};
   auto probe_report = RunOnce(program, weights, u280, probe,
                               runtime::ServingMode::kLegacyRoundRobin);
   if (!probe_report.ok()) {
@@ -215,12 +218,108 @@ int main(int argc, char** argv) {
       "preemptions under pressure); large blocks shorten block tables.\n",
       best_speedup);
 
+  // ---- open-loop vs closed-loop tail latency (api::Engine streaming).
+  //
+  // The Poisson sweeps above are open-loop: arrivals ignore completions,
+  // so past saturation the queue -- and tail latency -- grows without
+  // bound. Real users are closed-loop: each waits for its answer plus a
+  // think-time gap before asking again, so offered load self-throttles.
+  // Same request mix, same card, drastically different p99.
+  std::printf("\n== open-loop vs closed-loop at matched demand ==\n\n");
+  const std::int32_t cl_users = 8;
+  const std::int32_t cl_turns = std::max(1, n_requests / cl_users);
+  serving::ClosedLoopConfig loop;
+  loop.num_users = cl_users;
+  loop.requests_per_user = cl_turns;
+  // Users think for ~2 mean service times between turns.
+  loop.mean_think_seconds = 2.0 * tokens_per_req /
+                            probe_report->device_tokens_per_second;
+  loop.min_prompt_tokens = wc.min_prompt_tokens;
+  loop.max_prompt_tokens = wc.max_prompt_tokens;
+  loop.min_new_tokens = wc.min_new_tokens;
+  loop.max_new_tokens = wc.max_new_tokens;
+  loop.vocab_size = wc.vocab_size;
+
+  api::EngineConfig engine_config;
+  engine_config.sampler.temperature = 0.0f;
+  api::Engine engine(program, weights, u280, engine_config);
+  serving::ClosedLoopClientPool pool(seed, loop);
+  std::function<void(std::int32_t, serving::ServingRequest)> issue =
+      [&](std::int32_t user, serving::ServingRequest request) {
+        api::StreamCallbacks callbacks;
+        callbacks.on_finish = [&, user](api::RequestHandle, api::FinishReason,
+                                        const serving::RequestOutcome&) {
+          if (auto next = pool.OnFinish(user, engine.now_seconds())) {
+            issue(user, std::move(*next));
+          }
+        };
+        auto handle = engine.Submit(std::move(request), std::move(callbacks));
+        if (!handle.ok()) {
+          std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+          std::exit(1);
+        }
+      };
+  for (std::int32_t u = 0; u < cl_users; ++u) {
+    if (auto first = pool.StartUser(u)) issue(u, std::move(*first));
+  }
+  engine.RunToCompletion();
+  auto closed_or = engine.Finish();
+  if (!closed_or.ok()) {
+    std::fprintf(stderr, "%s\n", closed_or.status().ToString().c_str());
+    return 1;
+  }
+  const serving::ServingReport& closed = closed_or->merged;
+
+  // The open-loop comparison offers the same number of requests at the
+  // closed-loop run's realized rate -- without the feedback loop.
+  serving::WorkloadConfig open_wc = wc;
+  open_wc.num_requests = cl_users * cl_turns;
+  open_wc.rate_rps = closed.makespan_seconds > 0.0
+                         ? static_cast<double>(closed.outcomes.size()) /
+                               closed.makespan_seconds
+                         : saturation_rps;
+  Rng open_rng(seed);
+  auto open_reqs = serving::PoissonTrace(open_rng, open_wc);
+  auto open = RunOnce(program, weights, u280, open_reqs,
+                      runtime::ServingMode::kContinuousBatching, {});
+  if (!open.ok()) {
+    std::fprintf(stderr, "%s\n", open.status().ToString().c_str());
+    return 1;
+  }
+
+  Table closed_table({"workload", "requests", "tok_per_s", "p99_ttft_ms",
+                      "p99_latency_ms", "mean_width"});
+  const auto add_loop_row = [&](const char* label,
+                                const serving::ServingReport& r) {
+    closed_table.AddRow();
+    closed_table.Cell(label);
+    closed_table.Cell(static_cast<std::int64_t>(r.outcomes.size()));
+    closed_table.Cell(r.device_tokens_per_second, 1);
+    closed_table.Cell(r.ttft_percentile(0.99) * 1e3, 2);
+    closed_table.Cell(r.latency_percentile(0.99) * 1e3, 2);
+    closed_table.Cell(r.mean_batch_width, 2);
+  };
+  add_loop_row("open-loop", *open);
+  add_loop_row("closed-loop", closed);
+  closed_table.Print();
+
+  const double closed_tps = closed.device_tokens_per_second;
+  const double closed_p99_ms = closed.latency_percentile(0.99) * 1e3;
+  std::printf(
+      "\nClosed-loop users (%d x %d turns, think ~%.2f ms) cap their own "
+      "concurrency, so p99 latency stays bounded where the open-loop "
+      "trace queues.\n",
+      cl_users, cl_turns, loop.mean_think_seconds * 1e3);
+
   const std::string json_path = cl.GetString("json", "");
   if (!json_path.empty() &&
-      !bench::WriteBenchJson(json_path, "serving_batching",
-                             {{"batching_tokens_per_second", best_batched_tps},
-                              {"legacy_tokens_per_second", best_legacy_tps},
-                              {"batching_speedup", best_speedup}})) {
+      !bench::WriteBenchJson(
+          json_path, "serving_batching",
+          {{"batching_tokens_per_second", best_batched_tps},
+           {"legacy_tokens_per_second", best_legacy_tps},
+           {"batching_speedup", best_speedup},
+           {"closed_loop_tokens_per_second", closed_tps},
+           {"closed_loop_p99_latency_ms", closed_p99_ms}})) {
     return 1;
   }
   return best_speedup > 1.0 ? 0 : 1;

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   std::vector<serving::ServingRequest> probe;
   for (int i = 0; i < 8; ++i) {
     probe.push_back(serving::ServingRequest{
-        {llama::kBosToken, 300, 301, 302, 303, 304, 305, 306}, 12, 0.0});
+        {llama::kBosToken, 300, 301, 302, 303, 304, 305, 306}, 12, 0.0, {}});
   }
   llama::SamplerConfig sampler;
   sampler.temperature = 0.8f;

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   sampler.temperature = 0.8f;
   sampler.seed = 99;
   std::vector<serving::ServingRequest> probe = {
-      serving::ServingRequest{{llama::kBosToken, 300, 301, 302}, 12, 0.0}};
+      serving::ServingRequest{{llama::kBosToken, 300, 301, 302}, 12, 0.0, {}}};
   auto probe_report = probe_sim.Run(probe, sampler);
   if (!probe_report.ok()) {
     std::fprintf(stderr, "%s\n", probe_report.status().ToString().c_str());

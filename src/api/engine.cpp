@@ -1,0 +1,154 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "serving/shard.hpp"
+
+namespace speedllm::api {
+
+namespace {
+
+serving::ClusterConfig ToClusterConfig(const EngineConfig& config) {
+  serving::ClusterConfig cluster;
+  cluster.placement = config.placement;
+  cluster.shard = config.scheduler;
+  cluster.kv_pool_bytes_per_card = config.kv_pool_bytes_per_card;
+  cluster.rebalance_queued = config.rebalance_queued;
+  return cluster;
+}
+
+}  // namespace
+
+Engine::Engine(const accel::Program& program, const llama::Weights& weights,
+               const hw::U280Config& u280, EngineConfig config)
+    : Engine(program, weights,
+             hw::MultiCardConfig::Homogeneous(u280,
+                                              std::max(1, config.num_cards)),
+             std::move(config)) {}
+
+Engine::Engine(const accel::Program& program, const llama::Weights& weights,
+               hw::MultiCardConfig cards, EngineConfig config)
+    : program_(program),
+      weights_(weights),
+      cards_(std::move(cards)),
+      config_(std::move(config)),
+      setup_(cards_.Validate()) {
+  if (!setup_.ok()) return;
+  session_ = std::make_unique<serving::ClusterSession>(
+      program_, weights_, cards_, ToClusterConfig(config_), config_.sampler);
+  session_->set_emission_hooks(
+      [this](std::size_t stream, std::int32_t token, double t) {
+        const Entry& entry = entries_[stream];
+        if (entry.callbacks.on_token) {
+          entry.callbacks.on_token(RequestHandle{stream + 1}, token, t);
+        }
+      },
+      [this](std::size_t stream, FinishReason reason,
+             const serving::RequestOutcome& outcome, double t) {
+        (void)t;
+        Entry& entry = entries_[stream];
+        entry.finished = true;
+        ++finished_requests_;
+        // Release the finished stream's footprint (closures + prompt
+        // storage): a long-lived engine must not grow with every request
+        // it ever served. The on_finish closure moves to a local so it
+        // survives its own invocation. Cancelled finishes fire
+        // synchronously -- possibly from inside this stream's own
+        // on_token frame -- so only a delivered (asynchronous) finish
+        // may destroy the on_token closure.
+        auto on_finish = std::move(entry.callbacks.on_finish);
+        entry.callbacks.on_finish = nullptr;
+        if (reason != FinishReason::kCancelled) {
+          entry.callbacks.on_token = nullptr;
+        }
+        serving::ServingRequest& request = requests_[stream];
+        request.prompt.clear();
+        request.prompt.shrink_to_fit();
+        request.stop_tokens.clear();
+        request.stop_tokens.shrink_to_fit();
+        if (on_finish) {
+          on_finish(RequestHandle{stream + 1}, reason, outcome);
+        }
+      });
+}
+
+Engine::~Engine() = default;
+
+StatusOr<RequestHandle> Engine::Submit(serving::ServingRequest request,
+                                       StreamCallbacks callbacks) {
+  if (!setup_.ok()) return setup_;
+  if (harvested_) {
+    return FailedPrecondition("engine already finished: Submit after Finish");
+  }
+  const std::size_t stream = entries_.size();
+  SPEEDLLM_RETURN_IF_ERROR(session_->Validate(
+      request, "request " + std::to_string(stream)));
+  // A request submitted "now" (or with a stale arrival) joins the
+  // timeline at the current simulated time; future arrivals wait.
+  request.arrival_seconds =
+      std::max(request.arrival_seconds, session_->now_seconds());
+  requests_.push_back(std::move(request));
+  entries_.push_back(Entry{std::move(callbacks), false});
+  session_->SubmitAt(&requests_.back(), stream,
+                     session_->SecondsToCycles(requests_.back().arrival_seconds));
+  return RequestHandle{stream + 1};
+}
+
+Status Engine::Cancel(RequestHandle handle) {
+  if (!setup_.ok()) return setup_;
+  if (!handle.valid() || handle.id > entries_.size()) {
+    return NotFound("unknown request handle");
+  }
+  return session_->Cancel(static_cast<std::size_t>(handle.id - 1));
+}
+
+void Engine::StepUntil(double t_seconds) {
+  if (session_ == nullptr) return;
+  session_->engine().RunUntil(session_->SecondsToCycles(t_seconds));
+}
+
+void Engine::RunToCompletion() {
+  if (session_ == nullptr) return;
+  session_->engine().Run();
+}
+
+double Engine::now_seconds() const {
+  return session_ == nullptr ? 0.0 : session_->now_seconds();
+}
+
+bool Engine::idle() const {
+  return session_ == nullptr || session_->engine().Idle();
+}
+
+int Engine::num_cards() const { return cards_.num_cards(); }
+
+bool Engine::finished(RequestHandle handle) const {
+  if (!handle.valid() || handle.id > entries_.size()) return false;
+  return entries_[static_cast<std::size_t>(handle.id - 1)].finished;
+}
+
+std::int64_t Engine::kv_blocks_in_use(int card) const {
+  return session_ == nullptr ? 0 : session_->shard(card).pool().used_blocks();
+}
+
+std::int64_t Engine::kv_block_capacity(int card) const {
+  return session_ == nullptr ? 0 : session_->shard(card).pool().num_blocks();
+}
+
+StatusOr<serving::ClusterReport> Engine::Finish() {
+  if (!setup_.ok()) return setup_;
+  if (harvested_) {
+    return FailedPrecondition("Finish() may only be called once");
+  }
+  if (!session_->engine().Idle()) {
+    return FailedPrecondition(
+        "engine still has pending work: RunToCompletion() before Finish()");
+  }
+  SPEEDLLM_RETURN_IF_ERROR(session_->Finalize());
+  harvested_ = true;
+  return session_->Harvest();
+}
+
+}  // namespace speedllm::api

@@ -1,0 +1,169 @@
+// SpeedLLM -- online streaming engine facade (the public serving API).
+//
+// speedllm::api::Engine turns the batch-offline serving stack into an
+// online engine in the style of vLLM's LLMEngine: clients Submit()
+// requests at any simulated time and get a RequestHandle back, tokens
+// stream out through per-request callbacks as the shared clock advances,
+// Cancel() aborts a request mid-flight (its KV blocks free immediately
+// and its stream never emits again), and stop-token/EOS hits end
+// generation early with FinishReason::kStop. The caller drives time
+// explicitly -- StepUntil(t) for incremental/interactive loops,
+// RunToCompletion() to drain -- which is what lets closed-loop clients
+// issue their next request from inside an on_finish callback.
+//
+// The facade layers over serving::ClusterSession: one shared sim::Engine
+// clock, N per-card ShardScheduler instances, pluggable placement and
+// queued-request rebalancing. A single card is a cluster of one, and
+// runtime::ServingSimulator is now a thin offline shim over this class
+// (submit the whole trace, RunToCompletion, Finish), so offline and
+// online paths share every line of scheduling logic and produce
+// byte-identical token streams.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "accel/program.hpp"
+#include "common/status.hpp"
+#include "hw/cluster.hpp"
+#include "llama/sampler.hpp"
+#include "llama/weights.hpp"
+#include "serving/cluster.hpp"
+#include "serving/request.hpp"
+#include "serving/scheduler.hpp"
+
+namespace speedllm::api {
+
+using serving::FinishReason;
+
+/// Opaque ticket for one submitted request. Valid handles are never
+/// reused within an Engine's lifetime.
+struct RequestHandle {
+  std::uint64_t id = 0;  // 1-based; 0 is the invalid handle
+
+  bool valid() const { return id != 0; }
+  friend bool operator==(RequestHandle a, RequestHandle b) {
+    return a.id == b.id;
+  }
+  friend bool operator!=(RequestHandle a, RequestHandle b) {
+    return a.id != b.id;
+  }
+};
+
+/// Per-request stream observers. Either may be empty. `on_token` fires
+/// once per generated token at the simulated end of the tick that
+/// committed it; `on_finish` fires exactly once, after the last token,
+/// with the finish reason and the final outcome (valid for the duration
+/// of the callback). Callbacks run under the simulated clock and may
+/// reentrantly Submit() or Cancel() -- that is how closed-loop clients
+/// chain their next request.
+struct StreamCallbacks {
+  std::function<void(RequestHandle handle, std::int32_t token,
+                     double time_seconds)>
+      on_token;
+  std::function<void(RequestHandle handle, FinishReason reason,
+                     const serving::RequestOutcome& outcome)>
+      on_finish;
+};
+
+struct EngineConfig {
+  /// Cards to shard across (U280Config constructor only; the
+  /// MultiCardConfig constructor derives it from the card list).
+  int num_cards = 1;
+  serving::SchedulerConfig scheduler;
+  serving::PlacementPolicy placement = serving::PlacementPolicy::kRoundRobin;
+  /// Default sampling parameters; per-request streams are seeded from
+  /// `sampler.seed` + submission index so they stay independent of batch
+  /// composition, card count, and preemption schedule.
+  llama::SamplerConfig sampler;
+  /// Optional per-card KV pool override in bytes (0 / missing entries
+  /// fall back to `scheduler.kv_pool_bytes` / HBM derivation).
+  std::vector<std::uint64_t> kv_pool_bytes_per_card;
+  /// Migrate queued (never-prefilled) requests away from a dry shard.
+  bool rebalance_queued = true;
+};
+
+class Engine {
+ public:
+  /// `program` and `weights` must outlive the engine. The U280Config
+  /// overload serves `config.num_cards` identical cards.
+  Engine(const accel::Program& program, const llama::Weights& weights,
+         const hw::U280Config& u280, EngineConfig config = {});
+  Engine(const accel::Program& program, const llama::Weights& weights,
+         hw::MultiCardConfig cards, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ----- submission -----
+  /// Validates and enqueues `request`; its arrival event fires at
+  /// `request.arrival_seconds` (clamped up to the current simulated time,
+  /// so callbacks can submit "now" with the default arrival of 0).
+  /// Returns InvalidArgument for empty prompts, non-positive
+  /// max_new_tokens, or negative/non-finite arrivals; OutOfRange /
+  /// ResourceExhausted when the request can never fit the model or the
+  /// smallest card's KV pool; FailedPrecondition after Finish().
+  StatusOr<RequestHandle> Submit(serving::ServingRequest request,
+                                 StreamCallbacks callbacks = {});
+
+  /// Aborts an in-flight request: frees its KV blocks and executor slot,
+  /// guarantees no further on_token, and fires on_finish with
+  /// FinishReason::kCancelled before returning. NotFound for unknown
+  /// handles, FailedPrecondition when the request already finished.
+  Status Cancel(RequestHandle handle);
+
+  // ----- driving the clock -----
+  /// Runs every event scheduled at or before `t_seconds` (arrivals,
+  /// scheduler ticks, token deliveries). Time never moves backwards;
+  /// repeated calls with increasing t interleave with Submit()/Cancel().
+  void StepUntil(double t_seconds);
+  /// Drains the event queue: every submitted request runs to its finish.
+  void RunToCompletion();
+
+  double now_seconds() const;
+  /// True when no simulation work is pending (all streams quiescent).
+  bool idle() const;
+
+  // ----- introspection -----
+  int num_cards() const;
+  std::size_t submitted_requests() const { return entries_.size(); }
+  /// Submitted and not yet finished (running, queued, or still arriving).
+  std::size_t active_requests() const {
+    return entries_.size() - finished_requests_;
+  }
+  bool finished(RequestHandle handle) const;
+  /// KV blocks currently allocated / total on `card` (cancellation and
+  /// stop-token tests observe block recycling through this).
+  std::int64_t kv_blocks_in_use(int card) const;
+  std::int64_t kv_block_capacity(int card) const;
+
+  // ----- harvest -----
+  /// Finalizes the run and returns the merged + per-card report over the
+  /// shared timeline. Requires an idle engine (RunToCompletion first);
+  /// call once -- the engine only accepts introspection afterwards.
+  StatusOr<serving::ClusterReport> Finish();
+
+ private:
+  struct Entry {
+    StreamCallbacks callbacks;
+    bool finished = false;
+  };
+
+  const accel::Program& program_;
+  const llama::Weights& weights_;
+  hw::MultiCardConfig cards_;
+  EngineConfig config_;
+  Status setup_;  // card-list validation outcome
+  std::unique_ptr<serving::ClusterSession> session_;
+  // Deques: callbacks may reentrantly Submit(), so element addresses
+  // must survive growth while a callback is still executing.
+  std::deque<serving::ServingRequest> requests_;
+  std::deque<Entry> entries_;
+  std::size_t finished_requests_ = 0;
+  bool harvested_ = false;
+};
+
+}  // namespace speedllm::api

@@ -16,6 +16,9 @@ struct SamplerConfig {
   float temperature = 1.0f;  // 0 => greedy argmax
   float top_p = 0.9f;        // 1.0 disables nucleus truncation
   std::uint64_t seed = 42;
+  /// Model-wide end-of-sequence id: sampling it ends generation early in
+  /// the serving paths (FinishReason::kStop). Negative disables.
+  std::int32_t eos_token = -1;
 };
 
 class Sampler {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "accel/executor.hpp"
+#include "api/engine.hpp"
 
 namespace speedllm::runtime {
 
@@ -29,14 +30,9 @@ StatusOr<ServingReport> ServingSimulator::Run(
   if (mode_ == ServingMode::kLegacyRoundRobin) {
     return RunLegacyRoundRobin(requests, sampler_config);
   }
-  if (num_cards_ > 1) {
-    SPEEDLLM_ASSIGN_OR_RETURN(serving::ClusterReport cluster,
-                              RunCluster(requests, sampler_config));
-    return std::move(cluster.merged);
-  }
-  serving::ContinuousBatchScheduler scheduler(*program_, *weights_, u280_,
-                                              scheduler_config_);
-  return scheduler.Run(requests, sampler_config);
+  SPEEDLLM_ASSIGN_OR_RETURN(serving::ClusterReport cluster,
+                            RunCluster(requests, sampler_config));
+  return std::move(cluster.merged);
 }
 
 StatusOr<serving::ClusterReport> ServingSimulator::RunCluster(
@@ -46,13 +42,24 @@ StatusOr<serving::ClusterReport> ServingSimulator::RunCluster(
     return FailedPrecondition(
         "cluster serving requires continuous-batching mode");
   }
-  serving::ClusterConfig config;
+  // Offline serving is one online engine fed the whole trace up front:
+  // every request is submitted before time starts, arrivals fire at
+  // their timestamps, and the clock drains to completion. Token streams
+  // are byte-identical to the streaming path because they ARE the
+  // streaming path.
+  api::EngineConfig config;
+  config.num_cards = num_cards_;
+  config.scheduler = scheduler_config_;
   config.placement = placement_;
-  config.shard = scheduler_config_;
-  serving::ClusterRouter router(
-      *program_, *weights_, hw::MultiCardConfig::Homogeneous(u280_, num_cards_),
-      std::move(config));
-  return router.Run(requests, sampler_config);
+  config.sampler = sampler_config;
+  api::Engine engine(*program_, *weights_, u280_, std::move(config));
+  for (const ServingRequest& request : requests) {
+    SPEEDLLM_ASSIGN_OR_RETURN(api::RequestHandle handle,
+                              engine.Submit(request));
+    (void)handle;
+  }
+  engine.RunToCompletion();
+  return engine.Finish();
 }
 
 namespace {
@@ -178,8 +185,23 @@ StatusOr<ServingReport> ServingSimulator::RunLegacyRoundRobin(
           seq.outcome.first_token_seconds = now;
         }
       }
+      if (serving::IsStopToken(*seq.request, sampler_config.eos_token,
+                               seq.pending_token)) {
+        // Stop token / EOS sampled: finish without committing it, same
+        // as the continuous-batching shard.
+        seq.done = true;
+        seq.outcome.finish_reason = serving::FinishReason::kStop;
+        seq.outcome.completion_seconds = now;
+        const std::int64_t saved =
+            seq.request->max_new_tokens -
+            static_cast<std::int64_t>(seq.outcome.generated.size());
+        report.stop_saved_tokens += saved;
+        ++report.stopped_requests;
+        --remaining;
+      }
     } else if (prompt_finished) {
       seq.done = true;
+      seq.outcome.finish_reason = serving::FinishReason::kLength;
       if (seq.outcome.first_token_seconds == 0.0) {
         seq.outcome.first_token_seconds = now;
       }

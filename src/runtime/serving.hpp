@@ -1,12 +1,15 @@
 // SpeedLLM -- multi-request serving simulation (compatibility wrapper).
 //
-// The real serving layer lives in src/serving/: a continuous-batching
-// scheduler (serving/scheduler.hpp) over a paged KV-cache block pool
-// (serving/kv_pool.hpp). This wrapper keeps the original ServingSimulator
-// entry point alive: by default it delegates to the scheduler, and it can
-// still run the seed's round-robin one-token-at-a-time loop (dedicated
-// executor and monolithic KV cache per request) as an explicit baseline
-// for benchmarking the batching win.
+// The real serving surface is the online facade in src/api/engine.hpp
+// (speedllm::api::Engine: Submit/stream/Cancel over the shared clock),
+// layered on the continuous-batching stack in src/serving/. This wrapper
+// keeps the original batch-offline ServingSimulator entry point alive as
+// a thin shim: Run()/RunCluster() construct an api::Engine, submit the
+// whole pre-timestamped trace, drain the clock, and harvest the report
+// -- so offline results are byte-identical to what streaming callbacks
+// observe. The seed's round-robin one-token-at-a-time loop (dedicated
+// executor and monolithic KV cache per request) survives as an explicit
+// baseline mode for benchmarking the batching win.
 #pragma once
 
 #include <cstdint>

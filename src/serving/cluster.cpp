@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "serving/shard.hpp"
-#include "sim/engine.hpp"
 
 namespace speedllm::serving {
 
@@ -41,6 +40,303 @@ double ClusterReport::mean_utilization() const {
   return sum / static_cast<double>(card_utilization.size());
 }
 
+// ------------------------------------------------------- ClusterSession
+
+ClusterSession::ClusterSession(const accel::Program& program,
+                               const llama::Weights& weights,
+                               const hw::MultiCardConfig& cards,
+                               const ClusterConfig& config,
+                               const llama::SamplerConfig& sampler_config)
+    : program_(program),
+      weights_(weights),
+      cards_(cards),
+      config_(config),
+      sampler_config_(sampler_config),
+      clock_mhz_(cards.cards.front().clock_mhz) {
+  config_.shard = NormalizeSchedulerConfig(config_.shard);
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(config_.shard.block_size_tokens) *
+      KvBytesPerToken(program.model);
+  const int n = cards_.num_cards();
+  shards_.reserve(static_cast<std::size_t>(n));
+  min_pool_blocks_ = std::numeric_limits<std::int64_t>::max();
+  for (int c = 0; c < n; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    SchedulerConfig shard_config = config_.shard;
+    if (ci < config_.kv_pool_bytes_per_card.size() &&
+        config_.kv_pool_bytes_per_card[ci] > 0) {
+      shard_config.kv_pool_bytes = config_.kv_pool_bytes_per_card[ci];
+    }
+    shard_config.kv_pool_bytes =
+        DeriveKvPoolBytes(program, cards_.cards[ci], shard_config.kv_pool_bytes);
+    min_pool_blocks_ = std::min(
+        min_pool_blocks_,
+        block_bytes == 0 ? std::int64_t{0}
+                         : static_cast<std::int64_t>(shard_config.kv_pool_bytes /
+                                                     block_bytes));
+    shards_.push_back(std::make_unique<ShardScheduler>(
+        program, weights, cards_.cards[ci], shard_config, engine_));
+    shards_.back()->set_kv_pressure_hook(
+        [this, c] { Rebalance(static_cast<std::size_t>(c)); });
+  }
+}
+
+ClusterSession::~ClusterSession() = default;
+
+double ClusterSession::now_seconds() const {
+  return static_cast<double>(engine_.now()) / (clock_mhz_ * 1e6);
+}
+
+sim::Cycles ClusterSession::SecondsToCycles(double seconds) const {
+  // Every card shares one kernel clock (MultiCardConfig::Validate), so
+  // any shard's conversion works; card 0 stands in for the cluster.
+  return static_cast<sim::Cycles>(std::llround(seconds * clock_mhz_ * 1e6));
+}
+
+Status ClusterSession::Validate(const ServingRequest& request,
+                                const std::string& tag) const {
+  return ValidateRequest(request, tag, program_.model, min_pool_blocks_,
+                         config_.shard.block_size_tokens);
+}
+
+void ClusterSession::set_emission_hooks(TokenEmissionHook on_token,
+                                        FinishEmissionHook on_finish) {
+  on_token_ = std::move(on_token);
+  on_finish_ = std::move(on_finish);
+  for (auto& shard : shards_) {
+    shard->set_emission_hooks(
+        [this](std::size_t stream, std::int32_t token, double t) {
+          if (on_token_) on_token_(stream, token, t);
+        },
+        [this](std::size_t stream, FinishReason reason,
+               const RequestOutcome& outcome, double t) {
+          records_[stream].finished = true;
+          if (reason == FinishReason::kCancelled) {
+            records_[stream].cancelled = true;
+          }
+          if (on_finish_) on_finish_(stream, reason, outcome, t);
+        });
+  }
+}
+
+void ClusterSession::SubmitAt(const ServingRequest* request,
+                              std::size_t stream_index, sim::Cycles at) {
+  if (records_.size() <= stream_index) {
+    records_.resize(stream_index + 1);
+  }
+  records_[stream_index].request = request;
+  engine_.ScheduleAt(std::max(at, engine_.now()),
+                     [this, stream_index] { Place(stream_index); });
+}
+
+Status ClusterSession::Cancel(std::size_t stream_index) {
+  if (stream_index >= records_.size() ||
+      records_[stream_index].request == nullptr) {
+    return NotFound("stream " + std::to_string(stream_index) +
+                    " was never submitted");
+  }
+  StreamRecord& rec = records_[stream_index];
+  if (rec.finished) {
+    return FailedPrecondition("stream " + std::to_string(stream_index) +
+                              " already finished");
+  }
+  if (!rec.placed) {
+    // The arrival event has not run yet: suppress it and synthesize the
+    // outcome here (no shard ever saw this request). The arrival is
+    // clamped to the cancel time -- the request's scheduled arrival lies
+    // in the future, and an uncapped value would put negative latencies
+    // into the merged percentiles.
+    rec.finished = true;
+    rec.cancelled = true;
+    const double now_s = now_seconds();
+    RequestOutcome outcome;
+    outcome.arrival_seconds =
+        std::min(rec.request->arrival_seconds, now_s);
+    outcome.prompt_tokens =
+        static_cast<std::int32_t>(rec.request->prompt.size());
+    outcome.finish_reason = FinishReason::kCancelled;
+    outcome.admission_seconds = now_s;
+    outcome.first_token_seconds = now_s;
+    outcome.completion_seconds = now_s;
+    const auto [it, inserted] =
+        unplaced_outcomes_.emplace(stream_index, std::move(outcome));
+    (void)inserted;
+    if (on_finish_) {
+      on_finish_(stream_index, FinishReason::kCancelled, it->second, now_s);
+    }
+    return Status::Ok();
+  }
+  // The shard's Abort marks the record finished through the wrapped
+  // finish hook before returning.
+  return shards_[static_cast<std::size_t>(rec.shard)]->Abort(stream_index);
+}
+
+/// Routes request `stream_index` to a card at its arrival event.
+void ClusterSession::Place(std::size_t stream_index) {
+  StreamRecord& rec = records_[stream_index];
+  if (rec.cancelled) return;  // cancelled before arrival
+  const std::size_t card = PickCard(*rec.request);
+  rec.placed = true;
+  rec.shard = static_cast<std::int32_t>(card);
+  shards_[card]->Submit(*rec.request, stream_index, sampler_config_);
+}
+
+std::size_t ClusterSession::PickCard(const ServingRequest& request) {
+  switch (config_.placement) {
+    case PlacementPolicy::kRoundRobin:
+      return rr_counter_++ % shards_.size();
+    case PlacementPolicy::kLeastOutstandingTokens: {
+      std::size_t best = 0;
+      std::int64_t best_tokens = shards_[0]->outstanding_tokens();
+      for (std::size_t c = 1; c < shards_.size(); ++c) {
+        const std::int64_t t = shards_[c]->outstanding_tokens();
+        if (t < best_tokens) {
+          best = c;
+          best_tokens = t;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kBestFitFreeKv: {
+      // Most projected headroom among the cards that can cover the
+      // request's full footprint outright; when no card can, fall back
+      // to the most headroom overall (the shard's preemption machinery
+      // absorbs the pressure). Ties break toward the lowest card id.
+      std::size_t best = 0;
+      std::int64_t best_free = shards_[0]->projected_free_kv_blocks();
+      std::size_t covering = shards_.size();
+      std::int64_t covering_free = 0;
+      for (std::size_t c = 0; c < shards_.size(); ++c) {
+        const std::int64_t f = shards_[c]->projected_free_kv_blocks();
+        if (f > best_free) {
+          best = c;
+          best_free = f;
+        }
+        const std::int64_t need = shards_[c]->BlocksForRequest(request);
+        if (f >= need && (covering == shards_.size() || f > covering_free)) {
+          covering = c;
+          covering_free = f;
+        }
+      }
+      return covering != shards_.size() ? covering : best;
+    }
+  }
+  return 0;
+}
+
+/// KV-pressure hook: shard `donor` could not admit (or decode) for want
+/// of blocks. Migrate its queued, never-prefilled requests to the card
+/// with the most projected-free blocks, newest first. Each request
+/// migrates at most (num_cards - 1) times, so rebalancing terminates
+/// even when every pool is tight.
+void ClusterSession::Rebalance(std::size_t donor) {
+  if (!config_.rebalance_queued || shards_.size() < 2) return;
+  // Requests that exhausted their migration budget stay put; older
+  // eligible queued requests behind them are still considered.
+  const ShardScheduler::StreamPredicate eligible =
+      [this](std::size_t stream) {
+        return records_[stream].migrations <
+               static_cast<std::int32_t>(shards_.size()) - 1;
+      };
+  while (true) {
+    auto queued = shards_[donor]->PeekNewestQueued(eligible);
+    if (!queued) return;
+    const auto [request, stream] = *queued;
+    const std::int64_t need = shards_[donor]->BlocksForRequest(*request);
+    const std::int64_t donor_free =
+        shards_[donor]->projected_free_kv_blocks();
+    std::size_t target = donor;
+    std::int64_t target_free = donor_free;
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+      if (c == donor) continue;
+      const std::int64_t f = shards_[c]->projected_free_kv_blocks();
+      if (f > target_free) {
+        target = c;
+        target_free = f;
+      }
+    }
+    // Move only when the target is strictly better off AND can cover
+    // the whole request; otherwise shuffling would not help anyone.
+    if (target == donor || target_free < need) return;
+    shards_[donor]->StealNewestQueued(eligible);
+    ++records_[stream].migrations;
+    ++rebalanced_;
+    records_[stream].shard = static_cast<std::int32_t>(target);
+    shards_[target]->Submit(*request, stream, sampler_config_);
+  }
+}
+
+Status ClusterSession::Finalize() const {
+  for (const auto& shard : shards_) {
+    SPEEDLLM_RETURN_IF_ERROR(shard->Finalize());
+  }
+  return Status::Ok();
+}
+
+ClusterReport ClusterSession::Harvest() {
+  ClusterReport report;
+  report.shard_of_request.reserve(records_.size());
+  for (const StreamRecord& rec : records_) {
+    report.shard_of_request.push_back(rec.shard);
+  }
+  report.rebalanced_requests = rebalanced_;
+  report.merged.outcomes.resize(records_.size());
+  report.card_utilization.resize(shards_.size(), 0.0);
+
+  std::vector<double> busy(shards_.size(), 0.0);
+  std::vector<std::size_t> stream_indices;
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    busy[c] = shards_[c]->busy_seconds();
+    ServingReport shard = shards_[c]->TakeReport(&stream_indices);
+    for (std::size_t k = 0; k < stream_indices.size(); ++k) {
+      report.merged.outcomes[stream_indices[k]] = shard.outcomes[k];
+    }
+    ServingReport& m = report.merged;
+    m.total_tokens += shard.total_tokens;
+    m.recomputed_tokens += shard.recomputed_tokens;
+    m.preemptions += shard.preemptions;
+    m.stopped_requests += shard.stopped_requests;
+    m.cancelled_requests += shard.cancelled_requests;
+    m.stop_saved_tokens += shard.stop_saved_tokens;
+    m.peak_kv_blocks += shard.peak_kv_blocks;
+    m.kv_block_capacity += shard.kv_block_capacity;
+    m.kv_capacity_bytes += shard.kv_capacity_bytes;
+    m.kv_block_bytes = shard.kv_block_bytes;  // uniform block geometry
+    m.mean_batch_width += shard.mean_batch_width *
+                          static_cast<double>(shard.ticks);
+    m.ticks += shard.ticks;
+    m.makespan_seconds = std::max(m.makespan_seconds,
+                                  shard.makespan_seconds);
+    m.tick_log.insert(m.tick_log.end(), shard.tick_log.begin(),
+                      shard.tick_log.end());
+    report.shard_reports.push_back(std::move(shard));
+  }
+  ServingReport& m = report.merged;
+  // Requests cancelled before placement never reached a shard.
+  for (auto& [stream, outcome] : unplaced_outcomes_) {
+    m.outcomes[stream] = std::move(outcome);
+    ++m.cancelled_requests;
+  }
+  // Interleave per-card tick logs into one clock-ordered timeline
+  // (stable: same-time ticks keep card order).
+  std::stable_sort(m.tick_log.begin(), m.tick_log.end(),
+                   [](const TickRecord& a, const TickRecord& b) {
+                     return a.start_seconds < b.start_seconds;
+                   });
+  if (m.ticks > 0) m.mean_batch_width /= static_cast<double>(m.ticks);
+  m.device_tokens_per_second =
+      m.makespan_seconds > 0.0
+          ? static_cast<double>(m.total_tokens) / m.makespan_seconds
+          : 0.0;
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    report.card_utilization[c] =
+        m.makespan_seconds > 0.0 ? busy[c] / m.makespan_seconds : 0.0;
+  }
+  return report;
+}
+
+// -------------------------------------------------------- ClusterRouter
+
 ClusterRouter::ClusterRouter(const accel::Program& program,
                              const llama::Weights& weights,
                              hw::MultiCardConfig cards, ClusterConfig config)
@@ -61,236 +357,30 @@ std::uint64_t ClusterRouter::pool_bytes(int card) const {
   return DeriveKvPoolBytes(*program_, cards_.cards[c], override_bytes);
 }
 
-namespace {
-
-/// One Run() invocation: the shared engine, the per-card shards, and the
-/// routing/rebalancing state.
-class ClusterRun {
- public:
-  ClusterRun(const accel::Program& program, const llama::Weights& weights,
-             const hw::MultiCardConfig& cards, const ClusterConfig& config,
-             const std::vector<std::uint64_t>& pool_bytes,
-             const std::vector<ServingRequest>& requests,
-             const llama::SamplerConfig& sampler_config)
-      : config_(config),
-        requests_(requests),
-        sampler_config_(sampler_config),
-        clock_mhz_(cards.cards.front().clock_mhz),
-        shard_of_request_(requests.size(), -1),
-        migrations_(requests.size(), 0) {
-    const int n = cards.num_cards();
-    shards_.reserve(static_cast<std::size_t>(n));
-    for (int c = 0; c < n; ++c) {
-      SchedulerConfig shard_config = config.shard;
-      shard_config.kv_pool_bytes = pool_bytes[static_cast<std::size_t>(c)];
-      shards_.push_back(std::make_unique<ShardScheduler>(
-          program, weights, cards.cards[static_cast<std::size_t>(c)],
-          shard_config, engine_));
-      shards_.back()->set_kv_pressure_hook(
-          [this, c] { Rebalance(static_cast<std::size_t>(c)); });
-    }
-  }
-
-  StatusOr<ClusterReport> Execute() {
-    for (std::size_t i = 0; i < requests_.size(); ++i) {
-      const sim::Cycles at = ArrivalCycles(requests_[i].arrival_seconds);
-      engine_.ScheduleAt(at, [this, i] { Place(i); });
-    }
-    engine_.Run();
-
-    ClusterReport report;
-    report.shard_of_request.assign(shard_of_request_.begin(),
-                                   shard_of_request_.end());
-    report.rebalanced_requests = rebalanced_;
-    report.merged.outcomes.resize(requests_.size());
-    report.card_utilization.resize(shards_.size(), 0.0);
-
-    std::vector<double> busy(shards_.size(), 0.0);
-    std::vector<std::size_t> stream_indices;
-    for (std::size_t c = 0; c < shards_.size(); ++c) {
-      SPEEDLLM_RETURN_IF_ERROR(shards_[c]->Finalize());
-      busy[c] = shards_[c]->busy_seconds();
-      ServingReport shard = shards_[c]->TakeReport(&stream_indices);
-      for (std::size_t k = 0; k < stream_indices.size(); ++k) {
-        report.merged.outcomes[stream_indices[k]] = shard.outcomes[k];
-      }
-      ServingReport& m = report.merged;
-      m.total_tokens += shard.total_tokens;
-      m.recomputed_tokens += shard.recomputed_tokens;
-      m.preemptions += shard.preemptions;
-      m.peak_kv_blocks += shard.peak_kv_blocks;
-      m.kv_block_capacity += shard.kv_block_capacity;
-      m.kv_capacity_bytes += shard.kv_capacity_bytes;
-      m.kv_block_bytes = shard.kv_block_bytes;  // uniform block geometry
-      m.mean_batch_width += shard.mean_batch_width *
-                            static_cast<double>(shard.ticks);
-      m.ticks += shard.ticks;
-      m.makespan_seconds = std::max(m.makespan_seconds,
-                                    shard.makespan_seconds);
-      report.shard_reports.push_back(std::move(shard));
-    }
-    ServingReport& m = report.merged;
-    if (m.ticks > 0) m.mean_batch_width /= static_cast<double>(m.ticks);
-    m.device_tokens_per_second =
-        m.makespan_seconds > 0.0
-            ? static_cast<double>(m.total_tokens) / m.makespan_seconds
-            : 0.0;
-    for (std::size_t c = 0; c < shards_.size(); ++c) {
-      report.card_utilization[c] =
-          m.makespan_seconds > 0.0 ? busy[c] / m.makespan_seconds : 0.0;
-    }
-    return report;
-  }
-
- private:
-  sim::Cycles ArrivalCycles(double seconds) const {
-    // Every card shares one kernel clock (MultiCardConfig::Validate), so
-    // any shard's conversion works; shard 0 stands in for the cluster.
-    return static_cast<sim::Cycles>(std::llround(
-        seconds * clock_mhz_ * 1e6));
-  }
-
-  /// Routes request `i` to a card at its arrival event.
-  void Place(std::size_t i) {
-    const std::size_t card = PickCard(requests_[i]);
-    shard_of_request_[i] = static_cast<std::int32_t>(card);
-    shards_[card]->Submit(requests_[i], i, sampler_config_);
-  }
-
-  std::size_t PickCard(const ServingRequest& request) {
-    switch (config_.placement) {
-      case PlacementPolicy::kRoundRobin:
-        return rr_counter_++ % shards_.size();
-      case PlacementPolicy::kLeastOutstandingTokens: {
-        std::size_t best = 0;
-        std::int64_t best_tokens = shards_[0]->outstanding_tokens();
-        for (std::size_t c = 1; c < shards_.size(); ++c) {
-          const std::int64_t t = shards_[c]->outstanding_tokens();
-          if (t < best_tokens) {
-            best = c;
-            best_tokens = t;
-          }
-        }
-        return best;
-      }
-      case PlacementPolicy::kBestFitFreeKv: {
-        // Most projected headroom among the cards that can cover the
-        // request's full footprint outright; when no card can, fall back
-        // to the most headroom overall (the shard's preemption machinery
-        // absorbs the pressure). Ties break toward the lowest card id.
-        std::size_t best = 0;
-        std::int64_t best_free = shards_[0]->projected_free_kv_blocks();
-        std::size_t covering = shards_.size();
-        std::int64_t covering_free = 0;
-        for (std::size_t c = 0; c < shards_.size(); ++c) {
-          const std::int64_t f = shards_[c]->projected_free_kv_blocks();
-          if (f > best_free) {
-            best = c;
-            best_free = f;
-          }
-          const std::int64_t need = shards_[c]->BlocksForRequest(request);
-          if (f >= need && (covering == shards_.size() || f > covering_free)) {
-            covering = c;
-            covering_free = f;
-          }
-        }
-        return covering != shards_.size() ? covering : best;
-      }
-    }
-    return 0;
-  }
-
-  /// KV-pressure hook: shard `donor` could not admit (or decode) for want
-  /// of blocks. Migrate its queued, never-prefilled requests to the card
-  /// with the most projected-free blocks, newest first. Each request
-  /// migrates at most (num_cards - 1) times, so rebalancing terminates
-  /// even when every pool is tight.
-  void Rebalance(std::size_t donor) {
-    if (!config_.rebalance_queued || shards_.size() < 2) return;
-    // Requests that exhausted their migration budget stay put; older
-    // eligible queued requests behind them are still considered.
-    const ShardScheduler::StreamPredicate eligible =
-        [this](std::size_t stream) {
-          return migrations_[stream] <
-                 static_cast<std::int32_t>(shards_.size()) - 1;
-        };
-    while (true) {
-      auto queued = shards_[donor]->PeekNewestQueued(eligible);
-      if (!queued) return;
-      const auto [request, stream] = *queued;
-      const std::int64_t need = shards_[donor]->BlocksForRequest(*request);
-      const std::int64_t donor_free =
-          shards_[donor]->projected_free_kv_blocks();
-      std::size_t target = donor;
-      std::int64_t target_free = donor_free;
-      for (std::size_t c = 0; c < shards_.size(); ++c) {
-        if (c == donor) continue;
-        const std::int64_t f = shards_[c]->projected_free_kv_blocks();
-        if (f > target_free) {
-          target = c;
-          target_free = f;
-        }
-      }
-      // Move only when the target is strictly better off AND can cover
-      // the whole request; otherwise shuffling would not help anyone.
-      if (target == donor || target_free < need) return;
-      shards_[donor]->StealNewestQueued(eligible);
-      ++migrations_[stream];
-      ++rebalanced_;
-      shard_of_request_[stream] = static_cast<std::int32_t>(target);
-      shards_[target]->Submit(*request, stream, sampler_config_);
-    }
-  }
-
-  const ClusterConfig& config_;
-  const std::vector<ServingRequest>& requests_;
-  const llama::SamplerConfig& sampler_config_;
-  const double clock_mhz_;  // uniform across cards (Validate enforces)
-
-  sim::Engine engine_;
-  std::vector<std::unique_ptr<ShardScheduler>> shards_;
-  std::vector<std::int32_t> shard_of_request_;
-  std::vector<std::int32_t> migrations_;
-  std::size_t rr_counter_ = 0;
-  std::int64_t rebalanced_ = 0;
-};
-
-}  // namespace
-
 StatusOr<ClusterReport> ClusterRouter::Run(
     const std::vector<ServingRequest>& requests,
     const llama::SamplerConfig& sampler_config) {
   SPEEDLLM_RETURN_IF_ERROR(cards_.Validate());
-  ClusterReport report;
-  report.shard_reports.resize(static_cast<std::size_t>(num_cards()));
-  report.card_utilization.resize(static_cast<std::size_t>(num_cards()), 0.0);
-  if (requests.empty()) return report;
-
-  // A request must fit every card's pool: placement is free to pick any
-  // card, and rebalancing may move queued work anywhere.
-  const std::uint32_t bytes_per_token = KvBytesPerToken(program_->model);
-  const std::uint64_t block_bytes =
-      static_cast<std::uint64_t>(config_.shard.block_size_tokens) *
-      bytes_per_token;
-  std::vector<std::uint64_t> per_card_pool;
-  std::int64_t min_blocks = std::numeric_limits<std::int64_t>::max();
-  for (int c = 0; c < num_cards(); ++c) {
-    const std::uint64_t bytes = pool_bytes(c);
-    per_card_pool.push_back(bytes);
-    const std::int64_t blocks =
-        block_bytes == 0 ? 0 : static_cast<std::int64_t>(bytes / block_bytes);
-    min_blocks = std::min(min_blocks, blocks);
+  if (requests.empty()) {
+    ClusterReport report;
+    report.shard_reports.resize(static_cast<std::size_t>(num_cards()));
+    report.card_utilization.resize(static_cast<std::size_t>(num_cards()), 0.0);
+    return report;
   }
+
+  ClusterSession session(*program_, *weights_, cards_, config_,
+                         sampler_config);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     SPEEDLLM_RETURN_IF_ERROR(
-        ValidateRequest(requests[i], "request " + std::to_string(i),
-                        program_->model, min_blocks,
-                        config_.shard.block_size_tokens));
+        session.Validate(requests[i], "request " + std::to_string(i)));
   }
-
-  ClusterRun run(*program_, *weights_, cards_, config_, per_card_pool,
-                 requests, sampler_config);
-  return run.Execute();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    session.SubmitAt(&requests[i], i,
+                     session.SecondsToCycles(requests[i].arrival_seconds));
+  }
+  session.engine().Run();
+  SPEEDLLM_RETURN_IF_ERROR(session.Finalize());
+  return session.Harvest();
 }
 
 }  // namespace speedllm::serving

@@ -27,6 +27,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -37,8 +39,11 @@
 #include "llama/weights.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
+#include "sim/engine.hpp"
 
 namespace speedllm::serving {
+
+class ShardScheduler;
 
 enum class PlacementPolicy {
   kRoundRobin,              // arrival order, ignores card state
@@ -78,6 +83,95 @@ struct ClusterReport {
   /// N means one card did everything.
   double imbalance() const;
   double mean_utilization() const;
+};
+
+/// One live cluster timeline: the shared sim::Engine, the per-card
+/// shards, and the routing/rebalancing state. Unlike ClusterRouter::Run
+/// (which drains a complete pre-timestamped trace), a session is *online*:
+/// requests may be submitted at any simulated time, cancelled mid-flight,
+/// and streamed out through emission hooks -- the substrate the
+/// api::Engine facade drives incrementally. The offline router is one
+/// session fed every arrival up front.
+class ClusterSession {
+ public:
+  /// `program` and `weights` must outlive the session; `cards` must
+  /// already be validated and `config.shard` normalized. Copies `cards`,
+  /// `config`, and `sampler_config`.
+  ClusterSession(const accel::Program& program, const llama::Weights& weights,
+                 const hw::MultiCardConfig& cards, const ClusterConfig& config,
+                 const llama::SamplerConfig& sampler_config);
+  ~ClusterSession();
+
+  ClusterSession(const ClusterSession&) = delete;
+  ClusterSession& operator=(const ClusterSession&) = delete;
+
+  /// The shared clock every shard chains its ticks on. The caller drives
+  /// Run()/RunUntil(); shards and arrivals inject events.
+  sim::Engine& engine() { return engine_; }
+  double now_seconds() const;
+  sim::Cycles SecondsToCycles(double seconds) const;
+
+  int num_cards() const { return static_cast<int>(shards_.size()); }
+  const ShardScheduler& shard(int card) const { return *shards_[card]; }
+
+  /// Model-limit + worst-case-pool admission check (a request must fit
+  /// the smallest card: placement and rebalancing may use any card).
+  Status Validate(const ServingRequest& request, const std::string& tag) const;
+
+  /// Schedules placement of `*request` at `at` (engine cycles, >= now).
+  /// `request` must stay alive and unmodified until harvest;
+  /// `stream_index` values must be dense submission indices (0, 1, ...).
+  void SubmitAt(const ServingRequest* request, std::size_t stream_index,
+                sim::Cycles at);
+
+  /// Cancels a stream wherever it lives: an unplaced arrival is
+  /// suppressed, a live sequence is aborted on its owning shard (KV
+  /// blocks freed immediately). The finish hook fires with
+  /// FinishReason::kCancelled before this returns.
+  Status Cancel(std::size_t stream_index);
+
+  /// Streams tokens/finishes from every shard (stream_index keyed).
+  void set_emission_hooks(TokenEmissionHook on_token,
+                          FinishEmissionHook on_finish);
+
+  /// OK when every submitted stream finished (done, stopped, or
+  /// cancelled). Call after the engine drains.
+  Status Finalize() const;
+  /// Merged + per-card reports over one coherent timeline. Call once.
+  ClusterReport Harvest();
+
+ private:
+  struct StreamRecord {
+    const ServingRequest* request = nullptr;
+    std::int32_t shard = -1;       // owning card after any rebalancing
+    std::int32_t migrations = 0;   // rebalancer moves consumed
+    bool placed = false;
+    bool finished = false;   // includes cancelled
+    bool cancelled = false;
+  };
+
+  void Place(std::size_t stream_index);
+  std::size_t PickCard(const ServingRequest& request);
+  void Rebalance(std::size_t donor);
+
+  const accel::Program& program_;
+  const llama::Weights& weights_;
+  hw::MultiCardConfig cards_;
+  ClusterConfig config_;
+  llama::SamplerConfig sampler_config_;
+  double clock_mhz_ = 0.0;
+  std::int64_t min_pool_blocks_ = 0;
+
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<ShardScheduler>> shards_;
+  std::vector<StreamRecord> records_;
+  /// Outcomes of requests cancelled before their placement event ran
+  /// (no shard ever saw them).
+  std::map<std::size_t, RequestOutcome> unplaced_outcomes_;
+  TokenEmissionHook on_token_;
+  FinishEmissionHook on_finish_;
+  std::size_t rr_counter_ = 0;
+  std::int64_t rebalanced_ = 0;
 };
 
 class ClusterRouter {

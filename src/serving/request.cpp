@@ -1,8 +1,27 @@
 #include "serving/request.hpp"
 
+#include <algorithm>
+
 #include "common/stats.hpp"
 
 namespace speedllm::serving {
+
+std::string_view FinishReasonName(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone: return "none";
+    case FinishReason::kLength: return "length";
+    case FinishReason::kStop: return "stop";
+    case FinishReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsStopToken(const ServingRequest& request, std::int32_t eos_token,
+                 std::int32_t token) {
+  if (eos_token >= 0 && token == eos_token) return true;
+  return std::find(request.stop_tokens.begin(), request.stop_tokens.end(),
+                   token) != request.stop_tokens.end();
+}
 
 namespace {
 

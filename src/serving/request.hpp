@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 namespace speedllm::serving {
@@ -16,7 +18,26 @@ struct ServingRequest {
   std::vector<std::int32_t> prompt;
   std::int32_t max_new_tokens = 16;
   double arrival_seconds = 0.0;  // simulated arrival time
+  /// Sampling any of these ids ends generation early (FinishReason::kStop)
+  /// without committing the stop token; SamplerConfig::eos_token is the
+  /// model-wide equivalent.
+  std::vector<std::int32_t> stop_tokens;
 };
+
+/// Why a request's generation ended.
+enum class FinishReason {
+  kNone = 0,   // still in flight
+  kLength,     // generated max_new_tokens
+  kStop,       // sampled a stop token / EOS before the budget ran out
+  kCancelled,  // aborted mid-flight (api::Engine::Cancel)
+};
+
+std::string_view FinishReasonName(FinishReason reason);
+
+/// True when sampling `token` must terminate `request` early: either the
+/// per-request stop set or the sampler-wide EOS id (< 0 disables) hit.
+bool IsStopToken(const ServingRequest& request, std::int32_t eos_token,
+                 std::int32_t token);
 
 struct RequestOutcome {
   std::vector<std::int32_t> generated;
@@ -26,6 +47,7 @@ struct RequestOutcome {
   double completion_seconds = 0.0;   // absolute time of last token
   std::int32_t prompt_tokens = 0;
   std::int32_t preemptions = 0;  // times swapped out of the KV pool
+  FinishReason finish_reason = FinishReason::kNone;
 
   double time_to_first_token() const {
     return first_token_seconds - arrival_seconds;
@@ -69,6 +91,11 @@ struct ServingReport {
   double mean_batch_width = 0.0;
   std::int64_t preemptions = 0;
   std::int64_t recomputed_tokens = 0;  // swap-in recompute work
+  std::int64_t stopped_requests = 0;   // finished early on a stop token/EOS
+  std::int64_t cancelled_requests = 0;
+  /// Budgeted decode tokens never generated because a stop token/EOS
+  /// ended the request first (device work the early exit saved).
+  std::int64_t stop_saved_tokens = 0;
   std::int64_t peak_kv_blocks = 0;
   std::int64_t kv_block_capacity = 0;
   std::uint64_t kv_block_bytes = 0;     // bytes per block
@@ -86,5 +113,17 @@ struct ServingReport {
   /// which was a max; the name survives for source compatibility).
   double p99ish_latency() const { return latency_percentile(0.99); }
 };
+
+// ----- online emission hooks (shard -> cluster session -> api::Engine) -----
+//
+// Tokens are delivered at the simulated end of the tick that committed
+// them; the finish hook fires once per request with the final outcome
+// (still owned by the shard until its report is harvested).
+
+using TokenEmissionHook = std::function<void(
+    std::size_t stream_index, std::int32_t token, double time_seconds)>;
+using FinishEmissionHook = std::function<void(
+    std::size_t stream_index, FinishReason reason,
+    const RequestOutcome& outcome, double time_seconds)>;
 
 }  // namespace speedllm::serving

@@ -158,7 +158,8 @@ ShardScheduler::StealNewestQueued(const StreamPredicate& eligible) {
 Status ShardScheduler::Finalize() const {
   if (!error_.ok()) return error_;
   for (const Sequence& seq : seqs_) {
-    if (seq.state != SeqState::kDone && seq.state != SeqState::kMigrated) {
+    if (seq.state != SeqState::kDone && seq.state != SeqState::kMigrated &&
+        seq.state != SeqState::kCancelled) {
       return Internal("scheduler stalled: request " +
                       std::to_string(seq.stream_index) + " never completed");
     }
@@ -325,15 +326,140 @@ void ShardScheduler::SampleNext(Sequence& seq, std::span<const float> logits) {
   seq.pending_token = seq.sampler.Sample(sample_scratch_);
 }
 
-void ShardScheduler::FinishSequence(std::size_t seq_id) {
+/// True when the freshly sampled pending token must end generation early:
+/// the request's stop set or the sampler-wide EOS id hit.
+bool ShardScheduler::ShouldStop(const Sequence& seq) const {
+  return IsStopToken(*seq.request, seq.sampler.config().eos_token,
+                     seq.pending_token);
+}
+
+void ShardScheduler::FinishSequence(std::size_t seq_id, FinishReason reason) {
   Sequence& seq = seqs_[seq_id];
   seq.state = SeqState::kDone;
   seq.pending_token = -1;
+  seq.outcome.finish_reason = reason;
+  if (reason == FinishReason::kStop) {
+    // The unused decode budget is owed to no one anymore.
+    const std::int64_t saved =
+        seq.request->max_new_tokens -
+        static_cast<std::int64_t>(seq.outcome.generated.size());
+    outstanding_tokens_ -= saved;
+    report_.stop_saved_tokens += saved;
+    ++report_.stopped_requests;
+  }
   Status st = pool_.Release(seq_id);
   assert(st.ok());
   (void)st;
   ReleaseSlot(seq);
   residents_.erase(std::find(residents_.begin(), residents_.end(), seq_id));
+  tick_emissions_.push_back(Emission{seq_id, -1, reason});
+}
+
+Status ShardScheduler::Abort(std::size_t stream_index) {
+  std::size_t seq_id = seqs_.size();
+  for (std::size_t i = 0; i < seqs_.size(); ++i) {
+    if (seqs_[i].stream_index == stream_index &&
+        seqs_[i].state != SeqState::kMigrated) {
+      seq_id = i;
+      break;
+    }
+  }
+  if (seq_id == seqs_.size()) {
+    return NotFound("stream " + std::to_string(stream_index) +
+                    " is not live on this shard");
+  }
+  Sequence& seq = seqs_[seq_id];
+  if (seq.state == SeqState::kCancelled) {
+    return FailedPrecondition("stream " + std::to_string(stream_index) +
+                              " already finished");
+  }
+  if (seq.state == SeqState::kDone) {
+    // Finished internally -- but if the finish emission has not been
+    // delivered yet, the client has observed nothing final and the
+    // cancel wins the race: go quiet as cancelled instead. Capacity was
+    // already released by FinishSequence; only the bookkeeping reverts.
+    const auto is_finish = [seq_id](const Emission& e) {
+      return e.seq_id == seq_id && e.token < 0;
+    };
+    if (std::find_if(pending_emissions_.begin(), pending_emissions_.end(),
+                     is_finish) == pending_emissions_.end()) {
+      return FailedPrecondition("stream " + std::to_string(stream_index) +
+                                " already finished");
+    }
+    if (seq.outcome.finish_reason == FinishReason::kStop) {
+      report_.stop_saved_tokens -=
+          seq.request->max_new_tokens -
+          static_cast<std::int64_t>(seq.outcome.generated.size());
+      --report_.stopped_requests;
+    }
+  } else {
+    // Tokens still owed (remaining prefill/recompute plus unused decode
+    // budget) leave the backlog; capacity frees immediately.
+    outstanding_tokens_ -=
+        seq.remaining_prefill() +
+        (seq.request->max_new_tokens -
+         static_cast<std::int64_t>(seq.outcome.generated.size()));
+    if (seq.state == SeqState::kWaiting) {
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq_id));
+      if (!seq.ever_admitted) {
+        queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+      }
+    } else {
+      Status st = pool_.Release(seq_id);
+      assert(st.ok());
+      (void)st;
+      ReleaseSlot(seq);
+      residents_.erase(
+          std::find(residents_.begin(), residents_.end(), seq_id));
+    }
+  }
+
+  // A cancelled stream must never emit again: drop everything committed
+  // but not yet delivered, from both the outcome and the event queue.
+  const auto scrub = [seq_id](const Emission& e) { return e.seq_id == seq_id; };
+  tick_emissions_.erase(
+      std::remove_if(tick_emissions_.begin(), tick_emissions_.end(), scrub),
+      tick_emissions_.end());
+  pending_emissions_.erase(std::remove_if(pending_emissions_.begin(),
+                                          pending_emissions_.end(), scrub),
+                           pending_emissions_.end());
+  seq.outcome.generated.resize(static_cast<std::size_t>(seq.delivered));
+
+  const double now_s = u280_.cycles_to_seconds(engine_.now());
+  seq.state = SeqState::kCancelled;
+  seq.pending_token = -1;
+  seq.outcome.finish_reason = FinishReason::kCancelled;
+  seq.outcome.completion_seconds = now_s;
+  if (seq.outcome.first_token_seconds == 0.0) {
+    seq.outcome.first_token_seconds = now_s;
+  }
+  if (!seq.ever_admitted) seq.outcome.admission_seconds = now_s;
+  ++report_.cancelled_requests;
+  if (on_finish_) {
+    // Copy: the hook may reentrantly Submit and grow seqs_.
+    const RequestOutcome outcome = seq.outcome;
+    on_finish_(stream_index, FinishReason::kCancelled, outcome, now_s);
+  }
+  return Status::Ok();
+}
+
+void ShardScheduler::DeliverEmissions() {
+  // Pop one entry at a time: a hook may Abort another stream (scrubbing
+  // its not-yet-delivered entries out from under us) or Submit (growing
+  // seqs_, so no Sequence reference may be held across a hook call).
+  const double t = u280_.cycles_to_seconds(engine_.now());
+  while (!pending_emissions_.empty()) {
+    const Emission e = pending_emissions_.front();
+    pending_emissions_.pop_front();
+    const std::size_t stream = seqs_[e.seq_id].stream_index;
+    if (e.token >= 0) {
+      ++seqs_[e.seq_id].delivered;
+      if (on_token_) on_token_(stream, e.token, t);
+    } else if (on_finish_) {
+      const RequestOutcome outcome = seqs_[e.seq_id].outcome;
+      on_finish_(stream, e.finish, outcome, t);
+    }
+  }
 }
 
 void ShardScheduler::RunTick() {
@@ -448,14 +574,17 @@ void ShardScheduler::RunTick() {
     seq.cursor = static_cast<std::int32_t>(seq.fed.size());
     seq.high_water = std::max(seq.high_water, seq.cursor);
     seq.outcome.generated.push_back(seq.pending_token);
+    tick_emissions_.push_back(
+        Emission{seq_id, seq.pending_token, FinishReason::kNone});
     --outstanding_tokens_;  // one less decode token owed
     ++report_.total_tokens;
     decode_committed.push_back(seq_id);
     decode_executed.push_back(seq_id);
-    if (seq.budget_left()) {
-      SampleNext(seq, logits);
+    if (!seq.budget_left()) {
+      FinishSequence(seq_id, FinishReason::kLength);
     } else {
-      FinishSequence(seq_id);
+      SampleNext(seq, logits);
+      if (ShouldStop(seq)) FinishSequence(seq_id, FinishReason::kStop);
     }
   }
 
@@ -490,6 +619,12 @@ void ShardScheduler::RunTick() {
           SampleNext(seq, logits);
           if (seq.outcome.first_token_seconds == 0.0) {
             ttft_marks.push_back(seq_id);
+          }
+          if (ShouldStop(seq)) {
+            // The very first sampled token is EOS/stop: finish with an
+            // empty generation, never entering decode.
+            FinishSequence(seq_id, FinishReason::kStop);
+            break;
           }
         }
         seq.state = SeqState::kDecode;
@@ -536,6 +671,13 @@ void ShardScheduler::RunTick() {
       seqs_[seq_id].outcome.first_token_seconds = end_s;
     }
   }
+  for (const Emission& e : tick_emissions_) {
+    // A stop at the end of prefill finishes with no decode commit; its
+    // completion is this tick's end like any other finisher's.
+    if (e.token < 0 && seqs_[e.seq_id].outcome.completion_seconds == 0.0) {
+      seqs_[e.seq_id].outcome.completion_seconds = end_s;
+    }
+  }
 
   ++report_.ticks;
   width_sum_ += static_cast<std::int64_t>(decode_executed.size() +
@@ -552,6 +694,16 @@ void ShardScheduler::RunTick() {
       rec.prefill_tokens += n;
     }
     report_.tick_log.push_back(std::move(rec));
+  }
+
+  // Stream this tick's commits at its end time, ahead of the next tick
+  // (the delivery event is scheduled first, so FIFO runs it first):
+  // callbacks observe a settled shard and may Submit/Cancel reentrantly.
+  if (!tick_emissions_.empty()) {
+    pending_emissions_.insert(pending_emissions_.end(),
+                              tick_emissions_.begin(), tick_emissions_.end());
+    tick_emissions_.clear();
+    engine_.ScheduleAt(end_cycles, [this] { DeliverEmissions(); });
   }
 
   if (!residents_.empty() || !waiting_.empty()) ScheduleTick(end_cycles);

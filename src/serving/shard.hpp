@@ -84,6 +84,31 @@ class ShardScheduler {
   void Submit(const ServingRequest& request, std::size_t stream_index,
               const llama::SamplerConfig& sampler_config);
 
+  // ----- online streaming (api::Engine) -----
+  /// Streams tokens/finishes out of the tick loop. Tokens committed by a
+  /// tick are delivered (in commit order) by an engine event at the
+  /// tick's simulated end time, so hook code observes a settled shard and
+  /// may Submit/Abort reentrantly. Hooks must be set before the first
+  /// tick runs; emission buffering is active regardless so Abort can
+  /// guarantee a cancelled stream never emits again.
+  void set_emission_hooks(TokenEmissionHook on_token,
+                          FinishEmissionHook on_finish) {
+    on_token_ = std::move(on_token);
+    on_finish_ = std::move(on_finish);
+  }
+
+  /// Cancels the live sequence serving global stream `stream_index`:
+  /// frees its KV blocks and executor slot immediately, truncates its
+  /// outcome to the tokens already delivered, scrubs undelivered
+  /// emissions, and fires the finish hook with FinishReason::kCancelled
+  /// before returning. A sequence that finished internally but whose
+  /// finish emission is still undelivered cancels too -- the client has
+  /// observed nothing final, so the cancel wins the race. NotFound when
+  /// this shard has no live sequence for the stream; FailedPrecondition
+  /// when the finish was already delivered. Must not be called from
+  /// inside a tick (hook callbacks are safe).
+  Status Abort(std::size_t stream_index);
+
   // ----- placement-policy queries -----
   const KvBlockPool& pool() const { return pool_; }
   std::uint64_t pool_bytes() const { return pool_.capacity_bytes(); }
@@ -143,7 +168,14 @@ class ShardScheduler {
   double busy_seconds() const { return busy_seconds_; }
 
  private:
-  enum class SeqState { kWaiting, kPrefill, kDecode, kDone, kMigrated };
+  enum class SeqState {
+    kWaiting,
+    kPrefill,
+    kDecode,
+    kDone,
+    kMigrated,
+    kCancelled,
+  };
 
   struct Sequence {
     const ServingRequest* request = nullptr;
@@ -160,6 +192,7 @@ class ShardScheduler {
     std::int32_t cursor = 0;
     std::int32_t high_water = 0;
     std::int32_t pending_token = -1;  // sampled but not yet committed
+    std::int32_t delivered = 0;       // generated tokens already emitted
     int slot = -1;                    // executor slot while resident
     std::int64_t admission_order = -1;
     std::int64_t wait_since_tick = 0;
@@ -177,6 +210,15 @@ class ShardScheduler {
     }
   };
 
+  /// One undelivered stream event: a committed token (`token` >= 0) or a
+  /// finish marker (`token` < 0, `finish` set). Buffered per tick and
+  /// delivered by an engine event at the tick's end time.
+  struct Emission {
+    std::size_t seq_id = 0;
+    std::int32_t token = -1;
+    FinishReason finish = FinishReason::kNone;
+  };
+
   void ScheduleTick(sim::Cycles at);
   void RunTick();
   std::vector<std::size_t> AdmissionCandidates() const;
@@ -187,7 +229,9 @@ class ShardScheduler {
   bool ForwardToken(Sequence& seq, std::int32_t token, std::int32_t pos,
                     std::span<const float>* logits);
   void SampleNext(Sequence& seq, std::span<const float> logits);
-  void FinishSequence(std::size_t seq_id);
+  bool ShouldStop(const Sequence& seq) const;
+  void FinishSequence(std::size_t seq_id, FinishReason reason);
+  void DeliverEmissions();
   sim::Cycles SecondsToCycles(double seconds) const;
 
   const accel::Program& program_;
@@ -205,6 +249,10 @@ class ShardScheduler {
   std::vector<int> free_slots_;
   std::vector<float> sample_scratch_;
   std::function<void()> kv_pressure_hook_;
+  TokenEmissionHook on_token_;
+  FinishEmissionHook on_finish_;
+  std::vector<Emission> tick_emissions_;     // current tick, pre-timestamp
+  std::deque<Emission> pending_emissions_;   // awaiting the delivery event
 
   bool tick_pending_ = false;
   bool kv_blocked_ = false;  // this tick hit pool exhaustion

@@ -1,6 +1,7 @@
 #include "serving/workload.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "llama/config.hpp"
@@ -23,26 +24,33 @@ std::int32_t UniformInclusive(Rng& rng, std::int32_t lo, std::int32_t hi) {
                   rng.NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
 }
 
-ServingRequest MakeRequest(Rng& rng, const WorkloadConfig& config,
+ServingRequest DrawRequest(Rng& rng, std::int32_t min_prompt,
+                           std::int32_t max_prompt, std::int32_t min_new,
+                           std::int32_t max_new, std::int32_t vocab_size,
                            double arrival) {
   ServingRequest req;
-  const std::int32_t prompt_len = std::max<std::int32_t>(
-      1, UniformInclusive(rng, config.min_prompt_tokens,
-                          config.max_prompt_tokens));
+  const std::int32_t prompt_len =
+      std::max<std::int32_t>(1, UniformInclusive(rng, min_prompt, max_prompt));
   // Skip control ids at the bottom of the vocab when there is room (the
   // llama2.c tokenizer reserves ~259 ids for specials + raw bytes).
-  const std::int32_t lo = config.vocab_size > 300 ? 259 : 3;
+  const std::int32_t lo = vocab_size > 300 ? 259 : 3;
   req.prompt.reserve(static_cast<std::size_t>(prompt_len));
   req.prompt.push_back(llama::kBosToken);
   for (std::int32_t t = 1; t < prompt_len; ++t) {
-    req.prompt.push_back(
-        lo + static_cast<std::int32_t>(rng.NextBounded(
-                 static_cast<std::uint64_t>(config.vocab_size - lo))));
+    req.prompt.push_back(lo + static_cast<std::int32_t>(rng.NextBounded(
+                                  static_cast<std::uint64_t>(vocab_size - lo))));
   }
-  req.max_new_tokens = std::max<std::int32_t>(
-      1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+  req.max_new_tokens =
+      std::max<std::int32_t>(1, UniformInclusive(rng, min_new, max_new));
   req.arrival_seconds = arrival;
   return req;
+}
+
+ServingRequest MakeRequest(Rng& rng, const WorkloadConfig& config,
+                           double arrival) {
+  return DrawRequest(rng, config.min_prompt_tokens, config.max_prompt_tokens,
+                     config.min_new_tokens, config.max_new_tokens,
+                     config.vocab_size, arrival);
 }
 
 }  // namespace
@@ -57,6 +65,62 @@ std::vector<ServingRequest> PoissonTrace(Rng& rng,
     trace.push_back(MakeRequest(rng, config, now));
   }
   return trace;
+}
+
+ClosedLoopClientPool::ClosedLoopClientPool(std::uint64_t seed,
+                                           const ClosedLoopConfig& config)
+    : config_(config) {
+  const std::int32_t n = std::max<std::int32_t>(0, config.num_users);
+  users_.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t u = 0; u < n; ++u) {
+    // Independent per-user streams, in the style of the per-request
+    // sampler seeds: a user's trace depends only on its own draws.
+    users_.emplace_back(seed + static_cast<std::uint64_t>(u + 1) * 7919);
+  }
+}
+
+ServingRequest ClosedLoopClientPool::NextRequest(User& user,
+                                                 double arrival_seconds) {
+  ServingRequest req = DrawRequest(
+      user.rng, config_.min_prompt_tokens, config_.max_prompt_tokens,
+      config_.min_new_tokens, config_.max_new_tokens, config_.vocab_size,
+      arrival_seconds);
+  user.in_flight = true;
+  ++user.issued;
+  ++total_issued_;
+  return req;
+}
+
+std::optional<ServingRequest> ClosedLoopClientPool::StartUser(
+    std::int32_t user_id) {
+  User& user = users_[static_cast<std::size_t>(user_id)];
+  assert(user.issued == 0 && !user.in_flight &&
+         "StartUser must run once, before any OnFinish");
+  if (config_.requests_per_user <= 0) return std::nullopt;
+  const double gap =
+      ExpGap(user.rng, 1.0 / std::max(1e-12, config_.mean_think_seconds));
+  return NextRequest(user, gap);
+}
+
+std::optional<ServingRequest> ClosedLoopClientPool::OnFinish(
+    std::int32_t user_id, double now_seconds) {
+  User& user = users_[static_cast<std::size_t>(user_id)];
+  assert(user.in_flight &&
+         "closed-loop invariant: OnFinish without a request in flight");
+  user.in_flight = false;
+  if (user.issued >= config_.requests_per_user) return std::nullopt;
+  const double gap =
+      ExpGap(user.rng, 1.0 / std::max(1e-12, config_.mean_think_seconds));
+  return NextRequest(user, now_seconds + gap);
+}
+
+bool ClosedLoopClientPool::AllDone() const {
+  for (const User& user : users_) {
+    if (user.in_flight || user.issued < config_.requests_per_user) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<ServingRequest> BurstyTrace(Rng& rng,

@@ -3,12 +3,17 @@
 // Builds deterministic request traces for the scheduler benches and the
 // load-generator example: Poisson arrivals (open-loop, memoryless) and a
 // bursty variant where requests arrive in clumps, which is what stresses
-// admission control and preemption. All randomness flows through an
-// explicit common/rng.hpp stream, so a (seed, config) pair always yields
-// the same trace.
+// admission control and preemption. The closed-loop client pool models
+// the other regime -- each simulated user has at most one request in
+// flight and issues the next one only after the previous finishes plus a
+// think-time gap, which is how real chat traffic self-throttles (drive it
+// from an api::Engine on_finish callback). All randomness flows through
+// explicit common/rng.hpp streams, so a (seed, config) pair always yields
+// the same trace regardless of completion order.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,5 +43,77 @@ std::vector<ServingRequest> PoissonTrace(Rng& rng,
 
 /// Clumped arrivals: same marginal rate, much worse instantaneous load.
 std::vector<ServingRequest> BurstyTrace(Rng& rng, const WorkloadConfig& config);
+
+// ------------------------------ closed-loop (per-user) workloads ------
+
+struct ClosedLoopConfig {
+  std::int32_t num_users = 8;
+  std::int32_t requests_per_user = 4;
+  /// Mean of the exponential think-time gap a user waits between its
+  /// previous request finishing and the next one arriving (also the gap
+  /// before the user's first request).
+  double mean_think_seconds = 0.01;
+
+  std::int32_t min_prompt_tokens = 4;
+  std::int32_t max_prompt_tokens = 24;  // inclusive
+  std::int32_t min_new_tokens = 8;
+  std::int32_t max_new_tokens = 24;  // inclusive
+  std::int32_t vocab_size = 32000;
+};
+
+/// Generates each user's request sequence on demand with per-user
+/// concurrency of exactly one: StartUser() yields the user's first
+/// request, and OnFinish() -- called when that request completes --
+/// yields the next (arriving one think-time gap after `now_seconds`) or
+/// nullopt once the user's budget is spent. Every user owns a private
+/// RNG stream keyed by (seed, user), so request contents and think gaps
+/// depend only on the user's own history: traces are byte-identical no
+/// matter how the engine interleaves completions across users or cards.
+class ClosedLoopClientPool {
+ public:
+  ClosedLoopClientPool(std::uint64_t seed, const ClosedLoopConfig& config);
+
+  std::int32_t num_users() const {
+    return static_cast<std::int32_t>(users_.size());
+  }
+
+  /// First request of `user` (arrival = think gap from time zero).
+  /// Returns nullopt when the per-user budget is zero. Must be called
+  /// once per user, before any OnFinish for that user.
+  std::optional<ServingRequest> StartUser(std::int32_t user);
+
+  /// Reports that `user`'s in-flight request finished at `now_seconds`
+  /// and returns the next one (arrival = now + think gap), or nullopt
+  /// when the user is done. Calling this for a user with no request in
+  /// flight violates the closed-loop invariant and asserts.
+  std::optional<ServingRequest> OnFinish(std::int32_t user,
+                                         double now_seconds);
+
+  /// True while `user` has a request submitted but not yet finished --
+  /// by construction never more than one.
+  bool in_flight(std::int32_t user) const {
+    return users_[static_cast<std::size_t>(user)].in_flight;
+  }
+  std::int32_t issued(std::int32_t user) const {
+    return users_[static_cast<std::size_t>(user)].issued;
+  }
+  std::int32_t total_issued() const { return total_issued_; }
+  bool AllDone() const;
+
+ private:
+  struct User {
+    Rng rng;
+    std::int32_t issued = 0;
+    bool in_flight = false;
+
+    explicit User(std::uint64_t seed) : rng(seed) {}
+  };
+
+  ServingRequest NextRequest(User& user, double arrival_seconds);
+
+  ClosedLoopConfig config_;
+  std::vector<User> users_;
+  std::int32_t total_issued_ = 0;
+};
 
 }  // namespace speedllm::serving

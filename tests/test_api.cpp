@@ -1,0 +1,543 @@
+// Unit tests for the online streaming engine facade (api/engine.hpp):
+// callback token streams byte-identical to the offline
+// ServingSimulator::Run result (1 card and 4 cards), cancellation
+// freeing KV blocks with no further emissions, stop-token/EOS early
+// termination, submit-time validation, incremental StepUntil driving,
+// and closed-loop clients running deterministically on the shared clock.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "compiler/compiler.hpp"
+#include "llama/tokenizer.hpp"
+#include "runtime/serving.hpp"
+#include "runtime/variants.hpp"
+#include "serving/workload.hpp"
+
+namespace speedllm::api {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+
+  accel::Program Compile() {
+    auto r = compiler::Compile(
+        config, runtime::OptionsFor(runtime::Variant::kSpeedLLM), u280);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value().program;
+  }
+};
+
+serving::ServingRequest MakeRequest(std::int32_t prompt_len, std::int32_t gen,
+                                    double arrival, std::int32_t salt = 0) {
+  serving::ServingRequest req;
+  req.prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < prompt_len; ++t) {
+    req.prompt.push_back(3 + (salt * 31 + t * 7) % 500);
+  }
+  req.max_new_tokens = gen;
+  req.arrival_seconds = arrival;
+  return req;
+}
+
+std::vector<serving::ServingRequest> MixedTrace(
+    const llama::ModelConfig& config, int n) {
+  Rng rng(4242);
+  serving::WorkloadConfig wc;
+  wc.num_requests = n;
+  wc.rate_rps = 3000.0;
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 10;
+  wc.min_new_tokens = 4;
+  wc.max_new_tokens = 10;
+  wc.vocab_size = config.vocab_size;
+  return serving::PoissonTrace(rng, wc);
+}
+
+/// Collects every callback a request's stream fires.
+struct StreamLog {
+  std::vector<std::int32_t> tokens;
+  std::vector<double> token_times;
+  FinishReason finish = FinishReason::kNone;
+  serving::RequestOutcome outcome;
+  int finishes = 0;
+};
+
+StreamCallbacks Record(std::map<std::uint64_t, StreamLog>& logs) {
+  StreamCallbacks callbacks;
+  callbacks.on_token = [&logs](RequestHandle h, std::int32_t token, double t) {
+    logs[h.id].tokens.push_back(token);
+    logs[h.id].token_times.push_back(t);
+  };
+  callbacks.on_finish = [&logs](RequestHandle h, FinishReason reason,
+                                const serving::RequestOutcome& outcome) {
+    logs[h.id].finish = reason;
+    logs[h.id].outcome = outcome;
+    ++logs[h.id].finishes;
+  };
+  return callbacks;
+}
+
+// ---------------- callback streams == offline report ----------------
+
+TEST(ApiEngineTest, CallbackStreamsMatchOfflineRunOnOneAndFourCards) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 10);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.9f;  // stochastic sampling: the strictest stream test
+  sc.seed = 13;
+
+  for (int cards : {1, 4}) {
+    runtime::ServingSimulator offline(
+        prog, f.weights, f.u280, runtime::ServingMode::kContinuousBatching,
+        {}, cards);
+    auto offline_report = offline.Run(reqs, sc);
+    ASSERT_TRUE(offline_report.ok()) << offline_report.status().ToString();
+
+    EngineConfig config;
+    config.num_cards = cards;
+    config.sampler = sc;
+    Engine engine(prog, f.weights, f.u280, config);
+    std::map<std::uint64_t, StreamLog> logs;
+    std::vector<RequestHandle> handles;
+    for (const auto& req : reqs) {
+      auto handle = engine.Submit(req, Record(logs));
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      handles.push_back(*handle);
+    }
+    EXPECT_EQ(engine.active_requests(), reqs.size());
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.active_requests(), 0u);
+    auto report = engine.Finish();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const StreamLog& log = logs[handles[i].id];
+      // Streamed tokens are byte-identical to the offline outcome...
+      EXPECT_EQ(log.tokens, offline_report->outcomes[i].generated)
+          << cards << " cards, request " << i;
+      // ...and to this engine's own harvested outcome.
+      EXPECT_EQ(log.tokens, report->merged.outcomes[i].generated);
+      EXPECT_EQ(log.finish, FinishReason::kLength);
+      EXPECT_EQ(log.finishes, 1);
+      EXPECT_EQ(log.outcome.generated, log.tokens);
+      // The last token is delivered at the request's completion time.
+      ASSERT_FALSE(log.token_times.empty());
+      EXPECT_DOUBLE_EQ(log.token_times.back(),
+                       offline_report->outcomes[i].completion_seconds);
+    }
+  }
+}
+
+TEST(ApiEngineTest, IncrementalSubmissionMatchesUpFrontSubmission) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 8);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.8f;
+  sc.seed = 21;
+
+  runtime::ServingSimulator offline(prog, f.weights, f.u280);
+  auto offline_report = offline.Run(reqs, sc);
+  ASSERT_TRUE(offline_report.ok());
+
+  // Drive the clock past each arrival before submitting the next
+  // request: the engine must accept work at any simulated time.
+  EngineConfig config;
+  config.sampler = sc;
+  Engine engine(prog, f.weights, f.u280, config);
+  std::map<std::uint64_t, StreamLog> logs;
+  std::vector<RequestHandle> handles;
+  for (const auto& req : reqs) {
+    EXPECT_LE(engine.now_seconds(), req.arrival_seconds);
+    auto handle = engine.Submit(req, Record(logs));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(*handle);
+    engine.StepUntil(req.arrival_seconds);
+    // Within half a clock cycle: arrivals quantize to whole cycles.
+    EXPECT_LE(engine.now_seconds(), req.arrival_seconds + 1e-8);
+  }
+  engine.RunToCompletion();
+  EXPECT_TRUE(engine.idle());
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(logs[handles[i].id].tokens,
+              offline_report->outcomes[i].generated)
+        << "request " << i;
+    EXPECT_DOUBLE_EQ(report->merged.outcomes[i].completion_seconds,
+                     offline_report->outcomes[i].completion_seconds);
+  }
+}
+
+TEST(ApiEngineTest, StepUntilNeverDeliversTokensFromTheFuture) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  EngineConfig config;
+  config.sampler = sc;
+  Engine engine(prog, f.weights, f.u280, config);
+  std::map<std::uint64_t, StreamLog> logs;
+  auto handle = engine.Submit(MakeRequest(6, 12, 0.0), Record(logs));
+  ASSERT_TRUE(handle.ok());
+
+  double last_allowed = 0.0;
+  std::size_t seen = 0;
+  while (!engine.idle()) {
+    last_allowed += 2e-5;
+    engine.StepUntil(last_allowed);
+    const StreamLog& log = logs[handle->id];
+    for (double t : log.token_times) EXPECT_LE(t, last_allowed + 1e-12);
+    EXPECT_GE(log.tokens.size(), seen);  // progress is monotone
+    seen = log.tokens.size();
+  }
+  EXPECT_EQ(logs[handle->id].tokens.size(), 12u);
+  EXPECT_EQ(logs[handle->id].finish, FinishReason::kLength);
+}
+
+// ---------------- cancellation ----------------
+
+TEST(ApiEngineTest, CancelFreesKvBlocksAndNeverEmitsAgain) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.temperature = 0.7f;
+  sc.seed = 9;
+  EngineConfig config;
+  config.sampler = sc;
+  Engine engine(prog, f.weights, f.u280, config);
+
+  std::map<std::uint64_t, StreamLog> logs;
+  StreamCallbacks callbacks = Record(logs);
+  std::optional<RequestHandle> victim;
+  std::size_t tokens_at_cancel = 0;
+  // Cancel the long request from inside its own token stream, mid-flight.
+  callbacks.on_token = [&](RequestHandle h, std::int32_t token, double t) {
+    logs[h.id].tokens.push_back(token);
+    logs[h.id].token_times.push_back(t);
+    if (logs[h.id].tokens.size() == 3) {
+      tokens_at_cancel = logs[h.id].tokens.size();
+      EXPECT_GT(engine.kv_blocks_in_use(0), 0);
+      Status st = engine.Cancel(h);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      victim = h;
+    }
+  };
+  auto cancelled = engine.Submit(MakeRequest(8, 48, 0.0, 1), callbacks);
+  ASSERT_TRUE(cancelled.ok());
+  auto bystander = engine.Submit(MakeRequest(6, 6, 0.0, 2), Record(logs));
+  ASSERT_TRUE(bystander.ok());
+  engine.RunToCompletion();
+
+  ASSERT_TRUE(victim.has_value());
+  const StreamLog& log = logs[victim->id];
+  // Not one more token after Cancel returned, and exactly one finish.
+  EXPECT_EQ(log.tokens.size(), tokens_at_cancel);
+  EXPECT_EQ(log.finish, FinishReason::kCancelled);
+  EXPECT_EQ(log.finishes, 1);
+  EXPECT_TRUE(engine.finished(*victim));
+  // Every KV block -- the cancelled request's included -- is back in the
+  // pool once the bystander drains.
+  EXPECT_EQ(engine.kv_blocks_in_use(0), 0);
+  EXPECT_GT(engine.kv_block_capacity(0), 0);
+  // The bystander ran to its full budget, unperturbed.
+  EXPECT_EQ(logs[bystander->id].tokens.size(), 6u);
+  EXPECT_EQ(logs[bystander->id].finish, FinishReason::kLength);
+
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->merged.cancelled_requests, 1);
+  EXPECT_EQ(report->merged.outcomes[0].finish_reason,
+            FinishReason::kCancelled);
+  EXPECT_EQ(report->merged.outcomes[0].generated, log.tokens);
+
+  // Cancelling again (or a finished/unknown handle) fails cleanly.
+  EXPECT_EQ(engine.Cancel(*victim).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Cancel(*bystander).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Cancel(RequestHandle{999}).code(), StatusCode::kNotFound);
+}
+
+TEST(ApiEngineTest, CancelWinsTheRaceAgainstAnUndeliveredFinish) {
+  // Cancelling from the stream's own final on_token: internally the
+  // sequence already finished this tick (kLength), but the client has
+  // not observed the finish -- the cancel must win and the stream must
+  // report kCancelled, exactly once.
+  Fixture f;
+  auto prog = f.Compile();
+  EngineConfig config;
+  config.sampler.temperature = 0.0f;
+  Engine engine(prog, f.weights, f.u280, config);
+
+  std::map<std::uint64_t, StreamLog> logs;
+  StreamCallbacks callbacks = Record(logs);
+  callbacks.on_token = [&](RequestHandle h, std::int32_t token, double) {
+    logs[h.id].tokens.push_back(token);
+    if (logs[h.id].tokens.size() == 4) {  // the budget's last token
+      Status st = engine.Cancel(h);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  };
+  auto handle = engine.Submit(MakeRequest(4, 4, 0.0), callbacks);
+  ASSERT_TRUE(handle.ok());
+  engine.RunToCompletion();
+
+  const StreamLog& log = logs[handle->id];
+  EXPECT_EQ(log.tokens.size(), 4u);
+  EXPECT_EQ(log.finish, FinishReason::kCancelled);
+  EXPECT_EQ(log.finishes, 1);
+  EXPECT_EQ(engine.kv_blocks_in_use(0), 0);
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->merged.cancelled_requests, 1);
+  EXPECT_EQ(report->merged.stopped_requests, 0);
+  EXPECT_EQ(report->merged.outcomes[0].finish_reason,
+            FinishReason::kCancelled);
+}
+
+TEST(ApiEngineTest, CancelBeforeArrivalSuppressesTheRequestEntirely) {
+  Fixture f;
+  auto prog = f.Compile();
+  EngineConfig config;
+  config.sampler.temperature = 0.0f;
+  Engine engine(prog, f.weights, f.u280, config);
+  std::map<std::uint64_t, StreamLog> logs;
+  auto early = engine.Submit(MakeRequest(4, 4, 0.0), Record(logs));
+  auto late = engine.Submit(MakeRequest(4, 4, 5.0), Record(logs));
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(engine.Cancel(*late).ok());  // never placed anywhere
+  EXPECT_TRUE(engine.finished(*late));
+  engine.RunToCompletion();
+  EXPECT_TRUE(logs[late->id].tokens.empty());
+  EXPECT_EQ(logs[late->id].finish, FinishReason::kCancelled);
+  EXPECT_EQ(logs[early->id].tokens.size(), 4u);
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok());
+  // No device work ever ran for the suppressed arrival at t=5.
+  EXPECT_LT(report->merged.makespan_seconds, 5.0);
+  EXPECT_EQ(report->merged.cancelled_requests, 1);
+}
+
+// ---------------- stop tokens / EOS ----------------
+
+TEST(ApiEngineTest, StopTokenEndsGenerationEarlyAndCountsSavedTokens) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.temperature = 0.6f;
+  sc.seed = 33;
+  serving::ServingRequest req = MakeRequest(6, 16, 0.0, 3);
+
+  // Baseline: the unconstrained stream.
+  runtime::ServingSimulator offline(prog, f.weights, f.u280);
+  auto baseline = offline.Run({req}, sc);
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<std::int32_t>& full = baseline->outcomes[0].generated;
+  ASSERT_EQ(full.size(), 16u);
+
+  // Declare the 6th generated token a stop token: the stream must be the
+  // first five tokens, finish kStop, and the report must count the 11
+  // decode tokens the early exit saved.
+  req.stop_tokens = {full[5]};
+  EngineConfig config;
+  config.sampler = sc;
+  Engine engine(prog, f.weights, f.u280, config);
+  std::map<std::uint64_t, StreamLog> logs;
+  auto handle = engine.Submit(req, Record(logs));
+  ASSERT_TRUE(handle.ok());
+  engine.RunToCompletion();
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const StreamLog& log = logs[handle->id];
+  EXPECT_EQ(log.finish, FinishReason::kStop);
+  ASSERT_EQ(log.tokens.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(log.tokens[i], full[i]);
+  EXPECT_EQ(report->merged.outcomes[0].finish_reason, FinishReason::kStop);
+  EXPECT_EQ(report->merged.stopped_requests, 1);
+  EXPECT_EQ(report->merged.stop_saved_tokens, 16 - 5);
+  EXPECT_EQ(engine.kv_blocks_in_use(0), 0);  // early finisher released KV
+}
+
+TEST(ApiEngineTest, SamplerEosBehavesLikeARequestStopToken) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.temperature = 0.6f;
+  sc.seed = 33;
+  const serving::ServingRequest req = MakeRequest(6, 16, 0.0, 3);
+
+  runtime::ServingSimulator offline(prog, f.weights, f.u280);
+  auto baseline = offline.Run({req}, sc);
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<std::int32_t>& full = baseline->outcomes[0].generated;
+
+  // The same early exit through the model-wide EOS id, on both the
+  // batched and the legacy round-robin path.
+  llama::SamplerConfig eos_sc = sc;
+  eos_sc.eos_token = full[5];
+  for (runtime::ServingMode mode :
+       {runtime::ServingMode::kContinuousBatching,
+        runtime::ServingMode::kLegacyRoundRobin}) {
+    runtime::ServingSimulator sim(prog, f.weights, f.u280, mode);
+    auto report = sim.Run({req}, eos_sc);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->outcomes[0].generated.size(), 5u)
+        << (mode == runtime::ServingMode::kLegacyRoundRobin ? "legacy"
+                                                            : "batched");
+    EXPECT_EQ(report->outcomes[0].finish_reason, FinishReason::kStop);
+    EXPECT_EQ(report->stopped_requests, 1);
+    EXPECT_EQ(report->stop_saved_tokens, 16 - 5);
+  }
+}
+
+// ---------------- validation ----------------
+
+TEST(ApiEngineTest, SubmitValidatesRequestsUpFront) {
+  Fixture f;
+  auto prog = f.Compile();
+  Engine engine(prog, f.weights, f.u280);
+
+  serving::ServingRequest empty_prompt;
+  empty_prompt.max_new_tokens = 4;
+  EXPECT_EQ(engine.Submit(empty_prompt).status().code(),
+            StatusCode::kInvalidArgument);
+
+  serving::ServingRequest negative_arrival = MakeRequest(4, 4, -1.0);
+  EXPECT_EQ(engine.Submit(negative_arrival).status().code(),
+            StatusCode::kInvalidArgument);
+
+  serving::ServingRequest no_budget = MakeRequest(4, 4, 0.0);
+  no_budget.max_new_tokens = 0;
+  EXPECT_EQ(engine.Submit(no_budget).status().code(),
+            StatusCode::kInvalidArgument);
+
+  serving::ServingRequest too_long = MakeRequest(4, 4, 0.0);
+  too_long.max_new_tokens = f.config.seq_len + 1;
+  EXPECT_EQ(engine.Submit(too_long).status().code(), StatusCode::kOutOfRange);
+
+  // Nothing bad was admitted; the engine is still empty and usable.
+  EXPECT_EQ(engine.submitted_requests(), 0u);
+  ASSERT_TRUE(engine.Submit(MakeRequest(4, 4, 0.0)).ok());
+  engine.RunToCompletion();
+  ASSERT_TRUE(engine.Finish().ok());
+  // After harvest the engine is closed to new work.
+  EXPECT_EQ(engine.Submit(MakeRequest(4, 4, 0.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ApiEngineTest, FinishRequiresDrainedEngineAndRunsOnce) {
+  Fixture f;
+  auto prog = f.Compile();
+  Engine engine(prog, f.weights, f.u280);
+  ASSERT_TRUE(engine.Submit(MakeRequest(4, 4, 0.0)).ok());
+  EXPECT_EQ(engine.Finish().status().code(), StatusCode::kFailedPrecondition);
+  engine.RunToCompletion();
+  ASSERT_TRUE(engine.Finish().ok());
+  EXPECT_EQ(engine.Finish().status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------- closed-loop clients ----------------
+
+struct ClosedLoopRun {
+  std::vector<std::vector<std::int32_t>> streams;  // one per submission
+  std::vector<double> finish_times;
+  std::int64_t max_in_flight_per_user = 0;
+  serving::ClusterReport report;
+};
+
+/// Wires a ClosedLoopClientPool to an engine and drains it, recording
+/// every stream in submission order.
+ClosedLoopRun DriveClosedLoop(const accel::Program& prog, Fixture& f,
+                              int cards, std::uint64_t seed) {
+  EngineConfig config;
+  config.num_cards = cards;
+  config.sampler.temperature = 0.85f;
+  config.sampler.seed = 7;
+  Engine engine(prog, f.weights, f.u280, config);
+
+  serving::ClosedLoopConfig loop;
+  loop.num_users = 4;
+  loop.requests_per_user = 3;
+  loop.mean_think_seconds = 2e-4;
+  loop.min_prompt_tokens = 3;
+  loop.max_prompt_tokens = 8;
+  loop.min_new_tokens = 3;
+  loop.max_new_tokens = 8;
+  loop.vocab_size = f.config.vocab_size;
+  serving::ClosedLoopClientPool pool(seed, loop);
+
+  ClosedLoopRun run;
+  std::vector<std::int64_t> in_flight(4, 0);
+  std::function<void(std::int32_t, serving::ServingRequest)> issue =
+      [&](std::int32_t user, serving::ServingRequest request) {
+        const std::size_t slot = run.streams.size();
+        run.streams.emplace_back();
+        run.finish_times.push_back(0.0);
+        ++in_flight[static_cast<std::size_t>(user)];
+        run.max_in_flight_per_user =
+            std::max(run.max_in_flight_per_user,
+                     in_flight[static_cast<std::size_t>(user)]);
+        StreamCallbacks callbacks;
+        callbacks.on_token = [&run, slot](RequestHandle, std::int32_t token,
+                                          double) {
+          run.streams[slot].push_back(token);
+        };
+        callbacks.on_finish = [&, user, slot](RequestHandle, FinishReason,
+                                              const serving::RequestOutcome&) {
+          --in_flight[static_cast<std::size_t>(user)];
+          run.finish_times[slot] = engine.now_seconds();
+          if (auto next = pool.OnFinish(user, engine.now_seconds())) {
+            issue(user, std::move(*next));
+          }
+        };
+        auto handle = engine.Submit(std::move(request), std::move(callbacks));
+        EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+      };
+  for (std::int32_t u = 0; u < pool.num_users(); ++u) {
+    auto first = pool.StartUser(u);
+    EXPECT_TRUE(first.has_value()) << "user " << u;
+    if (first) issue(u, std::move(*first));
+  }
+  engine.RunToCompletion();
+  EXPECT_TRUE(pool.AllDone());
+  EXPECT_EQ(pool.total_issued(), 12);
+  auto report = engine.Finish();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) run.report = std::move(*report);
+  return run;
+}
+
+TEST(ApiEngineTest, ClosedLoopClientsRunDeterministicallyOnTheSharedClock) {
+  Fixture f;
+  auto prog = f.Compile();
+  for (int cards : {1, 2}) {
+    ClosedLoopRun a = DriveClosedLoop(prog, f, cards, 55);
+    ClosedLoopRun b = DriveClosedLoop(prog, f, cards, 55);
+    ASSERT_EQ(a.streams.size(), 12u) << cards << " cards";
+    // The per-user concurrency-of-one invariant held throughout.
+    EXPECT_EQ(a.max_in_flight_per_user, 1);
+    // Same seed => identical streams AND identical simulated timing.
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (std::size_t i = 0; i < a.streams.size(); ++i) {
+      EXPECT_EQ(a.streams[i], b.streams[i]) << "submission " << i;
+      EXPECT_DOUBLE_EQ(a.finish_times[i], b.finish_times[i]);
+    }
+    EXPECT_DOUBLE_EQ(a.report.merged.makespan_seconds,
+                     b.report.merged.makespan_seconds);
+    EXPECT_EQ(a.report.shard_of_request, b.report.shard_of_request);
+  }
+}
+
+}  // namespace
+}  // namespace speedllm::api

@@ -1,0 +1,202 @@
+// Unit tests for the synthetic workload generators
+// (serving/workload.hpp): deterministic Poisson/bursty traces under a
+// fixed seed, empirical-rate sanity bounds, request shape invariants,
+// and the closed-loop client pool's one-request-in-flight-per-user
+// contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llama/tokenizer.hpp"
+#include "serving/workload.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+WorkloadConfig BigConfig() {
+  WorkloadConfig wc;
+  wc.num_requests = 4000;
+  wc.rate_rps = 250.0;
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 17;
+  wc.min_new_tokens = 5;
+  wc.max_new_tokens = 29;
+  wc.vocab_size = 32000;
+  return wc;
+}
+
+void CheckShape(const std::vector<ServingRequest>& trace,
+                const WorkloadConfig& wc) {
+  double prev = 0.0;
+  for (const ServingRequest& req : trace) {
+    EXPECT_GE(req.arrival_seconds, prev);  // monotone arrivals
+    prev = req.arrival_seconds;
+    EXPECT_EQ(req.prompt.front(), llama::kBosToken);
+    EXPECT_GE(static_cast<std::int32_t>(req.prompt.size()),
+              wc.min_prompt_tokens);
+    EXPECT_LE(static_cast<std::int32_t>(req.prompt.size()),
+              wc.max_prompt_tokens);
+    EXPECT_GE(req.max_new_tokens, wc.min_new_tokens);
+    EXPECT_LE(req.max_new_tokens, wc.max_new_tokens);
+    for (std::int32_t token : req.prompt) {
+      EXPECT_GE(token, 0);
+      EXPECT_LT(token, wc.vocab_size);
+    }
+  }
+}
+
+// ---------------- open-loop traces ----------------
+
+TEST(WorkloadTest, PoissonTraceIsDeterministicUnderFixedSeed) {
+  const WorkloadConfig wc = BigConfig();
+  Rng a(31), b(31), c(32);
+  auto trace_a = PoissonTrace(a, wc);
+  auto trace_b = PoissonTrace(b, wc);
+  auto trace_c = PoissonTrace(c, wc);
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].prompt, trace_b[i].prompt);
+    EXPECT_EQ(trace_a[i].max_new_tokens, trace_b[i].max_new_tokens);
+    EXPECT_DOUBLE_EQ(trace_a[i].arrival_seconds, trace_b[i].arrival_seconds);
+  }
+  // A different seed moves at least the arrival process.
+  bool differs = false;
+  for (std::size_t i = 0; i < trace_a.size() && !differs; ++i) {
+    differs = trace_a[i].arrival_seconds != trace_c[i].arrival_seconds ||
+              trace_a[i].prompt != trace_c[i].prompt;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadTest, PoissonEmpiricalRateMatchesConfiguredRate) {
+  const WorkloadConfig wc = BigConfig();
+  Rng rng(7);
+  auto trace = PoissonTrace(rng, wc);
+  ASSERT_EQ(trace.size(), 4000u);
+  CheckShape(trace, wc);
+  // 4000 exponential gaps at 250 req/s: the realized rate concentrates
+  // hard around the nominal one (stddev of the mean gap is ~1.6%).
+  const double realized =
+      static_cast<double>(trace.size()) / trace.back().arrival_seconds;
+  EXPECT_GT(realized, wc.rate_rps * 0.9);
+  EXPECT_LT(realized, wc.rate_rps * 1.1);
+}
+
+TEST(WorkloadTest, BurstyTraceClumpsWithoutChangingTheMarginalRate) {
+  WorkloadConfig wc = BigConfig();
+  wc.burst_size = 8;
+  Rng rng(7);
+  auto trace = BurstyTrace(rng, wc);
+  ASSERT_EQ(trace.size(), 4000u);
+  CheckShape(trace, wc);
+  // Same long-run request rate as the Poisson trace...
+  const double realized =
+      static_cast<double>(trace.size()) / trace.back().arrival_seconds;
+  EXPECT_GT(realized, wc.rate_rps * 0.85);
+  EXPECT_LT(realized, wc.rate_rps * 1.15);
+  // ...but arrivals come in same-instant clumps of burst_size.
+  std::int64_t coarrivals = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].arrival_seconds == trace[i - 1].arrival_seconds) {
+      ++coarrivals;
+    }
+  }
+  EXPECT_EQ(coarrivals, 4000 / 8 * 7);
+
+  Rng again(7);
+  auto repeat = BurstyTrace(again, wc);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].prompt, repeat[i].prompt);
+    EXPECT_DOUBLE_EQ(trace[i].arrival_seconds, repeat[i].arrival_seconds);
+  }
+}
+
+// ---------------- closed-loop client pool ----------------
+
+ClosedLoopConfig LoopConfig() {
+  ClosedLoopConfig loop;
+  loop.num_users = 3;
+  loop.requests_per_user = 4;
+  loop.mean_think_seconds = 0.02;
+  loop.min_prompt_tokens = 3;
+  loop.max_prompt_tokens = 9;
+  loop.min_new_tokens = 2;
+  loop.max_new_tokens = 7;
+  loop.vocab_size = 512;
+  return loop;
+}
+
+TEST(WorkloadTest, ClosedLoopUserNeverHasTwoRequestsInFlight) {
+  ClosedLoopClientPool pool(11, LoopConfig());
+  ASSERT_EQ(pool.num_users(), 3);
+  for (std::int32_t u = 0; u < 3; ++u) {
+    EXPECT_FALSE(pool.in_flight(u));
+    auto first = pool.StartUser(u);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_GT(first->arrival_seconds, 0.0);  // think gap before turn one
+    EXPECT_TRUE(pool.in_flight(u));  // exactly one outstanding from here on
+  }
+  // Finish the users round-robin; between OnFinish and the returned next
+  // request there is never a second one outstanding for the same user.
+  double now = 0.05;
+  std::int32_t drained = 0;
+  std::vector<bool> active(3, true);
+  while (drained < 3) {
+    for (std::int32_t u = 0; u < 3; ++u) {
+      if (!active[u]) continue;
+      ASSERT_TRUE(pool.in_flight(u));
+      auto next = pool.OnFinish(u, now);
+      if (next.has_value()) {
+        EXPECT_TRUE(pool.in_flight(u));
+        EXPECT_GT(next->arrival_seconds, now);  // now + think gap
+        EXPECT_FALSE(next->prompt.empty());
+      } else {
+        EXPECT_FALSE(pool.in_flight(u));
+        EXPECT_EQ(pool.issued(u), 4);
+        active[u] = false;
+        ++drained;
+      }
+      now += 0.01;
+    }
+  }
+  EXPECT_TRUE(pool.AllDone());
+  EXPECT_EQ(pool.total_issued(), 12);
+}
+
+TEST(WorkloadTest, ClosedLoopStreamsArePerUserDeterministic) {
+  // Two pools with the same seed, driven with *different* completion
+  // interleavings: each user's request contents must match anyway,
+  // because every user draws from a private stream.
+  ClosedLoopClientPool fifo(23, LoopConfig());
+  ClosedLoopClientPool lifo(23, LoopConfig());
+  std::vector<std::vector<ServingRequest>> fifo_reqs(3), lifo_reqs(3);
+  for (std::int32_t u = 0; u < 3; ++u) {
+    fifo_reqs[u].push_back(*fifo.StartUser(u));
+  }
+  for (std::int32_t u = 2; u >= 0; --u) {
+    lifo_reqs[u].push_back(*lifo.StartUser(u));
+  }
+  double now = 0.0;
+  for (std::int32_t round = 0; round < 3; ++round) {
+    now += 0.01;
+    for (std::int32_t u = 0; u < 3; ++u) {
+      fifo_reqs[u].push_back(*fifo.OnFinish(u, now));
+    }
+    for (std::int32_t u = 2; u >= 0; --u) {
+      // Different "now" too: only the arrival offset may differ.
+      lifo_reqs[u].push_back(*lifo.OnFinish(u, now + 1.0));
+    }
+  }
+  for (std::int32_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(fifo_reqs[u].size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(fifo_reqs[u][k].prompt, lifo_reqs[u][k].prompt)
+          << "user " << u << " turn " << k;
+      EXPECT_EQ(fifo_reqs[u][k].max_new_tokens,
+                lifo_reqs[u][k].max_new_tokens);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace speedllm::serving
