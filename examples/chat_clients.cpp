@@ -1,16 +1,22 @@
-// SpeedLLM example: closed-loop streaming chat clients on the online API.
+// SpeedLLM example: multi-turn streaming chat clients on the online API.
 //
 // Drives speedllm::api::Engine the way a chat frontend would: N simulated
-// users each keep exactly one request in flight, watch their tokens
-// stream out of per-request callbacks, think for a while after each
-// answer, then ask again. A configurable fraction of requests hang up
-// mid-stream (Cancel after a few tokens), exercising the abort path: KV
-// blocks free immediately and the cancelled stream never emits again.
+// users hold growing conversations -- every turn's prompt replays the
+// whole history (system prompt, prior turns, prior answers) plus a fresh
+// user message -- watch their tokens stream out of per-request callbacks,
+// think for a while after each answer, then ask again. The prefix-caching
+// KV pool recognizes each conversation's history blocks (and the system
+// prompt shared by every user), so follow-up turns skip re-prefilling
+// them; kPrefixAffinity placement routes a user's next turn back to the
+// card holding their history. A configurable fraction of turns hang up
+// mid-stream (Cancel after a few tokens), exercising the abort path --
+// the truncated answer still joins the history, like a real chat log.
 // Everything runs on the shared simulated clock, so the same flags always
 // print the same transcript.
 //
 //   ./examples/chat_clients [--users 6] [--turns 3] [--cards 2]
 //                           [--think-ms 30] [--cancel-every 5]
+//                           [--system-tokens 24] [--no-cache 0]
 //                           [--preset tiny] [--seed 17]
 #include <cstdio>
 #include <functional>
@@ -34,6 +40,7 @@ struct UserStats {
   std::int64_t tokens = 0;
   std::int64_t cancelled = 0;
   std::int64_t stopped = 0;
+  std::int64_t history_tokens = 0;
   double last_finish_seconds = 0.0;
 };
 
@@ -42,8 +49,8 @@ struct UserStats {
 int main(int argc, char** argv) {
   auto cl_or = CommandLine::Parse(
       argc, argv,
-      {"users", "turns", "cards", "think-ms", "cancel-every", "preset",
-       "seed"});
+      {"users", "turns", "cards", "think-ms", "cancel-every", "system-tokens",
+       "no-cache", "preset", "seed"});
   if (!cl_or.ok()) {
     std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
     return 1;
@@ -56,6 +63,9 @@ int main(int argc, char** argv) {
   // Every cancel_every-th submission hangs up after its third token
   // (0 disables cancellations).
   const std::int64_t cancel_every = cl.GetInt("cancel-every", 5);
+  const std::int32_t system_tokens =
+      static_cast<std::int32_t>(cl.GetInt("system-tokens", 24));
+  const bool no_cache = cl.GetInt("no-cache", 0) != 0;
   const std::uint64_t seed = static_cast<std::uint64_t>(cl.GetInt("seed", 17));
 
   llama::ModelConfig model = cl.GetString("preset", "tiny") == "stories15m"
@@ -72,28 +82,31 @@ int main(int argc, char** argv) {
 
   api::EngineConfig engine_config;
   engine_config.num_cards = cards;
-  engine_config.placement = serving::PlacementPolicy::kLeastOutstandingTokens;
+  // Follow-up turns chase their conversation's cached history blocks.
+  engine_config.placement = serving::PlacementPolicy::kPrefixAffinity;
+  engine_config.scheduler.enable_prefix_cache = !no_cache;
   engine_config.sampler.temperature = 0.8f;
   engine_config.sampler.seed = 99;
   api::Engine engine(compiled->program, weights, u280, engine_config);
 
-  serving::ClosedLoopConfig loop;
-  loop.num_users = users;
-  loop.requests_per_user = turns;
-  loop.mean_think_seconds = think_ms * 1e-3;
-  loop.min_prompt_tokens = 4;
-  loop.max_prompt_tokens = 12;
-  loop.min_new_tokens = 6;
-  loop.max_new_tokens = 16;
-  loop.vocab_size = model.vocab_size;
-  serving::ClosedLoopClientPool pool(seed, loop);
+  serving::MultiTurnConfig chat;
+  chat.num_users = users;
+  chat.turns_per_user = turns;
+  chat.mean_think_seconds = think_ms * 1e-3;
+  chat.system_prompt_tokens = system_tokens;
+  chat.min_user_tokens = 2;
+  chat.max_user_tokens = 5;
+  chat.min_new_tokens = 4;
+  chat.max_new_tokens = 8;
+  chat.vocab_size = model.vocab_size;
+  serving::MultiTurnChatPool pool(seed, chat);
 
   std::vector<UserStats> stats(static_cast<std::size_t>(users));
   std::int64_t submissions = 0;
 
-  // Issues one request for `user`, wiring callbacks that stream its
-  // tokens, optionally hang up mid-stream, and chain the user's next
-  // turn from on_finish -- the closed-loop cycle.
+  // Issues one turn for `user`, wiring callbacks that stream its tokens,
+  // optionally hang up mid-stream, and chain the user's next turn (the
+  // full history plus a fresh message) from on_finish.
   std::function<void(std::int32_t, serving::ServingRequest)> issue =
       [&](std::int32_t user, serving::ServingRequest request) {
         ++submissions;
@@ -126,13 +139,20 @@ int main(int argc, char** argv) {
           if (reason == api::FinishReason::kCancelled) ++u.cancelled;
           if (reason == api::FinishReason::kStop) ++u.stopped;
           std::printf(
-              "[%8.3f ms] user %d turn done: %zu tokens, %s "
+              "[%8.3f ms] user %d turn done: %d history + %zu new tokens, %s "
               "(ttft %.3f ms, e2e %.3f ms)\n",
-              out.completion_seconds * 1e3, user, out.generated.size(),
+              out.completion_seconds * 1e3, user, out.prompt_tokens,
+              out.generated.size(),
               std::string(serving::FinishReasonName(reason)).c_str(),
               out.time_to_first_token() * 1e3, out.latency() * 1e3);
-          if (auto next = pool.OnFinish(user, engine.now_seconds())) {
+          // Even a hang-up-truncated answer joins the conversation log;
+          // the next turn replays it and rides the cached blocks.
+          if (auto next = pool.OnFinish(user, engine.now_seconds(),
+                                        out.generated)) {
             issue(user, std::move(*next));
+          } else {
+            u.history_tokens =
+                static_cast<std::int64_t>(pool.history(user).size());
           }
         };
         auto handle = engine.Submit(std::move(request), std::move(callbacks));
@@ -142,9 +162,10 @@ int main(int argc, char** argv) {
         }
       };
 
-  std::printf("== %d closed-loop users x %d turns on %d card(s), "
-              "think ~%.0f ms ==\n\n",
-              users, turns, cards, think_ms);
+  std::printf(
+      "== %d chat users x %d turns on %d card(s), %d-token shared system "
+      "prompt, think ~%.0f ms, prefix cache %s ==\n\n",
+      users, turns, cards, system_tokens, think_ms, no_cache ? "OFF" : "ON");
   for (std::int32_t u = 0; u < users; ++u) {
     if (auto first = pool.StartUser(u)) issue(u, std::move(*first));
   }
@@ -160,7 +181,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   Table table({"user", "turns", "tokens", "cancelled", "stopped",
-               "last_finish_ms"});
+               "history_tok", "last_finish_ms"});
   for (std::int32_t u = 0; u < users; ++u) {
     const UserStats& s = stats[static_cast<std::size_t>(u)];
     table.AddRow();
@@ -169,6 +190,7 @@ int main(int argc, char** argv) {
     table.Cell(s.tokens);
     table.Cell(s.cancelled);
     table.Cell(s.stopped);
+    table.Cell(s.history_tokens);
     table.Cell(s.last_finish_seconds * 1e3, 3);
   }
   table.Print();
@@ -181,9 +203,18 @@ int main(int argc, char** argv) {
       m.device_tokens_per_second, m.makespan_seconds,
       m.ttft_percentile(0.99) * 1e3, m.latency_percentile(0.99) * 1e3);
   std::printf(
-      "closed loop: every user kept exactly one request in flight; the "
-      "next turn arrives one think-time gap after the previous answer "
-      "(or hang-up) -- load self-throttles instead of queueing without "
-      "bound.\n");
+      "prefix cache: %lld/%lld admissions hit, %lld tokens served from "
+      "cache (%.0f%% of eligible), %lld COW copies, %lld evictions\n",
+      static_cast<long long>(m.prefix_cache_hits),
+      static_cast<long long>(m.prefix_cache_queries),
+      static_cast<long long>(m.prefix_cache_hit_tokens),
+      m.cache_hit_rate() * 100.0,
+      static_cast<long long>(m.cow_copies),
+      static_cast<long long>(m.cache_evictions));
+  std::printf(
+      "every turn resubmits the whole conversation, but only the new "
+      "user message and answer pay prefill: the history blocks are "
+      "already resident, and prefix-affinity placement keeps each "
+      "conversation pinned to the card that holds them.\n");
   return 0;
 }

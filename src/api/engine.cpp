@@ -91,8 +91,9 @@ StatusOr<RequestHandle> Engine::Submit(serving::ServingRequest request,
       std::max(request.arrival_seconds, session_->now_seconds());
   requests_.push_back(std::move(request));
   entries_.push_back(Entry{std::move(callbacks), false});
-  session_->SubmitAt(&requests_.back(), stream,
-                     session_->SecondsToCycles(requests_.back().arrival_seconds));
+  session_->SubmitAt(
+      &requests_.back(), stream,
+      session_->SecondsToCycles(requests_.back().arrival_seconds));
   return RequestHandle{stream + 1};
 }
 
@@ -135,6 +136,11 @@ std::int64_t Engine::kv_blocks_in_use(int card) const {
 
 std::int64_t Engine::kv_block_capacity(int card) const {
   return session_ == nullptr ? 0 : session_->shard(card).pool().num_blocks();
+}
+
+serving::KvPoolStats Engine::kv_pool_stats(int card) const {
+  return session_ == nullptr ? serving::KvPoolStats{}
+                             : session_->shard(card).pool().stats();
 }
 
 StatusOr<serving::ClusterReport> Engine::Finish() {

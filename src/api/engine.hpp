@@ -139,6 +139,10 @@ class Engine {
   /// stop-token tests observe block recycling through this).
   std::int64_t kv_blocks_in_use(int card) const;
   std::int64_t kv_block_capacity(int card) const;
+  /// Live KV pool counters for `card`, including the prefix-cache
+  /// hit/eviction/copy-on-write stats -- how multi-turn clients observe
+  /// their conversation history being reused across turns.
+  serving::KvPoolStats kv_pool_stats(int card) const;
 
   // ----- harvest -----
   /// Finalizes the run and returns the merged + per-card report over the

@@ -15,6 +15,7 @@ std::string_view PlacementPolicyName(PlacementPolicy policy) {
     case PlacementPolicy::kRoundRobin: return "round-robin";
     case PlacementPolicy::kLeastOutstandingTokens: return "least-outstanding";
     case PlacementPolicy::kBestFitFreeKv: return "best-fit-kv";
+    case PlacementPolicy::kPrefixAffinity: return "prefix-affinity";
   }
   return "unknown";
 }
@@ -220,6 +221,32 @@ std::size_t ClusterSession::PickCard(const ServingRequest& request) {
       }
       return covering != shards_.size() ? covering : best;
     }
+    case PlacementPolicy::kPrefixAffinity: {
+      // Longest cached prefix wins: the owning card serves the request's
+      // shared blocks without re-prefilling them. Ties (typically "no
+      // card has anything cached") break toward the most projected-free
+      // blocks, then the lowest card id.
+      std::size_t best = 0;
+      std::int64_t best_tokens = -1;
+      std::int64_t best_free = 0;
+      for (std::size_t c = 0; c < shards_.size(); ++c) {
+        const std::int64_t cached =
+            shards_[c]
+                ->pool()
+                .MatchCachedPrefix(
+                    request.prompt,
+                    static_cast<std::int64_t>(request.prompt.size()))
+                .matched_tokens;
+        const std::int64_t f = shards_[c]->projected_free_kv_blocks();
+        if (cached > best_tokens ||
+            (cached == best_tokens && f > best_free)) {
+          best = c;
+          best_tokens = cached;
+          best_free = f;
+        }
+      }
+      return best;
+    }
   }
   return 0;
 }
@@ -298,6 +325,12 @@ ClusterReport ClusterSession::Harvest() {
     m.stopped_requests += shard.stopped_requests;
     m.cancelled_requests += shard.cancelled_requests;
     m.stop_saved_tokens += shard.stop_saved_tokens;
+    m.prefix_cache_queries += shard.prefix_cache_queries;
+    m.prefix_cache_hits += shard.prefix_cache_hits;
+    m.prefix_cache_hit_tokens += shard.prefix_cache_hit_tokens;
+    m.prefix_cache_lookup_tokens += shard.prefix_cache_lookup_tokens;
+    m.cow_copies += shard.cow_copies;
+    m.cache_evictions += shard.cache_evictions;
     m.peak_kv_blocks += shard.peak_kv_blocks;
     m.kv_block_capacity += shard.kv_block_capacity;
     m.kv_capacity_bytes += shard.kv_capacity_bytes;

@@ -49,6 +49,11 @@ enum class PlacementPolicy {
   kRoundRobin,              // arrival order, ignores card state
   kLeastOutstandingTokens,  // min remaining prefill+decode tokens
   kBestFitFreeKv,           // max projected-free KV blocks
+  /// Card whose KV pool holds the longest cached prefix of the prompt
+  /// (multi-turn chats return to their history's card; shared system
+  /// prompts pile onto one card's cache). Ties -- including "nobody has
+  /// anything" -- fall back to the most projected-free blocks.
+  kPrefixAffinity,
 };
 
 std::string_view PlacementPolicyName(PlacementPolicy policy);

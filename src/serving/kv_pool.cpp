@@ -1,8 +1,34 @@
 #include "serving/kv_pool.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace speedllm::serving {
+
+namespace {
+
+/// FNV-1a offset basis; the chain starts here for every sequence so equal
+/// token prefixes hash equally regardless of which sequence wrote them.
+constexpr std::uint64_t kChainSeed = 0xcbf29ce484222325ull;
+
+/// Folds one token into the running chain hash (boost-style combine with
+/// an FNV-prime multiply). 64-bit collisions would alias two different
+/// prefixes; at simulation scale that is as improbable as in vLLM's
+/// hash-addressed prefix cache, and the stress test's no-false-sharing
+/// invariant would catch a bad mix.
+std::uint64_t MixToken(std::uint64_t h, std::int32_t token) {
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(token)) +
+       0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h * 0x100000001b3ull;
+}
+
+std::uint64_t MixBlock(std::uint64_t h,
+                       std::span<const std::int32_t> tokens) {
+  for (std::int32_t t : tokens) h = MixToken(h, t);
+  return h;
+}
+
+}  // namespace
 
 std::uint32_t KvBytesPerToken(const llama::ModelConfig& config) {
   // K and V vectors of kv_dim floats per layer.
@@ -23,6 +49,7 @@ KvBlockPool::KvBlockPool(const KvPoolConfig& config) : config_(config) {
   for (std::int64_t b = num_blocks_ - 1; b >= 0; --b) {
     free_list_.push_back(static_cast<std::int32_t>(b));
   }
+  meta_.resize(static_cast<std::size_t>(num_blocks_));
 }
 
 std::int64_t KvBlockPool::BlocksForTokens(std::int64_t tokens) const {
@@ -31,40 +58,240 @@ std::int64_t KvBlockPool::BlocksForTokens(std::int64_t tokens) const {
   return (tokens + bs - 1) / bs;
 }
 
+std::int64_t KvBlockPool::WalkCachedPrefix(
+    std::span<const std::int32_t> tokens, std::int64_t max_tokens,
+    std::vector<std::int32_t>* blocks,
+    std::vector<std::uint64_t>* chain_before) const {
+  if (!config_.enable_prefix_cache || cache_.empty()) return 0;
+  const std::int64_t bs = config_.block_size_tokens;
+  const std::int64_t len = static_cast<std::int64_t>(tokens.size());
+  std::uint64_t h = kChainSeed;
+  std::int64_t full = 0;
+  // Only whole blocks are content-addressed, and a block starting at or
+  // past the cap cannot contribute any usable token.
+  while ((full + 1) * bs <= len && full * bs < max_tokens) {
+    const std::uint64_t next = MixBlock(
+        h, tokens.subspan(static_cast<std::size_t>(full * bs),
+                          static_cast<std::size_t>(bs)));
+    auto it = cache_.find(next);
+    if (it == cache_.end()) break;
+    if (blocks != nullptr) blocks->push_back(it->second);
+    if (chain_before != nullptr) chain_before->push_back(h);
+    h = next;
+    ++full;
+  }
+  return full;
+}
+
+PrefixMatch KvBlockPool::MatchCachedPrefix(
+    std::span<const std::int32_t> tokens, std::int64_t max_tokens) const {
+  PrefixMatch match;
+  std::vector<std::int32_t> blocks;
+  const std::int64_t full = WalkCachedPrefix(tokens, max_tokens, &blocks,
+                                             nullptr);
+  if (full == 0 || max_tokens <= 0) return match;
+  const std::int64_t bs = config_.block_size_tokens;
+  match.matched_tokens = std::min(full * bs, max_tokens);
+  match.matched_blocks = (match.matched_tokens + bs - 1) / bs;
+  for (std::int64_t k = 0; k < match.matched_blocks; ++k) {
+    if (meta_[static_cast<std::size_t>(blocks[static_cast<std::size_t>(k)])]
+            .refcount > 0) {
+      ++match.live_shared_blocks;
+    }
+  }
+  return match;
+}
+
 Status KvBlockPool::Register(std::uint64_t seq) {
   if (seqs_.count(seq)) {
     return FailedPrecondition("sequence " + std::to_string(seq) +
                               " already registered in KV pool");
   }
-  seqs_.emplace(seq, SeqState{});
+  SeqState state;
+  state.chain_hash = kChainSeed;
+  seqs_.emplace(seq, std::move(state));
   ++stats_.sequence_registers;
   return Status::Ok();
 }
 
-Status KvBlockPool::Append(std::uint64_t seq) {
+StatusOr<PrefixMatch> KvBlockPool::AcquireCachedPrefix(
+    std::uint64_t seq, std::span<const std::int32_t> tokens,
+    std::int64_t max_tokens) {
   auto it = seqs_.find(seq);
   if (it == seqs_.end()) {
     return NotFound("sequence " + std::to_string(seq) +
                     " not registered in KV pool");
   }
   SeqState& state = it->second;
-  const bool needs_block =
-      state.tokens % static_cast<std::int64_t>(config_.block_size_tokens) == 0;
-  if (needs_block) {
-    if (free_list_.empty()) {
+  if (state.tokens != 0 || !state.blocks.empty()) {
+    return FailedPrecondition("AcquireCachedPrefix must run before Append");
+  }
+  PrefixMatch match;
+  if (!config_.enable_prefix_cache) return match;
+  ++stats_.prefix_queries;
+  stats_.prefix_lookup_tokens +=
+      std::max<std::int64_t>(0,
+                             std::min(static_cast<std::int64_t>(tokens.size()),
+                                      max_tokens));
+  std::vector<std::int32_t> blocks;
+  std::vector<std::uint64_t> chain_before;
+  const std::int64_t full =
+      WalkCachedPrefix(tokens, max_tokens, &blocks, &chain_before);
+  if (full == 0 || max_tokens <= 0) return match;
+
+  const std::int64_t bs = config_.block_size_tokens;
+  match.matched_tokens = std::min(full * bs, max_tokens);
+  match.matched_blocks = (match.matched_tokens + bs - 1) / bs;
+  for (std::int64_t k = 0; k < match.matched_blocks; ++k) {
+    const std::int32_t b = blocks[static_cast<std::size_t>(k)];
+    BlockMeta& m = meta_[static_cast<std::size_t>(b)];
+    if (m.refcount == 0) {
+      // Revive off the LRU list: the block was free capacity until now.
+      lru_.erase(m.lru_stamp);
+      ++used_blocks_;
+      ++stats_.cache_block_reacquires;
+      stats_.peak_used_blocks = std::max(stats_.peak_used_blocks,
+                                         used_blocks_);
+    } else {
+      ++match.live_shared_blocks;
+      ++stats_.shared_block_acquires;
+    }
+    ++m.refcount;
+    state.blocks.push_back(b);
+  }
+  state.tokens = match.matched_tokens;
+  // The chain covers only fully consumed blocks; a partially consumed
+  // last block contributes its consumed tokens to the tail so a later
+  // seal recomputes the same content hash.
+  const std::int64_t sealed = match.matched_tokens / bs;
+  state.chain_hash = sealed < full
+                         ? chain_before[static_cast<std::size_t>(sealed)]
+                         : MixBlock(chain_before.back(),
+                                    tokens.subspan(static_cast<std::size_t>(
+                                                       (full - 1) * bs),
+                                                   static_cast<std::size_t>(bs)));
+  const std::int64_t rem = match.matched_tokens % bs;
+  if (rem > 0) {
+    state.tail.assign(tokens.begin() + sealed * bs,
+                      tokens.begin() + match.matched_tokens);
+  }
+  ++stats_.prefix_hits;
+  stats_.prefix_hit_tokens += match.matched_tokens;
+  assert(bytes_in_use() <= config_.pool_bytes &&
+         "KV pool exceeded its HBM budget");
+  return match;
+}
+
+std::int32_t KvBlockPool::AllocateBlock() {
+  if (!free_list_.empty()) {
+    const std::int32_t b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+  if (!lru_.empty()) {
+    // Evict the coldest cached block: its content is discarded and the
+    // hash entry removed, but no live owner is ever touched.
+    const auto oldest = lru_.begin();
+    const std::int32_t b = oldest->second;
+    lru_.erase(oldest);
+    BlockMeta& m = meta_[static_cast<std::size_t>(b)];
+    assert(m.refcount == 0 && m.cached && "LRU held a live block");
+    cache_.erase(m.hash);
+    m.cached = false;
+    m.hash = 0;
+    ++stats_.cache_evictions;
+    return b;
+  }
+  return -1;
+}
+
+void KvBlockPool::AdoptBlock(SeqState& state, std::int32_t block,
+                             bool replace_tail) {
+  BlockMeta& m = meta_[static_cast<std::size_t>(block)];
+  m.refcount = 1;
+  m.cached = false;
+  m.hash = 0;
+  if (replace_tail) {
+    state.blocks.back() = block;
+  } else {
+    state.blocks.push_back(block);
+  }
+  ++used_blocks_;
+  ++stats_.block_allocs;
+  stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
+  assert(bytes_in_use() <= config_.pool_bytes &&
+         "KV pool exceeded its HBM budget");
+}
+
+void KvBlockPool::DropBlockRef(std::int32_t block) {
+  BlockMeta& m = meta_[static_cast<std::size_t>(block)];
+  assert(m.refcount > 0 && "dropping a reference nobody holds");
+  if (--m.refcount > 0) return;
+  --used_blocks_;
+  ++stats_.block_frees;
+  if (m.cached) {
+    m.lru_stamp = lru_tick_++;
+    lru_.emplace(m.lru_stamp, block);
+  } else {
+    free_list_.push_back(block);
+  }
+}
+
+void KvBlockPool::SealTailBlock(SeqState& state) {
+  state.chain_hash = MixBlock(state.chain_hash, state.tail);
+  state.tail.clear();
+  if (!config_.enable_prefix_cache) return;
+  const std::int32_t block = state.blocks.back();
+  BlockMeta& m = meta_[static_cast<std::size_t>(block)];
+  assert(!m.cached && m.refcount == 1 && "sealing a non-private tail");
+  const auto [it, inserted] = cache_.try_emplace(state.chain_hash, block);
+  (void)it;
+  if (inserted) {
+    // First block with this content: future prompts match it.
+    m.cached = true;
+    m.hash = state.chain_hash;
+    ++stats_.cache_insertions;
+  }
+  // Equal content already cached (e.g. the source of a copy-on-write):
+  // this physical copy stays private and is simply freed on release.
+}
+
+Status KvBlockPool::Append(std::uint64_t seq, std::int32_t token) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) {
+    return NotFound("sequence " + std::to_string(seq) +
+                    " not registered in KV pool");
+  }
+  SeqState& state = it->second;
+  const std::int64_t bs = config_.block_size_tokens;
+  const std::int64_t offset = state.tokens % bs;
+  if (offset == 0) {
+    const std::int32_t block = AllocateBlock();
+    if (block < 0) {
       return ResourceExhausted("KV pool out of blocks (" +
                                std::to_string(num_blocks_) + " total)");
     }
-    state.blocks.push_back(free_list_.back());
-    free_list_.pop_back();
-    ++used_blocks_;
-    ++stats_.block_allocs;
-    stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
-    assert(bytes_in_use() <= config_.pool_bytes &&
-           "KV pool exceeded its HBM budget");
+    AdoptBlock(state, block, /*replace_tail=*/false);
+  } else {
+    const std::int32_t tail = state.blocks.back();
+    const BlockMeta& m = meta_[static_cast<std::size_t>(tail)];
+    if (m.cached || m.refcount > 1) {
+      // Copy-on-write: the KV write would land inside a block that other
+      // owners (or the cache index) rely on staying immutable. Allocate
+      // first so failure leaves the sequence untouched.
+      const std::int32_t copy = AllocateBlock();
+      if (copy < 0) {
+        return ResourceExhausted("KV pool out of blocks for COW (" +
+                                 std::to_string(num_blocks_) + " total)");
+      }
+      DropBlockRef(tail);
+      AdoptBlock(state, copy, /*replace_tail=*/true);
+      ++stats_.cow_copies;
+    }
   }
+  state.tail.push_back(token);
   ++state.tokens;
-  ++total_tokens_;
+  if (state.tokens % bs == 0) SealTailBlock(state);
   return Status::Ok();
 }
 
@@ -75,11 +302,8 @@ Status KvBlockPool::Release(std::uint64_t seq, bool preempted) {
                     " not registered in KV pool");
   }
   for (std::int32_t b : it->second.blocks) {
-    free_list_.push_back(b);
-    --used_blocks_;
-    ++stats_.block_frees;
+    DropBlockRef(b);
   }
-  total_tokens_ -= it->second.tokens;
   seqs_.erase(it);
   ++stats_.sequence_releases;
   if (preempted) ++stats_.preemption_releases;
@@ -98,11 +322,31 @@ const std::vector<std::int32_t>& KvBlockPool::BlockTable(
   return it->second.blocks;
 }
 
+std::int32_t KvBlockPool::BlockRefCount(std::int32_t block) const {
+  return meta_[static_cast<std::size_t>(block)].refcount;
+}
+
+bool KvBlockPool::BlockIsCached(std::int32_t block) const {
+  return meta_[static_cast<std::size_t>(block)].cached;
+}
+
 std::uint64_t KvBlockPool::fragmentation_bytes() const {
-  const std::uint64_t allocated = bytes_in_use();
-  const std::uint64_t used =
-      static_cast<std::uint64_t>(total_tokens_) * config_.bytes_per_token;
-  return allocated - used;
+  // Only a private partial tail wastes slots: shared and cached blocks
+  // are always full, and a shared partial tail (a mapped block awaiting
+  // copy-on-write) holds live co-owned content, not slack.
+  const std::int64_t bs = config_.block_size_tokens;
+  std::uint64_t wasted_tokens = 0;
+  for (const auto& [seq, state] : seqs_) {
+    (void)seq;
+    const std::int64_t rem = state.tokens % bs;
+    if (rem == 0 || state.blocks.empty()) continue;
+    const BlockMeta& m =
+        meta_[static_cast<std::size_t>(state.blocks.back())];
+    if (!m.cached && m.refcount == 1) {
+      wasted_tokens += static_cast<std::uint64_t>(bs - rem);
+    }
+  }
+  return wasted_tokens * config_.bytes_per_token;
 }
 
 }  // namespace speedllm::serving

@@ -1,18 +1,31 @@
-// SpeedLLM -- paged KV-cache block manager.
+// SpeedLLM -- paged KV-cache block manager with prefix caching.
 //
 // Carves a slice of U280 HBM (hw::HbmConfig::capacity_bytes minus the
 // resident-weight / scratch reservation) into fixed-size token blocks, in
 // the style of vLLM's PagedAttention block allocator. Each resident
 // sequence owns a block table (ordered list of physical block ids); a
-// block holds `block_size_tokens` consecutive KV entries for one
-// sequence, so internal fragmentation is bounded by one block per
-// sequence. The pool is a capacity/accounting model: the functional KV
-// values live in the per-slot executor buffers, while this class decides
-// who fits, who must be preempted, and what the HBM footprint is.
+// block holds `block_size_tokens` consecutive KV entries, so internal
+// fragmentation is bounded by one block per sequence. The pool is a
+// capacity/accounting model: the functional KV values live in the
+// per-slot executor buffers, while this class decides who fits, who must
+// be preempted, and what the HBM footprint is.
+//
+// Prefix caching (PR 4): blocks are reference-counted and full blocks
+// are content-addressed by a hash chain over (prefix hash, block
+// tokens). When a new sequence's prompt starts with a cached prefix,
+// AcquireCachedPrefix maps the matching blocks into its table (refcounts
+// bumped) so prefill skips those tokens entirely; a write into a
+// shared/immutable block copies it first (copy-on-write). Cached blocks
+// whose refcount drops to zero park on an LRU list and still count as
+// free capacity -- they are evicted on demand, so caching never reduces
+// schedulable capacity. A block is writable iff it has exactly one owner
+// and is not in the cache index.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -28,6 +41,10 @@ struct KvPoolConfig {
   std::uint64_t pool_bytes = 0;        // total budget carved from HBM
   std::uint32_t block_size_tokens = 16;
   std::uint32_t bytes_per_token = 0;   // see KvBytesPerToken
+  /// Content-address full blocks and share them across sequences with a
+  /// common prefix. Off restores the PR-1 private-blocks-only behavior;
+  /// token streams are byte-identical either way.
+  bool enable_prefix_cache = true;
 
   std::uint64_t block_bytes() const {
     return static_cast<std::uint64_t>(block_size_tokens) * bytes_per_token;
@@ -35,12 +52,40 @@ struct KvPoolConfig {
 };
 
 struct KvPoolStats {
+  /// Fresh physical allocations (block boundaries + copy-on-write).
   std::int64_t block_allocs = 0;
+  /// Blocks whose last owner released them (to the LRU list when cached,
+  /// to the free list otherwise).
   std::int64_t block_frees = 0;
+  /// Peak simultaneously-owned *physical* blocks. A block shared by N
+  /// block tables counts once, not N times.
   std::int64_t peak_used_blocks = 0;
   std::int64_t sequence_registers = 0;
   std::int64_t sequence_releases = 0;
   std::int64_t preemption_releases = 0;  // releases flagged as swap-outs
+
+  // ----- prefix cache -----
+  std::int64_t prefix_queries = 0;       // AcquireCachedPrefix calls
+  std::int64_t prefix_hits = 0;          // queries matching >= 1 block
+  std::int64_t prefix_hit_tokens = 0;    // tokens restored from cache
+  std::int64_t prefix_lookup_tokens = 0; // tokens offered for matching
+  std::int64_t shared_block_acquires = 0; // refcount bumps on live blocks
+  std::int64_t cache_block_reacquires = 0; // evictable blocks revived
+  std::int64_t cow_copies = 0;           // copy-on-write block copies
+  std::int64_t cache_insertions = 0;     // full blocks content-addressed
+  std::int64_t cache_evictions = 0;      // LRU entries discarded for reuse
+};
+
+/// Result of a cached-prefix probe/acquisition.
+struct PrefixMatch {
+  /// Prompt tokens a consumer may treat as already resident.
+  std::int64_t matched_tokens = 0;
+  /// Cached blocks backing them (the last one may be partially consumed
+  /// when the token cap bites mid-block; a write into it copies first).
+  std::int64_t matched_blocks = 0;
+  /// Matched blocks that already had a live owner -- mapping these
+  /// consumes no free capacity (the rest revive off the LRU list).
+  std::int64_t live_shared_blocks = 0;
 };
 
 class KvBlockPool {
@@ -50,8 +95,19 @@ class KvBlockPool {
 
   // ----- capacity queries -----
   std::int64_t num_blocks() const { return num_blocks_; }
+  /// Blocks with at least one live owner. Shared blocks count once.
   std::int64_t used_blocks() const { return used_blocks_; }
+  /// Schedulable capacity: truly-free blocks plus evictable cached
+  /// blocks. Caching never shrinks this.
   std::int64_t free_blocks() const { return num_blocks_ - used_blocks_; }
+  /// Ownerless blocks still holding reusable cached content (LRU).
+  std::int64_t evictable_blocks() const {
+    return static_cast<std::int64_t>(lru_.size());
+  }
+  /// Content-addressed entries (live shared + evictable full blocks).
+  std::int64_t cached_blocks() const {
+    return static_cast<std::int64_t>(cache_.size());
+  }
   std::uint64_t capacity_bytes() const { return config_.pool_bytes; }
   std::uint64_t bytes_in_use() const {
     return static_cast<std::uint64_t>(used_blocks_) * config_.block_bytes();
@@ -62,22 +118,45 @@ class KvBlockPool {
   std::int64_t BlocksForTokens(std::int64_t tokens) const;
 
   /// True if `tokens` more tokens could be appended to a fresh sequence
-  /// right now without evicting anyone.
+  /// right now without preempting anyone (evicting cold cache is fine).
   bool CanReserve(std::int64_t tokens) const {
     return BlocksForTokens(tokens) <= free_blocks();
   }
+
+  // ----- prefix cache -----
+  /// Longest cached-prefix probe without mutating anything (placement
+  /// policies and admission planning). `max_tokens` caps the usable
+  /// match, e.g. prompt size minus one when the caller must still
+  /// process the final prompt token for logits.
+  PrefixMatch MatchCachedPrefix(std::span<const std::int32_t> tokens,
+                                std::int64_t max_tokens) const;
 
   // ----- sequence lifecycle -----
   /// Registers `seq` with an empty block table. Fails on duplicates.
   Status Register(std::uint64_t seq);
 
-  /// Accounts one more token for `seq`, allocating a fresh block when the
-  /// current tail block is full. Returns kResourceExhausted when the pool
-  /// is out of blocks (callers preempt and retry).
-  Status Append(std::uint64_t seq);
+  /// Maps the longest cached prefix of `tokens` into `seq`'s block table
+  /// (refcounts bumped, evictable blocks revived) and accounts
+  /// min(matched full blocks * block_size, max_tokens) tokens as already
+  /// present, so prefill can skip them. Must be called at most once per
+  /// registration, before any Append. Never allocates, so it cannot run
+  /// out of capacity. Returns the zero match when caching is disabled.
+  StatusOr<PrefixMatch> AcquireCachedPrefix(
+      std::uint64_t seq, std::span<const std::int32_t> tokens,
+      std::int64_t max_tokens);
 
-  /// Frees all blocks of `seq` and forgets it. `preempted` marks the
-  /// release as a scheduler swap-out in the stats.
+  /// Accounts one more token (value `token`) for `seq`, allocating a
+  /// fresh block when the tail is full (evicting the LRU cached block if
+  /// the free list is dry) and copying the tail first when it is shared
+  /// or cache-immutable (copy-on-write). Full tails are sealed into the
+  /// content-addressed cache. Returns kResourceExhausted when no block
+  /// can be produced (callers preempt and retry).
+  Status Append(std::uint64_t seq, std::int32_t token);
+
+  /// Drops `seq`'s references and forgets it. Blocks whose refcount hits
+  /// zero return to the free list, or to the evictable LRU list when
+  /// they hold cached content; co-owners of shared blocks are never
+  /// affected. `preempted` marks the release as a scheduler swap-out.
   Status Release(std::uint64_t seq, bool preempted = false);
 
   bool Contains(std::uint64_t seq) const { return seqs_.count(seq) > 0; }
@@ -89,11 +168,18 @@ class KvBlockPool {
   /// Physical block ids of `seq`, in token order. `seq` must be registered.
   const std::vector<std::int32_t>& BlockTable(std::uint64_t seq) const;
 
+  // ----- introspection (tests / invariant checks) -----
+  /// Live owners of physical block `block` (0 for free/evictable).
+  std::int32_t BlockRefCount(std::int32_t block) const;
+  /// True when `block` is content-addressed (shared-immutable or LRU).
+  bool BlockIsCached(std::int32_t block) const;
+
   // ----- fragmentation / utilization -----
-  /// Allocated-but-unused tail bytes across all block tables (internal
-  /// fragmentation; fixed-size paging has no external fragmentation).
+  /// Allocated-but-unused tail bytes across private partial tails
+  /// (internal fragmentation; fixed-size paging has no external
+  /// fragmentation, and shared/cached blocks are always full).
   std::uint64_t fragmentation_bytes() const;
-  /// Fraction of the pool's blocks currently allocated.
+  /// Fraction of the pool's blocks with a live owner.
   double utilization() const {
     return num_blocks_ == 0 ? 0.0
                             : static_cast<double>(used_blocks_) /
@@ -103,16 +189,49 @@ class KvBlockPool {
   const KvPoolStats& stats() const { return stats_; }
 
  private:
+  struct BlockMeta {
+    std::int32_t refcount = 0;
+    bool cached = false;        // present in the content-address index
+    std::uint64_t hash = 0;     // chain hash (valid while cached)
+    std::uint64_t lru_stamp = 0;  // key into lru_ while evictable
+  };
+
   struct SeqState {
     std::vector<std::int32_t> blocks;
     std::int64_t tokens = 0;
+    /// Hash chain over the sealed (full) prefix blocks.
+    std::uint64_t chain_hash = 0;
+    /// Token values in the unsealed tail; size == tokens % block_size.
+    std::vector<std::int32_t> tail;
   };
+
+  /// Longest run of cached full blocks prefixing `tokens`, bounded so no
+  /// block past `max_tokens` is walked. Appends the matching physical
+  /// blocks and the chain hash *before* each of them to the out-params.
+  std::int64_t WalkCachedPrefix(std::span<const std::int32_t> tokens,
+                                std::int64_t max_tokens,
+                                std::vector<std::int32_t>* blocks,
+                                std::vector<std::uint64_t>* chain_before) const;
+  /// Pops a free block, or evicts the LRU cached block. -1 when neither
+  /// exists. The caller sets the refcount and usage accounting.
+  std::int32_t AllocateBlock();
+  /// Takes ownership accounting for a freshly produced block.
+  void AdoptBlock(SeqState& state, std::int32_t block, bool replace_tail);
+  /// Drops one reference; a last owner parks the block on the LRU list
+  /// (cached) or the free list.
+  void DropBlockRef(std::int32_t block);
+  /// Seals a just-filled private tail: advances the chain hash and
+  /// content-addresses the block unless equal content is already cached.
+  void SealTailBlock(SeqState& state);
 
   KvPoolConfig config_;
   std::int64_t num_blocks_ = 0;
   std::int64_t used_blocks_ = 0;
-  std::int64_t total_tokens_ = 0;
   std::vector<std::int32_t> free_list_;  // LIFO for deterministic reuse
+  std::vector<BlockMeta> meta_;
+  std::unordered_map<std::uint64_t, std::int32_t> cache_;  // chain hash -> block
+  std::map<std::uint64_t, std::int32_t> lru_;  // eviction stamp -> block
+  std::uint64_t lru_tick_ = 0;
   std::map<std::uint64_t, SeqState> seqs_;
   KvPoolStats stats_;
 };

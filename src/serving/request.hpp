@@ -100,6 +100,17 @@ struct ServingReport {
   std::int64_t kv_block_capacity = 0;
   std::uint64_t kv_block_bytes = 0;     // bytes per block
   std::uint64_t kv_capacity_bytes = 0;  // pool budget
+
+  // Prefix-cache aggregates (KvBlockPool; zero when caching is off).
+  std::int64_t prefix_cache_queries = 0;  // admissions that probed the cache
+  std::int64_t prefix_cache_hits = 0;     // admissions matching >= 1 block
+  /// Prefill tokens served from cached blocks instead of device compute
+  /// (includes recompute a swapped-in sequence skipped).
+  std::int64_t prefix_cache_hit_tokens = 0;
+  std::int64_t prefix_cache_lookup_tokens = 0;  // tokens offered to the cache
+  std::int64_t cow_copies = 0;       // copy-on-write block copies
+  std::int64_t cache_evictions = 0;  // cold cached blocks reclaimed
+
   std::vector<TickRecord> tick_log;     // only when record_ticks
 
   double mean_ttft() const;
@@ -112,6 +123,14 @@ struct ServingReport {
   /// Real interpolated p99 end-to-end latency (historically "p99ish",
   /// which was a max; the name survives for source compatibility).
   double p99ish_latency() const { return latency_percentile(0.99); }
+  /// Fraction of cache-eligible prefill tokens served from cached
+  /// blocks. 0 when caching is off or nothing was eligible.
+  double cache_hit_rate() const {
+    return prefix_cache_lookup_tokens > 0
+               ? static_cast<double>(prefix_cache_hit_tokens) /
+                     static_cast<double>(prefix_cache_lookup_tokens)
+               : 0.0;
+  }
 };
 
 // ----- online emission hooks (shard -> cluster session -> api::Engine) -----

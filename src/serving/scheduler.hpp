@@ -59,6 +59,11 @@ struct SchedulerConfig {
   std::int32_t prefill_chunk_tokens = 8;
   /// Paged KV block size in tokens.
   std::uint32_t block_size_tokens = 16;
+  /// Content-address full KV blocks and share them across sequences with
+  /// a common prefix (KvBlockPool prefix cache). Admission maps a new
+  /// request's longest cached prefix onto shared blocks and prefill
+  /// skips those tokens; token streams are byte-identical either way.
+  bool enable_prefix_cache = true;
   /// Swap-by-recompute preemption when the KV pool is exhausted.
   bool allow_preemption = true;
   /// A waiting request older than this many ticks jumps the policy order

@@ -95,7 +95,8 @@ ShardScheduler::ShardScheduler(const accel::Program& program,
       engine_(engine),
       pool_(KvPoolConfig{DeriveKvPoolBytes(program, u280, config.kv_pool_bytes),
                          config.block_size_tokens,
-                         KvBytesPerToken(program.model)}) {}
+                         KvBytesPerToken(program.model),
+                         config.enable_prefix_cache}) {}
 
 ShardScheduler::~ShardScheduler() = default;
 
@@ -200,6 +201,13 @@ ServingReport ShardScheduler::TakeReport(
   report_.kv_block_capacity = pool_.num_blocks();
   report_.kv_block_bytes = pool_.config().block_bytes();
   report_.kv_capacity_bytes = pool_.capacity_bytes();
+  const KvPoolStats& ps = pool_.stats();
+  report_.prefix_cache_queries = ps.prefix_queries;
+  report_.prefix_cache_hits = ps.prefix_hits;
+  report_.prefix_cache_hit_tokens = ps.prefix_hit_tokens;
+  report_.prefix_cache_lookup_tokens = ps.prefix_lookup_tokens;
+  report_.cow_copies = ps.cow_copies;
+  report_.cache_evictions = ps.cache_evictions;
   return std::move(report_);
 }
 
@@ -243,10 +251,13 @@ std::vector<std::size_t> ShardScheduler::AdmissionCandidates() const {
 /// Accounts one token of KV for `seq`, preempting the most recently
 /// admitted resident (swap-by-recompute) until it fits. The requester
 /// never preempts an older sequence on its own behalf: when it is itself
-/// the newest resident it defers to a later tick instead.
-bool ShardScheduler::EnsureKvToken(std::size_t seq_id) {
+/// the newest resident it defers to a later tick instead. Preemption
+/// only ever drops the victim's own references: blocks shared with a
+/// co-owner stay resident, and the victim's cached blocks stay
+/// restorable until the LRU list is actually evicted.
+bool ShardScheduler::EnsureKvToken(std::size_t seq_id, std::int32_t token) {
   while (true) {
-    Status st = pool_.Append(seq_id);
+    Status st = pool_.Append(seq_id, token);
     if (st.ok()) return true;
     if (st.code() != StatusCode::kResourceExhausted) {
       error_ = st;
@@ -282,6 +293,38 @@ void ShardScheduler::Preempt(std::size_t victim) {
   // and must not starve behind fresh arrivals.
   waiting_.push_front(victim);
   ++seq.outcome.preemptions;
+}
+
+std::int64_t ShardScheduler::RestoreCachedPrefix(std::size_t seq_id) {
+  Sequence& seq = seqs_[seq_id];
+  // The final fed token must still be processed for fresh logits, unless
+  // a retained pending token (readmission after preemption) makes the
+  // whole prefill a pure recompute -- then a full restore is legal.
+  const std::int64_t cap = static_cast<std::int64_t>(seq.fed.size()) -
+                           (seq.pending_token >= 0 ? 0 : 1);
+  auto match_or = pool_.AcquireCachedPrefix(seq_id, seq.fed, cap);
+  if (!match_or.ok()) {
+    error_ = match_or.status();
+    return -1;
+  }
+  const std::int64_t restored = match_or->matched_tokens;
+  if (restored == 0) return 0;
+  // Rebuild the slot executor's functional KV for the cached prefix at
+  // zero simulated cost: on the device those entries are already
+  // resident in HBM, so no compute or weight traffic is owed for them.
+  accel::Executor& exec = *slots_[static_cast<std::size_t>(seq.slot)];
+  for (std::int64_t p = 0; p < restored; ++p) {
+    auto logits = exec.Forward(seq.fed[static_cast<std::size_t>(p)],
+                               static_cast<std::int32_t>(p));
+    if (!logits.ok()) {
+      error_ = logits.status();
+      return -1;
+    }
+  }
+  seq.cursor = static_cast<std::int32_t>(restored);
+  seq.high_water = std::max(seq.high_water, seq.cursor);
+  outstanding_tokens_ -= restored;
+  return restored;
 }
 
 int ShardScheduler::AcquireSlot() {
@@ -511,6 +554,7 @@ void ShardScheduler::RunTick() {
       prefill_budget -= chunk;
     }
   }
+  std::int64_t restored_this_tick = 0;
   if (prefill_budget > 0) {
     // Admissions within one tick reserve against each other: a block the
     // first admission will consume is not offered to the second.
@@ -523,14 +567,32 @@ void ShardScheduler::RunTick() {
       }
       Sequence& seq = seqs_[cand];
       const std::int64_t need = static_cast<std::int64_t>(seq.fed.size()) + 1;
-      if (pool_.BlocksForTokens(need) + planned_blocks > pool_.free_blocks()) {
+      // Cached blocks already held by a live resident cost no free
+      // capacity to map, so prefix-heavy workloads admit more residents
+      // than the raw block count suggests (the residency win). A match
+      // that ends mid-block is the exception: the write into that
+      // shared tail must copy it, so one block stays reserved for the
+      // copy-on-write.
+      const std::int64_t cache_cap =
+          static_cast<std::int64_t>(seq.fed.size()) -
+          (seq.pending_token >= 0 ? 0 : 1);
+      const PrefixMatch match = pool_.MatchCachedPrefix(seq.fed, cache_cap);
+      std::int64_t discount = match.live_shared_blocks;
+      if (discount > 0 &&
+          match.matched_tokens %
+                  static_cast<std::int64_t>(config_.block_size_tokens) !=
+              0) {
+        --discount;
+      }
+      const std::int64_t need_blocks = pool_.BlocksForTokens(need) - discount;
+      if (need_blocks + planned_blocks > pool_.free_blocks()) {
         kv_blocked_ = true;
         // Head-of-line blocking for FCFS-family policies; SPF (which
         // reorders anyway) may skip past an oversized head.
         if (config_.policy != BatchPolicy::kShortestPromptFirst) break;
         continue;
       }
-      planned_blocks += pool_.BlocksForTokens(need);
+      planned_blocks += need_blocks;
       Status st = pool_.Register(cand);
       assert(st.ok());
       (void)st;
@@ -544,6 +606,16 @@ void ShardScheduler::RunTick() {
         seq.outcome.admission_seconds = start_s;
         // No longer queued demand: its blocks now come out of the pool.
         queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+      }
+      const std::int64_t restored = RestoreCachedPrefix(cand);
+      if (restored < 0) return;
+      restored_this_tick += restored;
+      if (seq.remaining_prefill() == 0) {
+        // Full cache restore (a readmission whose every fed token was
+        // still cached): nothing left to prefill, so it joins the decode
+        // set next tick and consumes no prefill budget now.
+        seq.state = SeqState::kDecode;
+        continue;
       }
       const std::int32_t chunk =
           std::min(seq.remaining_prefill(), prefill_budget);
@@ -563,7 +635,7 @@ void ShardScheduler::RunTick() {
   for (std::size_t seq_id : decode_plan) {
     Sequence& seq = seqs_[seq_id];
     if (seq.state != SeqState::kDecode) continue;  // preempted mid-tick
-    if (!EnsureKvToken(seq_id)) {
+    if (!EnsureKvToken(seq_id, seq.pending_token)) {
       if (!error_.ok()) return;
       continue;  // deferred to a later tick
     }
@@ -593,7 +665,8 @@ void ShardScheduler::RunTick() {
     if (seq.state != SeqState::kPrefill) continue;  // preempted mid-tick
     std::int32_t done = 0;
     for (std::int32_t k = 0; k < chunk; ++k) {
-      if (!EnsureKvToken(seq_id)) {
+      if (!EnsureKvToken(seq_id,
+                         seq.fed[static_cast<std::size_t>(seq.cursor)])) {
         if (!error_.ok()) return;
         break;  // pool dry with no victims: resume next tick
       }
@@ -644,7 +717,7 @@ void ShardScheduler::RunTick() {
         }
         return s;
       }();
-  if (executed_tokens == 0) {
+  if (executed_tokens == 0 && restored_this_tick == 0) {
     // Nothing runnable (e.g. every planned item was deferred). Progress
     // requires an external event; arrivals restart the tick chain.
     if (!residents_.empty() || !waiting_.empty()) {

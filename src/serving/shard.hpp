@@ -222,7 +222,12 @@ class ShardScheduler {
   void ScheduleTick(sim::Cycles at);
   void RunTick();
   std::vector<std::size_t> AdmissionCandidates() const;
-  bool EnsureKvToken(std::size_t seq_id);
+  bool EnsureKvToken(std::size_t seq_id, std::int32_t token);
+  /// Maps `seq`'s longest cached prefix onto shared pool blocks and
+  /// functionally rebuilds the slot executor's KV for it at zero
+  /// simulated cost (the blocks are already resident in HBM). Returns
+  /// the restored token count, or -1 on a hard error.
+  std::int64_t RestoreCachedPrefix(std::size_t seq_id);
   void Preempt(std::size_t victim);
   int AcquireSlot();
   void ReleaseSlot(Sequence& seq);

@@ -24,6 +24,15 @@ std::int32_t UniformInclusive(Rng& rng, std::int32_t lo, std::int32_t hi) {
                   rng.NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
 }
 
+/// Random non-control token id: skips the ids at the bottom of the
+/// vocab when there is room (the llama2.c tokenizer reserves ~259 ids
+/// for specials + raw bytes).
+std::int32_t DrawToken(Rng& rng, std::int32_t vocab_size) {
+  const std::int32_t lo = vocab_size > 300 ? 259 : 3;
+  return lo + static_cast<std::int32_t>(
+                  rng.NextBounded(static_cast<std::uint64_t>(vocab_size - lo)));
+}
+
 ServingRequest DrawRequest(Rng& rng, std::int32_t min_prompt,
                            std::int32_t max_prompt, std::int32_t min_new,
                            std::int32_t max_new, std::int32_t vocab_size,
@@ -31,14 +40,10 @@ ServingRequest DrawRequest(Rng& rng, std::int32_t min_prompt,
   ServingRequest req;
   const std::int32_t prompt_len =
       std::max<std::int32_t>(1, UniformInclusive(rng, min_prompt, max_prompt));
-  // Skip control ids at the bottom of the vocab when there is room (the
-  // llama2.c tokenizer reserves ~259 ids for specials + raw bytes).
-  const std::int32_t lo = vocab_size > 300 ? 259 : 3;
   req.prompt.reserve(static_cast<std::size_t>(prompt_len));
   req.prompt.push_back(llama::kBosToken);
   for (std::int32_t t = 1; t < prompt_len; ++t) {
-    req.prompt.push_back(lo + static_cast<std::int32_t>(rng.NextBounded(
-                                  static_cast<std::uint64_t>(vocab_size - lo))));
+    req.prompt.push_back(DrawToken(rng, vocab_size));
   }
   req.max_new_tokens =
       std::max<std::int32_t>(1, UniformInclusive(rng, min_new, max_new));
@@ -119,6 +124,128 @@ bool ClosedLoopClientPool::AllDone() const {
     if (user.in_flight || user.issued < config_.requests_per_user) {
       return false;
     }
+  }
+  return true;
+}
+
+std::vector<ServingRequest> SharedPrefixTrace(
+    Rng& rng, const SharedPrefixConfig& config) {
+  // Materialize the shared system prompts first so the trace's prefixes
+  // depend only on (seed, config), not on the arrival draws.
+  const std::int32_t n_prefixes = std::max<std::int32_t>(1, config.num_prefixes);
+  const std::int32_t prefix_len = std::max<std::int32_t>(2, config.prefix_tokens);
+  std::vector<std::vector<std::int32_t>> prefixes(
+      static_cast<std::size_t>(n_prefixes));
+  for (auto& prefix : prefixes) {
+    prefix.reserve(static_cast<std::size_t>(prefix_len));
+    prefix.push_back(llama::kBosToken);
+    for (std::int32_t t = 1; t < prefix_len; ++t) {
+      prefix.push_back(DrawToken(rng, config.vocab_size));
+    }
+  }
+
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  double now = 0.0;
+  for (std::int32_t i = 0; i < config.num_requests; ++i) {
+    now += ExpGap(rng, config.rate_rps);
+    ServingRequest req;
+    req.arrival_seconds = now;
+    req.max_new_tokens = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+    const std::int32_t suffix = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_suffix_tokens,
+                            config.max_suffix_tokens));
+    if (rng.NextDouble() < config.shared_fraction) {
+      // Shared system prompt + unique user suffix.
+      req.prompt = prefixes[static_cast<std::size_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(n_prefixes)))];
+      for (std::int32_t t = 0; t < suffix; ++t) {
+        req.prompt.push_back(DrawToken(rng, config.vocab_size));
+      }
+    } else {
+      // Fully unique prompt of comparable length: cache-neutral traffic.
+      req.prompt.push_back(llama::kBosToken);
+      const std::int32_t len = prefix_len + suffix;
+      for (std::int32_t t = 1; t < len; ++t) {
+        req.prompt.push_back(DrawToken(rng, config.vocab_size));
+      }
+    }
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+MultiTurnChatPool::MultiTurnChatPool(std::uint64_t seed,
+                                     const MultiTurnConfig& config)
+    : config_(config) {
+  // The system prompt comes from its own stream so every user's first
+  // turn opens identically (and prefix-shares across users).
+  Rng system_rng(seed ^ 0x5e41f0ull);
+  const std::int32_t sys =
+      std::max<std::int32_t>(1, config_.system_prompt_tokens);
+  system_prompt_.reserve(static_cast<std::size_t>(sys));
+  system_prompt_.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < sys; ++t) {
+    system_prompt_.push_back(DrawToken(system_rng, config_.vocab_size));
+  }
+  const std::int32_t n = std::max<std::int32_t>(0, config_.num_users);
+  users_.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t u = 0; u < n; ++u) {
+    users_.emplace_back(seed + static_cast<std::uint64_t>(u + 1) * 7919);
+  }
+}
+
+ServingRequest MultiTurnChatPool::NextTurn(User& user,
+                                           double arrival_seconds) {
+  const std::int32_t msg = std::max<std::int32_t>(
+      1, UniformInclusive(user.rng, config_.min_user_tokens,
+                          config_.max_user_tokens));
+  for (std::int32_t t = 0; t < msg; ++t) {
+    user.history.push_back(DrawToken(user.rng, config_.vocab_size));
+  }
+  ServingRequest req;
+  req.prompt = user.history;  // the whole conversation so far
+  req.max_new_tokens = std::max<std::int32_t>(
+      1, UniformInclusive(user.rng, config_.min_new_tokens,
+                          config_.max_new_tokens));
+  req.arrival_seconds = arrival_seconds;
+  user.in_flight = true;
+  ++user.turns;
+  return req;
+}
+
+std::optional<ServingRequest> MultiTurnChatPool::StartUser(
+    std::int32_t user_id) {
+  User& user = users_[static_cast<std::size_t>(user_id)];
+  assert(user.turns == 0 && !user.in_flight &&
+         "StartUser must run once, before any OnFinish");
+  if (config_.turns_per_user <= 0) return std::nullopt;
+  user.history = system_prompt_;
+  const double gap =
+      ExpGap(user.rng, 1.0 / std::max(1e-12, config_.mean_think_seconds));
+  return NextTurn(user, gap);
+}
+
+std::optional<ServingRequest> MultiTurnChatPool::OnFinish(
+    std::int32_t user_id, double now_seconds,
+    std::span<const std::int32_t> generated) {
+  User& user = users_[static_cast<std::size_t>(user_id)];
+  assert(user.in_flight &&
+         "multi-turn invariant: OnFinish without a turn in flight");
+  user.in_flight = false;
+  // The assistant's (possibly hang-up-truncated) answer becomes part of
+  // the conversation the next prompt replays.
+  user.history.insert(user.history.end(), generated.begin(), generated.end());
+  if (user.turns >= config_.turns_per_user) return std::nullopt;
+  const double gap =
+      ExpGap(user.rng, 1.0 / std::max(1e-12, config_.mean_think_seconds));
+  return NextTurn(user, now_seconds + gap);
+}
+
+bool MultiTurnChatPool::AllDone() const {
+  for (const User& user : users_) {
+    if (user.in_flight || user.turns < config_.turns_per_user) return false;
   }
   return true;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,6 +44,111 @@ std::vector<ServingRequest> PoissonTrace(Rng& rng,
 
 /// Clumped arrivals: same marginal rate, much worse instantaneous load.
 std::vector<ServingRequest> BurstyTrace(Rng& rng, const WorkloadConfig& config);
+
+// ------------------------------ shared-prefix workloads ---------------
+
+struct SharedPrefixConfig {
+  std::int32_t num_requests = 32;
+  double rate_rps = 200.0;  // mean arrival rate, requests per second
+
+  /// Probability a request opens with one of the shared system prompts.
+  double shared_fraction = 0.8;
+  std::int32_t num_prefixes = 2;    // distinct shared system prompts
+  std::int32_t prefix_tokens = 40;  // length of each shared prefix
+  /// Unique user tokens appended after the shared prefix.
+  std::int32_t min_suffix_tokens = 2;
+  std::int32_t max_suffix_tokens = 8;  // inclusive
+  std::int32_t min_new_tokens = 8;
+  std::int32_t max_new_tokens = 16;  // inclusive
+  std::int32_t vocab_size = 32000;
+};
+
+/// Poisson arrivals where `shared_fraction` of the requests start with
+/// one of `num_prefixes` fixed system prompts followed by a short unique
+/// suffix -- the traffic shape prefix caching exists for (chat frontends
+/// pin a system prompt; agents replay tool instructions). The remaining
+/// requests draw fully unique prompts of comparable length, so a cache
+/// can neither help nor hurt them.
+std::vector<ServingRequest> SharedPrefixTrace(Rng& rng,
+                                              const SharedPrefixConfig& config);
+
+// ------------------------------ multi-turn chat conversations ---------
+
+struct MultiTurnConfig {
+  std::int32_t num_users = 4;
+  std::int32_t turns_per_user = 3;
+  /// Mean exponential think gap between a turn finishing and the user's
+  /// next turn arriving (also before the first turn).
+  double mean_think_seconds = 0.01;
+  /// Tokens of the system prompt every conversation opens with. Shared
+  /// across users, so even first turns prefix-share with each other.
+  std::int32_t system_prompt_tokens = 16;
+  /// Fresh user-message tokens appended each turn.
+  std::int32_t min_user_tokens = 2;
+  std::int32_t max_user_tokens = 6;  // inclusive
+  std::int32_t min_new_tokens = 4;
+  std::int32_t max_new_tokens = 10;  // inclusive
+  std::int32_t vocab_size = 32000;
+};
+
+/// Grows one conversation per user the way a chat client does: every
+/// turn's prompt is the full history -- system prompt, then each prior
+/// turn's prompt and *generated* answer -- plus a fresh user message, so
+/// a prefix-caching pool re-serves the history blocks instead of
+/// re-prefilling them and turn latency stays flat as conversations grow.
+/// Per-user RNG streams (seeded by user id) draw think gaps, message
+/// lengths, and token values, so with a deterministic sampler the traced
+/// conversations are byte-identical under any completion interleaving,
+/// card count, or cache configuration.
+class MultiTurnChatPool {
+ public:
+  MultiTurnChatPool(std::uint64_t seed, const MultiTurnConfig& config);
+
+  std::int32_t num_users() const {
+    return static_cast<std::int32_t>(users_.size());
+  }
+
+  /// First turn of `user` (arrival = think gap from time zero): system
+  /// prompt + first user message. Must run once per user, before any
+  /// OnFinish for that user.
+  std::optional<ServingRequest> StartUser(std::int32_t user);
+
+  /// Reports that `user`'s turn finished at `now_seconds` with
+  /// `generated` tokens (possibly truncated by a hang-up) and returns
+  /// the next turn -- history + generated + new user message, arriving
+  /// one think gap later -- or nullopt when the conversation is over.
+  std::optional<ServingRequest> OnFinish(
+      std::int32_t user, double now_seconds,
+      std::span<const std::int32_t> generated);
+
+  bool in_flight(std::int32_t user) const {
+    return users_[static_cast<std::size_t>(user)].in_flight;
+  }
+  std::int32_t turns(std::int32_t user) const {
+    return users_[static_cast<std::size_t>(user)].turns;
+  }
+  /// The conversation so far (the most recent turn's full prompt).
+  const std::vector<std::int32_t>& history(std::int32_t user) const {
+    return users_[static_cast<std::size_t>(user)].history;
+  }
+  bool AllDone() const;
+
+ private:
+  struct User {
+    Rng rng;
+    std::vector<std::int32_t> history;
+    std::int32_t turns = 0;
+    bool in_flight = false;
+
+    explicit User(std::uint64_t seed) : rng(seed) {}
+  };
+
+  ServingRequest NextTurn(User& user, double arrival_seconds);
+
+  MultiTurnConfig config_;
+  std::vector<std::int32_t> system_prompt_;
+  std::vector<User> users_;
+};
 
 // ------------------------------ closed-loop (per-user) workloads ------
 

@@ -539,5 +539,114 @@ TEST(ApiEngineTest, ClosedLoopClientsRunDeterministicallyOnTheSharedClock) {
   }
 }
 
+// ---------------- multi-turn conversations & prefix caching ----------
+
+/// Drives a MultiTurnChatPool to completion on one engine: every turn's
+/// prompt replays the whole conversation (history + generated answers)
+/// plus a fresh user message, chained from on_finish. Greedy sampling,
+/// so the conversations are identical under any cache configuration,
+/// placement, or card count.
+struct MultiTurnRun {
+  /// Per (user, turn) generated streams, in turn order per user.
+  std::vector<std::vector<std::vector<std::int32_t>>> turns;
+  serving::ClusterReport report;
+  serving::KvPoolStats pool_stats;  // summed over cards
+};
+
+MultiTurnRun DriveMultiTurn(const accel::Program& prog, Fixture& f, int cards,
+                            bool enable_prefix_cache, std::uint64_t seed) {
+  EngineConfig config;
+  config.num_cards = cards;
+  config.placement = serving::PlacementPolicy::kPrefixAffinity;
+  config.scheduler.block_size_tokens = 8;
+  config.scheduler.enable_prefix_cache = enable_prefix_cache;
+  config.sampler.temperature = 0.0f;  // greedy: interleaving-proof turns
+  Engine engine(prog, f.weights, f.u280, config);
+
+  serving::MultiTurnConfig chat;
+  chat.num_users = 3;
+  chat.turns_per_user = 3;
+  chat.mean_think_seconds = 0.0005;
+  chat.system_prompt_tokens = 12;
+  chat.min_user_tokens = 2;
+  chat.max_user_tokens = 4;
+  chat.min_new_tokens = 3;
+  chat.max_new_tokens = 5;
+  chat.vocab_size = f.config.vocab_size;
+  serving::MultiTurnChatPool pool(seed, chat);
+
+  MultiTurnRun run;
+  run.turns.resize(static_cast<std::size_t>(chat.num_users));
+  std::function<void(std::int32_t, serving::ServingRequest)> issue =
+      [&](std::int32_t user, serving::ServingRequest request) {
+        StreamCallbacks callbacks;
+        callbacks.on_finish = [&, user](RequestHandle, FinishReason reason,
+                                        const serving::RequestOutcome& out) {
+          EXPECT_EQ(reason, FinishReason::kLength);
+          run.turns[static_cast<std::size_t>(user)].push_back(out.generated);
+          if (auto next =
+                  pool.OnFinish(user, engine.now_seconds(), out.generated)) {
+            issue(user, std::move(*next));
+          }
+        };
+        auto handle = engine.Submit(std::move(request), std::move(callbacks));
+        EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+      };
+  for (std::int32_t u = 0; u < chat.num_users; ++u) {
+    if (auto first = pool.StartUser(u)) issue(u, std::move(*first));
+  }
+  engine.RunToCompletion();
+  EXPECT_TRUE(pool.AllDone());
+  for (int c = 0; c < cards; ++c) {
+    const serving::KvPoolStats s = engine.kv_pool_stats(c);
+    run.pool_stats.prefix_queries += s.prefix_queries;
+    run.pool_stats.prefix_hits += s.prefix_hits;
+    run.pool_stats.prefix_hit_tokens += s.prefix_hit_tokens;
+    run.pool_stats.cow_copies += s.cow_copies;
+    run.pool_stats.cache_evictions += s.cache_evictions;
+  }
+  auto report = engine.Finish();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) run.report = std::move(*report);
+  return run;
+}
+
+TEST(ApiEngineTest, MultiTurnContinuationReusesHistoryBlocksAcrossTurns) {
+  Fixture f;
+  auto prog = f.Compile();
+  MultiTurnRun cached = DriveMultiTurn(prog, f, 1, true, 91);
+
+  // 3 users x 3 turns all ran, and every follow-up turn found its
+  // conversation history (and the shared system prompt) in the cache.
+  ASSERT_EQ(cached.report.merged.outcomes.size(), 9u);
+  for (const auto& user_turns : cached.turns) {
+    EXPECT_EQ(user_turns.size(), 3u);
+  }
+  EXPECT_GT(cached.pool_stats.prefix_hits, 0);
+  EXPECT_GT(cached.pool_stats.prefix_hit_tokens, 0);
+  // Turn 2 and 3 of each user replay a growing history: at least the 8
+  // first tokens (one full block) come from cache each time.
+  EXPECT_GE(cached.pool_stats.prefix_hits, 6);
+  EXPECT_EQ(cached.report.merged.prefix_cache_hit_tokens,
+            cached.pool_stats.prefix_hit_tokens);
+}
+
+TEST(ApiEngineTest, MultiTurnConversationsAreByteIdenticalWithCachingOnOrOff) {
+  Fixture f;
+  auto prog = f.Compile();
+  MultiTurnRun off = DriveMultiTurn(prog, f, 1, false, 91);
+  EXPECT_EQ(off.pool_stats.prefix_hit_tokens, 0);
+  for (int cards : {1, 2}) {
+    MultiTurnRun on = DriveMultiTurn(prog, f, cards, true, 91);
+    ASSERT_EQ(on.turns.size(), off.turns.size());
+    for (std::size_t u = 0; u < off.turns.size(); ++u) {
+      EXPECT_EQ(on.turns[u], off.turns[u]) << "user " << u << " on "
+                                           << cards << " card(s)";
+    }
+    // Caching removes device prefill work without changing a byte.
+    EXPECT_LE(on.report.merged.total_tokens, off.report.merged.total_tokens);
+  }
+}
+
 }  // namespace
 }  // namespace speedllm::api

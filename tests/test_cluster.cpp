@@ -57,7 +57,27 @@ std::vector<ServingRequest> MixedTrace(const llama::ModelConfig& config,
 
 constexpr PlacementPolicy kAllPlacements[] = {
     PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstandingTokens,
-    PlacementPolicy::kBestFitFreeKv};
+    PlacementPolicy::kBestFitFreeKv, PlacementPolicy::kPrefixAffinity};
+
+/// Open-loop trace where most prompts open with one of two shared
+/// 24-token system prompts (block size 8 in the tests below, so shared
+/// full blocks genuinely exist within Tiny's 64-token context).
+std::vector<ServingRequest> SharedTrace(const llama::ModelConfig& config,
+                                        int n) {
+  Rng rng(555);
+  SharedPrefixConfig spc;
+  spc.num_requests = n;
+  spc.rate_rps = 2000.0;
+  spc.shared_fraction = 0.75;
+  spc.num_prefixes = 2;
+  spc.prefix_tokens = 24;
+  spc.min_suffix_tokens = 2;
+  spc.max_suffix_tokens = 6;
+  spc.min_new_tokens = 4;
+  spc.max_new_tokens = 8;
+  spc.vocab_size = config.vocab_size;
+  return SharedPrefixTrace(rng, spc);
+}
 
 // ---------------- determinism: 1 vs N cards ----------------
 
@@ -160,6 +180,130 @@ TEST(ClusterTest, StreamsSurviveForcedPreemptionOnEveryPolicy) {
           << PlacementPolicyName(placement) << " request " << i;
     }
   }
+}
+
+// ---------------- prefix caching: the byte-identity property ----------
+
+TEST(ClusterTest, PrefixCachingOnVsOffStreamsIdenticalEverywhere) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = SharedTrace(f.config, 10);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.9f;  // stochastic sampling: the strictest stream test
+  sc.seed = 29;
+
+  ClusterConfig off;
+  off.shard.block_size_tokens = 8;
+  off.shard.enable_prefix_cache = false;
+  ClusterRouter base(prog, f.weights,
+                     hw::MultiCardConfig::Homogeneous(f.u280, 1), off);
+  auto baseline = base.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->merged.prefix_cache_hit_tokens, 0);
+
+  std::int64_t hit_tokens_seen = 0;
+  for (PlacementPolicy placement : kAllPlacements) {
+    for (int cards : {1, 4}) {
+      ClusterConfig on = off;
+      on.placement = placement;
+      on.shard.enable_prefix_cache = true;
+      ClusterRouter router(prog, f.weights,
+                           hw::MultiCardConfig::Homogeneous(f.u280, cards),
+                           on);
+      auto report = router.Run(reqs, sc);
+      ASSERT_TRUE(report.ok())
+          << PlacementPolicyName(placement) << " x" << cards << ": "
+          << report.status().ToString();
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(report->merged.outcomes[i].generated,
+                  baseline->merged.outcomes[i].generated)
+            << PlacementPolicyName(placement) << " x" << cards
+            << " request " << i;
+      }
+      hit_tokens_seen =
+          std::max(hit_tokens_seen, report->merged.prefix_cache_hit_tokens);
+      // Cached prefill comes off the device's books but never off the
+      // clients': makespan may only shrink.
+      EXPECT_LE(report->merged.total_tokens, baseline->merged.total_tokens)
+          << PlacementPolicyName(placement) << " x" << cards;
+    }
+  }
+  // The property test is vacuous unless the cache genuinely engaged.
+  EXPECT_GT(hit_tokens_seen, 0);
+}
+
+TEST(ClusterTest, PrefixCachingSurvivesForcedPreemptionWithIdenticalStreams) {
+  Fixture f;
+  auto prog = f.Compile();
+  const std::uint32_t bytes_per_token = KvBytesPerToken(f.config);
+  auto reqs = SharedTrace(f.config, 8);
+  // A simultaneous burst: every request contends for residency at once,
+  // so the tight pools below must preempt.
+  for (ServingRequest& req : reqs) req.arrival_seconds = 0.0;
+  llama::SamplerConfig sc;
+  sc.temperature = 0.85f;
+  sc.seed = 31;
+
+  ContinuousBatchScheduler roomy(prog, f.weights, f.u280);
+  auto baseline = roomy.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok());
+
+  // 8 blocks of 8 tokens: co-residents admit on their prompt footprint
+  // and then outgrow the pool during decode, forcing swap-by-recompute
+  // with caching both on and off. Shared blocks are never swapped out
+  // from under a co-owner -- the refcount keeps them resident for the
+  // survivor -- and a swapped-in sequence may restore its own still-
+  // cached blocks instead of recomputing.
+  for (bool cache : {false, true}) {
+    ClusterConfig config;
+    config.shard.block_size_tokens = 8;
+    config.shard.enable_prefix_cache = cache;
+    config.shard.kv_pool_bytes = 8ull * 8 * bytes_per_token;
+    config.shard.max_batch_tokens = 64;
+    // One card: no rebalance valve, so the burst must fight for one pool.
+    ClusterRouter router(prog, f.weights,
+                         hw::MultiCardConfig::Homogeneous(f.u280, 1), config);
+    auto report = router.Run(reqs, sc);
+    ASSERT_TRUE(report.ok()) << "cache=" << cache << ": "
+                             << report.status().ToString();
+    EXPECT_GT(report->merged.preemptions, 0) << "cache=" << cache;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(report->merged.outcomes[i].generated,
+                baseline->outcomes[i].generated)
+          << "cache=" << cache << " request " << i;
+    }
+  }
+}
+
+TEST(ClusterTest, PrefixAffinityRoutesRepeatPromptsToTheirCard) {
+  Fixture f;
+  auto prog = f.Compile();
+  // Three requests sharing a 24-token prefix, spaced out so each arrives
+  // after the previous finished: load-blind policies would alternate
+  // cards, but affinity must chase the cached prefix to card 0.
+  ServingRequest first = MakeRequest(24, 4, 0.0, 7);
+  ServingRequest second = first;
+  second.arrival_seconds = 0.05;
+  second.prompt.push_back(301);
+  ServingRequest third = first;
+  third.arrival_seconds = 0.1;
+  third.prompt.push_back(302);
+  std::vector<ServingRequest> reqs = {first, second, third};
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kPrefixAffinity;
+  config.shard.block_size_tokens = 8;
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shard_of_request,
+            (std::vector<std::int32_t>{0, 0, 0}));
+  // Each follow-up re-served the shared blocks instead of re-prefilling.
+  EXPECT_GE(report->merged.prefix_cache_hit_tokens, 2 * 16);
+  EXPECT_EQ(report->shard_reports[1].total_tokens, 0);
 }
 
 // ---------------- placement policies ----------------

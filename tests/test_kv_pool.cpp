@@ -1,5 +1,10 @@
-// Unit tests for the paged KV-cache block manager (serving/kv_pool.hpp).
+// Unit tests for the paged KV-cache block manager (serving/kv_pool.hpp):
+// capacity accounting, the refcounted content-addressed prefix cache,
+// copy-on-write, and LRU eviction of cold cached blocks.
 #include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
 
 #include "serving/kv_pool.hpp"
 
@@ -7,12 +12,26 @@ namespace speedllm::serving {
 namespace {
 
 /// 8 blocks of 4 tokens x 64 bytes: small enough to exhaust by hand.
-KvPoolConfig SmallPool() {
+KvPoolConfig SmallPool(bool enable_prefix_cache = true) {
   KvPoolConfig config;
   config.bytes_per_token = 64;
   config.block_size_tokens = 4;
   config.pool_bytes = 8 * 4 * 64;
+  config.enable_prefix_cache = enable_prefix_cache;
   return config;
+}
+
+/// Distinct deterministic token values: base, base+1, ...
+std::vector<std::int32_t> Tokens(std::int32_t base, std::int32_t count) {
+  std::vector<std::int32_t> tokens(static_cast<std::size_t>(count));
+  std::iota(tokens.begin(), tokens.end(), base);
+  return tokens;
+}
+
+void Fill(KvBlockPool& pool, std::uint64_t seq,
+          const std::vector<std::int32_t>& tokens) {
+  ASSERT_TRUE(pool.Register(seq).ok());
+  for (std::int32_t t : tokens) ASSERT_TRUE(pool.Append(seq, t).ok());
 }
 
 TEST(KvPoolTest, CapacityMath) {
@@ -40,10 +59,10 @@ TEST(KvPoolTest, AppendAllocatesOnlyAtBlockBoundaries) {
   KvBlockPool pool(SmallPool());
   ASSERT_TRUE(pool.Register(7).ok());
   for (int t = 0; t < 4; ++t) {
-    ASSERT_TRUE(pool.Append(7).ok());
+    ASSERT_TRUE(pool.Append(7, 100 + t).ok());
     EXPECT_EQ(pool.used_blocks(), 1);
   }
-  ASSERT_TRUE(pool.Append(7).ok());  // token 5 crosses into block 2
+  ASSERT_TRUE(pool.Append(7, 104).ok());  // token 5 crosses into block 2
   EXPECT_EQ(pool.used_blocks(), 2);
   EXPECT_EQ(pool.SequenceTokens(7), 5);
   EXPECT_EQ(pool.BlockTable(7).size(), 2u);
@@ -52,12 +71,9 @@ TEST(KvPoolTest, AppendAllocatesOnlyAtBlockBoundaries) {
 
 TEST(KvPoolTest, ExhaustionReturnsResourceExhausted) {
   KvBlockPool pool(SmallPool());
-  ASSERT_TRUE(pool.Register(0).ok());
-  for (int t = 0; t < 32; ++t) {
-    ASSERT_TRUE(pool.Append(0).ok()) << "token " << t;
-  }
+  Fill(pool, 0, Tokens(100, 32));
   EXPECT_EQ(pool.free_blocks(), 0);
-  Status st = pool.Append(0);
+  Status st = pool.Append(0, 999);
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
   // The pool never exceeded its byte budget.
@@ -67,27 +83,25 @@ TEST(KvPoolTest, ExhaustionReturnsResourceExhausted) {
 
 TEST(KvPoolTest, ReleaseRecyclesBlocksDeterministically) {
   KvBlockPool pool(SmallPool());
-  ASSERT_TRUE(pool.Register(1).ok());
-  ASSERT_TRUE(pool.Register(2).ok());
-  for (int t = 0; t < 5; ++t) ASSERT_TRUE(pool.Append(1).ok());
-  for (int t = 0; t < 3; ++t) ASSERT_TRUE(pool.Append(2).ok());
+  Fill(pool, 1, Tokens(100, 5));
+  Fill(pool, 2, Tokens(200, 3));
   const auto blocks_of_1 = pool.BlockTable(1);
   ASSERT_TRUE(pool.Release(1).ok());
   EXPECT_EQ(pool.used_blocks(), 1);
   EXPECT_FALSE(pool.Contains(1));
-  // LIFO free list: the next registrations get seq 1's blocks back in
-  // reverse release order.
+  // seq 1's sealed block parks on the LRU list (still matchable); its
+  // partial tail returns to the LIFO free list, so the next allocation
+  // gets it back first.
+  EXPECT_EQ(pool.evictable_blocks(), 1);
   ASSERT_TRUE(pool.Register(3).ok());
-  ASSERT_TRUE(pool.Append(3).ok());
+  ASSERT_TRUE(pool.Append(3, 300).ok());
   EXPECT_EQ(pool.BlockTable(3)[0], blocks_of_1.back());
 }
 
 TEST(KvPoolTest, FragmentationIsBoundedByOneBlockPerSequence) {
   KvBlockPool pool(SmallPool());
-  ASSERT_TRUE(pool.Register(1).ok());
-  ASSERT_TRUE(pool.Register(2).ok());
-  for (int t = 0; t < 5; ++t) ASSERT_TRUE(pool.Append(1).ok());  // 2 blocks
-  ASSERT_TRUE(pool.Append(2).ok());                              // 1 block
+  Fill(pool, 1, Tokens(100, 5));  // 2 blocks
+  Fill(pool, 2, Tokens(200, 1));  // 1 block
   // seq 1 wastes 3 token slots, seq 2 wastes 3.
   EXPECT_EQ(pool.fragmentation_bytes(), 6u * 64);
   EXPECT_LE(pool.fragmentation_bytes(),
@@ -96,11 +110,10 @@ TEST(KvPoolTest, FragmentationIsBoundedByOneBlockPerSequence) {
 
 TEST(KvPoolTest, StatsTrackPeakAndPreemptions) {
   KvBlockPool pool(SmallPool());
-  ASSERT_TRUE(pool.Register(1).ok());
-  for (int t = 0; t < 9; ++t) ASSERT_TRUE(pool.Append(1).ok());  // 3 blocks
+  Fill(pool, 1, Tokens(100, 9));  // 3 blocks
   ASSERT_TRUE(pool.Release(1, /*preempted=*/true).ok());
   ASSERT_TRUE(pool.Register(2).ok());
-  ASSERT_TRUE(pool.Append(2).ok());
+  ASSERT_TRUE(pool.Append(2, 500).ok());
   const KvPoolStats& stats = pool.stats();
   EXPECT_EQ(stats.block_allocs, 4);
   EXPECT_EQ(stats.block_frees, 3);
@@ -115,9 +128,182 @@ TEST(KvPoolTest, LifecycleErrors) {
   ASSERT_TRUE(pool.Register(5).ok());
   Status dup = pool.Register(5);
   EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
-  EXPECT_EQ(pool.Append(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(pool.Append(99, 1).code(), StatusCode::kNotFound);
   EXPECT_EQ(pool.Release(99).code(), StatusCode::kNotFound);
   EXPECT_EQ(pool.SequenceTokens(99), 0);
+  const auto tokens = Tokens(0, 4);
+  EXPECT_EQ(pool.AcquireCachedPrefix(99, tokens, 4).status().code(),
+            StatusCode::kNotFound);
+  // Acquire must precede any Append for the sequence.
+  ASSERT_TRUE(pool.Append(5, 1).ok());
+  EXPECT_EQ(pool.AcquireCachedPrefix(5, tokens, 4).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------- prefix cache ----------------
+
+TEST(KvPoolTest, CachedPrefixIsSharedNotCopied) {
+  KvBlockPool pool(SmallPool());
+  const auto prefix = Tokens(100, 8);  // 2 full blocks, sealed + cached
+  Fill(pool, 1, prefix);
+  EXPECT_EQ(pool.cached_blocks(), 2);
+  EXPECT_EQ(pool.used_blocks(), 2);
+
+  auto prompt = prefix;
+  prompt.push_back(900);
+  prompt.push_back(901);
+  ASSERT_TRUE(pool.Register(2).ok());
+  auto match = pool.AcquireCachedPrefix(2, prompt, 9);  // leave 1 to process
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->matched_tokens, 8);
+  EXPECT_EQ(match->matched_blocks, 2);
+  EXPECT_EQ(match->live_shared_blocks, 2);
+  EXPECT_EQ(pool.SequenceTokens(2), 8);
+  // Shared physically: same block ids, refcount 2, zero new allocations.
+  EXPECT_EQ(pool.BlockTable(2), pool.BlockTable(1));
+  EXPECT_EQ(pool.used_blocks(), 2);
+  EXPECT_EQ(pool.BlockRefCount(pool.BlockTable(1)[0]), 2);
+  // The suffix grows into a fresh private block.
+  ASSERT_TRUE(pool.Append(2, 900).ok());
+  EXPECT_EQ(pool.used_blocks(), 3);
+  EXPECT_NE(pool.BlockTable(2)[2], pool.BlockTable(1)[0]);
+  EXPECT_EQ(pool.stats().prefix_hit_tokens, 8);
+  EXPECT_EQ(pool.stats().prefix_hits, 1);
+}
+
+TEST(KvPoolTest, WriteIntoSharedBlockCopiesOnWrite) {
+  KvBlockPool pool(SmallPool());
+  const auto prefix = Tokens(100, 8);
+  Fill(pool, 1, prefix);
+  // A fully cached, block-aligned prompt: the consumer maps both blocks
+  // but may only account 7 tokens (the final token must be reprocessed
+  // for logits), so its next write lands INSIDE shared block 1.
+  ASSERT_TRUE(pool.Register(2).ok());
+  auto match = pool.AcquireCachedPrefix(2, prefix, 7);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->matched_tokens, 7);
+  EXPECT_EQ(match->matched_blocks, 2);
+  const std::int32_t shared_tail = pool.BlockTable(2)[1];
+  EXPECT_EQ(shared_tail, pool.BlockTable(1)[1]);
+
+  ASSERT_TRUE(pool.Append(2, prefix[7]).ok());
+  EXPECT_EQ(pool.stats().cow_copies, 1);
+  // seq 2 now owns a private copy; seq 1 (and the cache) keep the
+  // original untouched.
+  EXPECT_NE(pool.BlockTable(2)[1], shared_tail);
+  EXPECT_EQ(pool.BlockTable(1)[1], shared_tail);
+  EXPECT_EQ(pool.BlockRefCount(shared_tail), 1);
+  EXPECT_EQ(pool.BlockRefCount(pool.BlockTable(2)[1]), 1);
+  // The copy's content equals an already-cached block, so it is not
+  // double-indexed.
+  EXPECT_FALSE(pool.BlockIsCached(pool.BlockTable(2)[1]));
+  EXPECT_EQ(pool.cached_blocks(), 2);
+  EXPECT_EQ(pool.SequenceTokens(2), 8);
+}
+
+TEST(KvPoolTest, PeakUsageCountsSharedBlocksOnce) {
+  KvBlockPool pool(SmallPool());
+  const auto prefix = Tokens(100, 8);
+  Fill(pool, 1, prefix);
+  auto prompt = prefix;
+  prompt.push_back(700);
+  ASSERT_TRUE(pool.Register(2).ok());
+  ASSERT_TRUE(pool.AcquireCachedPrefix(2, prompt, 8).ok());
+  ASSERT_TRUE(pool.Append(2, 700).ok());
+  // Four block-table entries across the two sequences, but only three
+  // physical blocks: the peak must count the shared pair once.
+  EXPECT_EQ(pool.BlockTable(1).size() + pool.BlockTable(2).size(), 5u);
+  EXPECT_EQ(pool.used_blocks(), 3);
+  EXPECT_EQ(pool.stats().peak_used_blocks, 3);
+  EXPECT_LE(pool.bytes_in_use(), pool.capacity_bytes());
+}
+
+TEST(KvPoolTest, SharedBlocksSurviveCoOwnerRelease) {
+  KvBlockPool pool(SmallPool());
+  const auto prefix = Tokens(100, 8);
+  Fill(pool, 1, prefix);
+  ASSERT_TRUE(pool.Register(2).ok());
+  ASSERT_TRUE(pool.AcquireCachedPrefix(2, prefix, 7).ok());
+  const auto table_before = pool.BlockTable(2);
+  ASSERT_TRUE(pool.Release(1, /*preempted=*/true).ok());
+  // seq 2 still holds both blocks; nothing was swapped out from under it.
+  EXPECT_EQ(pool.BlockTable(2), table_before);
+  EXPECT_EQ(pool.SequenceTokens(2), 7);
+  EXPECT_EQ(pool.BlockRefCount(table_before[0]), 1);
+  EXPECT_EQ(pool.used_blocks(), 2);
+  EXPECT_EQ(pool.evictable_blocks(), 0);  // every block still has an owner
+}
+
+TEST(KvPoolTest, CachingNeverReducesSchedulableCapacity) {
+  KvBlockPool pool(SmallPool());
+  Fill(pool, 1, Tokens(100, 16));  // 4 cached blocks
+  Fill(pool, 2, Tokens(500, 16));  // 4 more
+  ASSERT_TRUE(pool.Release(1).ok());
+  ASSERT_TRUE(pool.Release(2).ok());
+  // All 8 blocks hold cached content, yet the full pool is reservable:
+  // cold cache is free capacity.
+  EXPECT_EQ(pool.used_blocks(), 0);
+  EXPECT_EQ(pool.free_blocks(), 8);
+  EXPECT_EQ(pool.evictable_blocks(), 8);
+  EXPECT_TRUE(pool.CanReserve(32));
+  // A fresh unrelated sequence can fill the whole pool, evicting the
+  // cold entries in LRU order (seq 1 released first, so it dies first).
+  Fill(pool, 3, Tokens(900, 32));
+  EXPECT_EQ(pool.used_blocks(), 8);
+  EXPECT_EQ(pool.stats().cache_evictions, 8);
+  const auto old_prefix = Tokens(100, 16);
+  EXPECT_EQ(pool.MatchCachedPrefix(old_prefix, 16).matched_tokens, 0);
+}
+
+TEST(KvPoolTest, LruEvictsOldestReleasedPrefixFirst) {
+  KvBlockPool pool(SmallPool());
+  Fill(pool, 1, Tokens(100, 16));  // blocks 0..3
+  Fill(pool, 2, Tokens(500, 16));  // blocks 4..7
+  ASSERT_TRUE(pool.Release(1).ok());  // colder
+  ASSERT_TRUE(pool.Release(2).ok());  // warmer
+  // One new block forces exactly one eviction: seq 1's first block.
+  Fill(pool, 3, Tokens(900, 1));
+  EXPECT_EQ(pool.stats().cache_evictions, 1);
+  const auto one = Tokens(100, 16);
+  const auto two = Tokens(500, 16);
+  // seq 1's chain is broken at its first block; seq 2's is intact.
+  EXPECT_EQ(pool.MatchCachedPrefix(one, 16).matched_tokens, 0);
+  EXPECT_EQ(pool.MatchCachedPrefix(two, 16).matched_tokens, 16);
+  EXPECT_EQ(pool.MatchCachedPrefix(two, 8).matched_tokens, 8);
+}
+
+TEST(KvPoolTest, ReacquiredEvictableBlocksComeBackToLife) {
+  KvBlockPool pool(SmallPool());
+  const auto prefix = Tokens(100, 8);
+  Fill(pool, 1, prefix);
+  ASSERT_TRUE(pool.Release(1).ok());
+  EXPECT_EQ(pool.evictable_blocks(), 2);
+  EXPECT_EQ(pool.used_blocks(), 0);
+  ASSERT_TRUE(pool.Register(2).ok());
+  auto match = pool.AcquireCachedPrefix(2, prefix, 7);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->matched_tokens, 7);
+  EXPECT_EQ(match->live_shared_blocks, 0);  // both revived off the LRU
+  EXPECT_EQ(pool.stats().cache_block_reacquires, 2);
+  EXPECT_EQ(pool.used_blocks(), 2);
+  EXPECT_EQ(pool.evictable_blocks(), 0);
+}
+
+TEST(KvPoolTest, DisabledCacheMatchesNothing) {
+  KvBlockPool pool(SmallPool(/*enable_prefix_cache=*/false));
+  const auto prefix = Tokens(100, 8);
+  Fill(pool, 1, prefix);
+  EXPECT_EQ(pool.cached_blocks(), 0);
+  EXPECT_EQ(pool.MatchCachedPrefix(prefix, 8).matched_tokens, 0);
+  ASSERT_TRUE(pool.Register(2).ok());
+  auto match = pool.AcquireCachedPrefix(2, prefix, 8);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->matched_tokens, 0);
+  EXPECT_EQ(pool.stats().prefix_queries, 0);
+  // Releases go straight back to the free list: nothing is evictable.
+  ASSERT_TRUE(pool.Release(1).ok());
+  EXPECT_EQ(pool.evictable_blocks(), 0);
+  EXPECT_EQ(pool.free_blocks(), 8);
 }
 
 }  // namespace

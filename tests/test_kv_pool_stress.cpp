@@ -1,0 +1,300 @@
+// Randomized model-based stress test for the prefix-caching KV pool
+// (serving/kv_pool.hpp). Thousands of seeded alloc / extend / share /
+// COW / free / evict operations run against a reference model of the
+// pool, and after EVERY operation the full invariant set is re-checked:
+//
+//  * usage never exceeds capacity (blocks and bytes);
+//  * every block's refcount equals the number of live block tables that
+//    reference it, shared blocks are counted once in used_blocks, and no
+//    block appears twice in one table ("owned twice");
+//  * per-sequence accounting (token counts, table sizes) matches the
+//    reference model exactly;
+//  * the cache never invents content: an acquired prefix must equal a
+//    block-aligned prefix some sequence actually sealed earlier;
+//  * free + used partitions the pool, with evictable (cold cached)
+//    blocks always counted as free capacity.
+//
+// At drain every sequence is released and every refcount must return to
+// zero, with the whole pool reservable again.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serving/kv_pool.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+constexpr std::int64_t kBlocks = 24;
+constexpr std::int64_t kBlockTokens = 4;
+
+KvPoolConfig StressPool(bool enable_prefix_cache) {
+  KvPoolConfig config;
+  config.bytes_per_token = 32;
+  config.block_size_tokens = static_cast<std::uint32_t>(kBlockTokens);
+  config.pool_bytes = static_cast<std::uint64_t>(kBlocks) * kBlockTokens * 32;
+  config.enable_prefix_cache = enable_prefix_cache;
+  return config;
+}
+
+class StressHarness {
+ public:
+  StressHarness(std::uint64_t seed, bool enable_prefix_cache)
+      : pool_(StressPool(enable_prefix_cache)), rng_(seed) {}
+
+  void Run(int ops) {
+    for (int op = 0; op < ops; ++op) {
+      const std::uint64_t kind = rng_.NextBounded(10);
+      if (kind < 4 || live_.empty()) {
+        Alloc();
+      } else if (kind < 7) {
+        Extend();
+      } else {
+        Release();
+      }
+      CheckInvariants(op);
+    }
+    Drain();
+  }
+
+  const KvPoolStats& stats() const { return pool_.stats(); }
+
+ private:
+  struct ModelSeq {
+    std::vector<std::int32_t> prompt;  // what Alloc asked for
+    std::vector<std::int32_t> acked;   // tokens the pool accounted
+  };
+
+  std::int32_t DrawToken() {
+    return static_cast<std::int32_t>(rng_.NextBounded(97));  // small alphabet
+  }
+
+  /// Prompts frequently replay a prefix of an earlier prompt, so the
+  /// cache sees genuine sharing. A slice of them are *exact*
+  /// block-aligned replays: combined with the final-token cap in Alloc,
+  /// the fully-cached prompt's re-appended last token lands inside a
+  /// shared block -- the copy-on-write trigger.
+  std::vector<std::int32_t> DrawPrompt() {
+    std::vector<std::int32_t> prompt;
+    if (!sources_.empty() && rng_.NextBounded(100) < 70) {
+      const auto& src = sources_[static_cast<std::size_t>(
+          rng_.NextBounded(sources_.size()))];
+      std::size_t keep = 1 + static_cast<std::size_t>(
+                                 rng_.NextBounded(src.size()));
+      if (rng_.NextBounded(100) < 40) {
+        keep -= keep % static_cast<std::size_t>(kBlockTokens);
+        if (keep >= static_cast<std::size_t>(kBlockTokens)) {
+          return std::vector<std::int32_t>(
+              src.begin(), src.begin() + static_cast<std::ptrdiff_t>(keep));
+        }
+        keep = 1 + static_cast<std::size_t>(rng_.NextBounded(src.size()));
+      }
+      prompt.assign(src.begin(),
+                    src.begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+    const std::int64_t fresh =
+        1 + static_cast<std::int64_t>(rng_.NextBounded(12));
+    for (std::int64_t t = 0; t < fresh; ++t) prompt.push_back(DrawToken());
+    return prompt;
+  }
+
+  /// Mirrors the pool's sealing rule: whenever a sequence's acked count
+  /// crosses a block boundary, that block-aligned prefix became cacheable.
+  void RecordSealed(const ModelSeq& seq) {
+    if (!pool_.config().enable_prefix_cache) return;
+    const std::int64_t full =
+        static_cast<std::int64_t>(seq.acked.size()) / kBlockTokens;
+    for (std::int64_t k = 1; k <= full; ++k) {
+      sealed_ever_.insert(std::vector<std::int32_t>(
+          seq.acked.begin(), seq.acked.begin() + k * kBlockTokens));
+    }
+  }
+
+  void AppendAcked(std::uint64_t id, ModelSeq& seq, std::int32_t token) {
+    Status st = pool_.Append(id, token);
+    if (st.ok()) {
+      seq.acked.push_back(token);
+      RecordSealed(seq);
+    } else {
+      // The only legal refusal is capacity; it must be consistent with
+      // the pool actually being full of owned or soon-owned blocks.
+      ASSERT_EQ(st.code(), StatusCode::kResourceExhausted);
+      ASSERT_EQ(pool_.free_blocks(), 0);
+    }
+  }
+
+  void Alloc() {
+    const std::uint64_t id = next_seq_++;
+    ModelSeq seq;
+    seq.prompt = DrawPrompt();
+    ASSERT_TRUE(pool_.Register(id).ok());
+    // Sometimes leave the last token to re-append (the shard's "logits
+    // for the final prompt token" cap) -- that is the COW trigger.
+    const std::int64_t cap =
+        static_cast<std::int64_t>(seq.prompt.size()) -
+        static_cast<std::int64_t>(rng_.NextBounded(2));
+    auto match_or = pool_.AcquireCachedPrefix(id, seq.prompt, cap);
+    ASSERT_TRUE(match_or.ok()) << match_or.status().ToString();
+    const PrefixMatch match = *match_or;
+    ASSERT_LE(match.matched_tokens, cap);
+    ASSERT_LE(match.matched_tokens,
+              static_cast<std::int64_t>(seq.prompt.size()));
+    // Matches are block-granular except where the cap bit mid-block.
+    ASSERT_TRUE(match.matched_tokens == cap ||
+                match.matched_tokens % kBlockTokens == 0)
+        << "matched " << match.matched_tokens << " cap " << cap;
+    if (match.matched_tokens > 0) {
+      // No false sharing: the mapped region must be a prefix some
+      // sequence genuinely sealed, byte for byte.
+      const std::int64_t mapped_tokens = match.matched_blocks * kBlockTokens;
+      ASSERT_LE(mapped_tokens,
+                static_cast<std::int64_t>(seq.prompt.size()));
+      const std::vector<std::int32_t> mapped(
+          seq.prompt.begin(), seq.prompt.begin() + mapped_tokens);
+      ASSERT_TRUE(sealed_ever_.count(mapped))
+          << "cache matched a never-sealed prefix of " << mapped_tokens
+          << " tokens";
+      seq.acked.assign(seq.prompt.begin(),
+                       seq.prompt.begin() + match.matched_tokens);
+    }
+    live_.emplace(id, std::move(seq));
+    ModelSeq& placed = live_[id];
+    for (std::size_t t = placed.acked.size(); t < placed.prompt.size(); ++t) {
+      AppendAcked(id, placed, placed.prompt[t]);
+      if (placed.acked.size() <= t) break;  // pool full: stop growing
+    }
+    sources_.push_back(placed.prompt);
+    if (sources_.size() > 24) sources_.erase(sources_.begin());
+  }
+
+  void Extend() {
+    auto it = live_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng_.NextBounded(live_.size())));
+    const std::int64_t grow = 1 + static_cast<std::int64_t>(rng_.NextBounded(6));
+    for (std::int64_t t = 0; t < grow; ++t) {
+      const std::size_t before = it->second.acked.size();
+      AppendAcked(it->first, it->second, DrawToken());
+      if (it->second.acked.size() == before) break;
+    }
+  }
+
+  void Release() {
+    auto it = live_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng_.NextBounded(live_.size())));
+    const bool preempted = rng_.NextBounded(2) == 0;
+    ASSERT_TRUE(pool_.Release(it->first, preempted).ok());
+    live_.erase(it);
+  }
+
+  void CheckInvariants(int op) {
+    // Capacity is a hard ceiling, in blocks and bytes.
+    ASSERT_LE(pool_.used_blocks(), pool_.num_blocks()) << "op " << op;
+    ASSERT_LE(pool_.bytes_in_use(), pool_.capacity_bytes()) << "op " << op;
+    ASSERT_EQ(pool_.free_blocks(), pool_.num_blocks() - pool_.used_blocks());
+    ASSERT_LE(pool_.evictable_blocks(), pool_.free_blocks()) << "op " << op;
+    ASSERT_EQ(pool_.num_sequences(),
+              static_cast<std::int64_t>(live_.size()));
+
+    // Reconstruct ownership from every live block table.
+    std::map<std::int32_t, std::int32_t> owners;
+    for (const auto& [id, seq] : live_) {
+      ASSERT_TRUE(pool_.Contains(id));
+      ASSERT_EQ(pool_.SequenceTokens(id),
+                static_cast<std::int64_t>(seq.acked.size()))
+          << "op " << op << " seq " << id;
+      const auto& table = pool_.BlockTable(id);
+      ASSERT_EQ(static_cast<std::int64_t>(table.size()),
+                (static_cast<std::int64_t>(seq.acked.size()) + kBlockTokens -
+                 1) /
+                    kBlockTokens)
+          << "op " << op << " seq " << id;
+      std::set<std::int32_t> dedup(table.begin(), table.end());
+      ASSERT_EQ(dedup.size(), table.size())
+          << "op " << op << ": block owned twice by seq " << id;
+      for (std::int32_t b : table) {
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, pool_.num_blocks());
+        ++owners[b];
+      }
+    }
+    // Refcounts agree with the tables; shared blocks count once.
+    std::int64_t distinct_owned = 0;
+    for (std::int32_t b = 0; b < pool_.num_blocks(); ++b) {
+      const auto it = owners.find(b);
+      const std::int32_t expected = it == owners.end() ? 0 : it->second;
+      ASSERT_EQ(pool_.BlockRefCount(b), expected)
+          << "op " << op << " block " << b;
+      if (expected > 0) ++distinct_owned;
+    }
+    ASSERT_EQ(pool_.used_blocks(), distinct_owned) << "op " << op;
+    ASSERT_LE(pool_.stats().peak_used_blocks, pool_.num_blocks());
+    // used == fresh allocations + revived cache blocks - releases.
+    const KvPoolStats& s = pool_.stats();
+    ASSERT_EQ(pool_.used_blocks(),
+              s.block_allocs + s.cache_block_reacquires - s.block_frees)
+        << "op " << op;
+  }
+
+  void Drain() {
+    while (!live_.empty()) {
+      ASSERT_TRUE(pool_.Release(live_.begin()->first).ok());
+      live_.erase(live_.begin());
+      CheckInvariants(-1);
+    }
+    // Every refcount is back to zero and the whole pool is schedulable,
+    // no matter how much cold cache is parked on the LRU list.
+    ASSERT_EQ(pool_.used_blocks(), 0);
+    ASSERT_EQ(pool_.free_blocks(), pool_.num_blocks());
+    for (std::int32_t b = 0; b < pool_.num_blocks(); ++b) {
+      ASSERT_EQ(pool_.BlockRefCount(b), 0) << "block " << b;
+    }
+    ASSERT_TRUE(pool_.CanReserve(pool_.num_blocks() * kBlockTokens));
+  }
+
+  KvBlockPool pool_;
+  Rng rng_;
+  std::map<std::uint64_t, ModelSeq> live_;
+  std::vector<std::vector<std::int32_t>> sources_;
+  std::set<std::vector<std::int32_t>> sealed_ever_;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(KvPoolStressTest, ThousandsOfOpsHoldEveryInvariantWithCaching) {
+  for (std::uint64_t seed : {11ull, 2024ull, 777777ull}) {
+    StressHarness harness(seed, /*enable_prefix_cache=*/true);
+    harness.Run(2000);
+  }
+}
+
+TEST(KvPoolStressTest, ThousandsOfOpsHoldEveryInvariantWithoutCaching) {
+  for (std::uint64_t seed : {23ull, 4096ull}) {
+    StressHarness harness(seed, /*enable_prefix_cache=*/false);
+    harness.Run(1500);
+  }
+}
+
+TEST(KvPoolStressTest, CowAndEvictionPathsAreActuallyExercised) {
+  // The invariants above are only as good as the coverage: make sure the
+  // cached-share, copy-on-write, and eviction paths all genuinely fire
+  // under the default stress mix.
+  StressHarness harness(11, /*enable_prefix_cache=*/true);
+  harness.Run(2000);
+  const KvPoolStats& s = harness.stats();
+  EXPECT_GT(s.prefix_hits, 0);
+  EXPECT_GT(s.prefix_hit_tokens, 0);
+  EXPECT_GT(s.shared_block_acquires, 0);
+  EXPECT_GT(s.cache_block_reacquires, 0);
+  EXPECT_GT(s.cow_copies, 0);
+  EXPECT_GT(s.cache_evictions, 0);
+  EXPECT_GT(s.preemption_releases, 0);
+}
+
+}  // namespace
+}  // namespace speedllm::serving

@@ -233,6 +233,44 @@ TEST(SchedulerTest, PreemptionBySwapIsTransparent) {
   EXPECT_GT(tight_report->makespan_seconds, roomy_report->makespan_seconds);
 }
 
+TEST(SchedulerTest, CachedPrefixSkipsPrefillAndCutsTtft) {
+  Fixture f;
+  auto prog = f.Compile();
+  // Two requests with an identical 32-token prompt (two full blocks of
+  // 16), the second arriving well after the first finished. With prefix
+  // caching the repeat maps the cached blocks, re-processes only the
+  // final prompt token (a copy-on-write into the shared tail), and its
+  // TTFT collapses.
+  std::vector<ServingRequest> reqs = {MakeRequest(32, 8, 0.0, 5),
+                                      MakeRequest(32, 8, 0.05, 5)};
+  SchedulerConfig off;
+  off.enable_prefix_cache = false;
+  auto report_off = ContinuousBatchScheduler(prog, f.weights, f.u280, off)
+                        .Run(reqs, Greedy());
+  ASSERT_TRUE(report_off.ok()) << report_off.status().ToString();
+  SchedulerConfig on;
+  on.enable_prefix_cache = true;
+  auto report_on = ContinuousBatchScheduler(prog, f.weights, f.u280, on)
+                       .Run(reqs, Greedy());
+  ASSERT_TRUE(report_on.ok()) << report_on.status().ToString();
+
+  // Byte-identical streams, with and without the cache.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(report_on->outcomes[i].generated,
+              report_off->outcomes[i].generated)
+        << "request " << i;
+  }
+  // The repeat's 31 cacheable tokens came off the device's books: only
+  // the final prompt token was processed, via copy-on-write.
+  EXPECT_EQ(report_off->prefix_cache_hit_tokens, 0);
+  EXPECT_EQ(report_on->prefix_cache_hit_tokens, 31);
+  EXPECT_GE(report_on->cow_copies, 1);
+  EXPECT_EQ(report_on->total_tokens, report_off->total_tokens - 31);
+  EXPECT_LT(report_on->outcomes[1].time_to_first_token(),
+            0.5 * report_off->outcomes[1].time_to_first_token());
+  EXPECT_LT(report_on->makespan_seconds, report_off->makespan_seconds);
+}
+
 TEST(SchedulerTest, RequestLargerThanPoolIsRejected) {
   Fixture f;
   auto prog = f.Compile();
