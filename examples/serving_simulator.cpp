@@ -2,9 +2,13 @@
 //
 // The paper motivates SpeedLLM with edge servers handling real-time
 // interaction. This example simulates one U280 card serving a burst of
-// concurrent chat requests (round-robin token scheduling, per-request KV
-// caches) and compares the full SpeedLLM variant against the unoptimized
-// accelerator on time-to-first-token and request latency.
+// concurrent chat requests and compares the full SpeedLLM variant
+// against the unoptimized accelerator on time-to-first-token and
+// request latency. It drives runtime::ServingSimulator, which since
+// PR 3 is a thin batch-offline compat shim over the real serving entry
+// point, api::Engine (continuous batching, paged KV pool) -- the seed's
+// round-robin/per-request-cache loop survives only as the explicit
+// ServingMode::kLegacyRoundRobin baseline.
 //
 //   ./examples/serving_simulator [--requests 4] [--gen 12] [--preset tiny]
 #include <cstdio>

@@ -33,8 +33,20 @@ Engine::Engine(const accel::Program& program, const llama::Weights& weights,
     : program_(program),
       weights_(weights),
       cards_(std::move(cards)),
-      config_(std::move(config)),
-      setup_(cards_.Validate()) {
+      config_(std::move(config)) {
+  // The caller may name per-card KV dtypes on either the card list or
+  // the engine config; an explicit card-list entry wins.
+  if (cards_.kv_dtype_per_card.empty() &&
+      !config_.kv_cache_dtype_per_card.empty()) {
+    cards_.kv_dtype_per_card = config_.kv_cache_dtype_per_card;
+    // Pad missing entries with the scheduler default; an over-long list
+    // is an error Validate() reports.
+    if (cards_.kv_dtype_per_card.size() < cards_.cards.size()) {
+      cards_.kv_dtype_per_card.resize(cards_.cards.size(),
+                                      config_.scheduler.kv_cache_dtype);
+    }
+  }
+  setup_ = cards_.Validate();
   if (!setup_.ok()) return;
   session_ = std::make_unique<serving::ClusterSession>(
       program_, weights_, cards_, ToClusterConfig(config_), config_.sampler);
@@ -136,6 +148,11 @@ std::int64_t Engine::kv_blocks_in_use(int card) const {
 
 std::int64_t Engine::kv_block_capacity(int card) const {
   return session_ == nullptr ? 0 : session_->shard(card).pool().num_blocks();
+}
+
+serving::KvCacheDtype Engine::kv_cache_dtype(int card) const {
+  return session_ == nullptr ? config_.scheduler.kv_cache_dtype
+                             : session_->shard(card).pool().config().dtype;
 }
 
 serving::KvPoolStats Engine::kv_pool_stats(int card) const {

@@ -34,19 +34,24 @@
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
 
+/// Public serving API: the online streaming engine facade.
 namespace speedllm::api {
 
+/// Re-exported so callbacks can name reasons as api::FinishReason.
 using serving::FinishReason;
 
 /// Opaque ticket for one submitted request. Valid handles are never
 /// reused within an Engine's lifetime.
 struct RequestHandle {
-  std::uint64_t id = 0;  // 1-based; 0 is the invalid handle
+  std::uint64_t id = 0;  ///< 1-based; 0 is the invalid handle
 
+  /// True for handles returned by a successful Submit().
   bool valid() const { return id != 0; }
+  /// Handles are equal iff they name the same submission.
   friend bool operator==(RequestHandle a, RequestHandle b) {
     return a.id == b.id;
   }
+  /// Negation of operator==.
   friend bool operator!=(RequestHandle a, RequestHandle b) {
     return a.id != b.id;
   }
@@ -60,19 +65,28 @@ struct RequestHandle {
 /// reentrantly Submit() or Cancel() -- that is how closed-loop clients
 /// chain their next request.
 struct StreamCallbacks {
+  /// Fires once per generated token, at the simulated end of the tick
+  /// that committed it.
   std::function<void(RequestHandle handle, std::int32_t token,
                      double time_seconds)>
       on_token;
+  /// Fires exactly once, after the last token, with the finish reason
+  /// and final outcome (valid for the duration of the callback).
   std::function<void(RequestHandle handle, FinishReason reason,
                      const serving::RequestOutcome& outcome)>
       on_finish;
 };
 
+/// Construction-time engine parameters (cards, scheduling, sampling).
 struct EngineConfig {
   /// Cards to shard across (U280Config constructor only; the
   /// MultiCardConfig constructor derives it from the card list).
   int num_cards = 1;
+  /// Per-card scheduler knobs, including the KV-cache storage dtype
+  /// (serving::SchedulerConfig::kv_cache_dtype) and simulated DMA
+  /// costing (charge_dma_cost).
   serving::SchedulerConfig scheduler;
+  /// Which card each arriving request is routed to.
   serving::PlacementPolicy placement = serving::PlacementPolicy::kRoundRobin;
   /// Default sampling parameters; per-request streams are seeded from
   /// `sampler.seed` + submission index so they stay independent of batch
@@ -81,21 +95,35 @@ struct EngineConfig {
   /// Optional per-card KV pool override in bytes (0 / missing entries
   /// fall back to `scheduler.kv_pool_bytes` / HBM derivation).
   std::vector<std::uint64_t> kv_pool_bytes_per_card;
+  /// Optional per-card KV-cache dtype (missing entries fall back to
+  /// `scheduler.kv_cache_dtype`). Forwarded into
+  /// hw::MultiCardConfig::kv_dtype_per_card unless the caller-supplied
+  /// card list already set one; lets a cluster mix fp16 and int8 pools.
+  std::vector<serving::KvCacheDtype> kv_cache_dtype_per_card;
   /// Migrate queued (never-prefilled) requests away from a dry shard.
   bool rebalance_queued = true;
 };
 
+/// Online streaming serving engine (see the file comment): submit
+/// requests at any simulated time, stream tokens through callbacks,
+/// cancel mid-flight, drive the clock explicitly, harvest one report.
 class Engine {
  public:
-  /// `program` and `weights` must outlive the engine. The U280Config
-  /// overload serves `config.num_cards` identical cards.
+  /// `program` and `weights` must outlive the engine. This overload
+  /// serves `config.num_cards` identical cards.
   Engine(const accel::Program& program, const llama::Weights& weights,
          const hw::U280Config& u280, EngineConfig config = {});
+  /// Heterogeneous-card overload: `cards` may differ in HBM capacity and
+  /// KV-cache dtype (hw::MultiCardConfig::kv_dtype_per_card) but must
+  /// share one kernel clock.
   Engine(const accel::Program& program, const llama::Weights& weights,
          hw::MultiCardConfig cards, EngineConfig config = {});
+  /// Destroys the session; unharvested outcomes are discarded.
   ~Engine();
 
+  /// Non-copyable: the engine owns a live simulation timeline.
   Engine(const Engine&) = delete;
+  /// Non-assignable: the engine owns a live simulation timeline.
   Engine& operator=(const Engine&) = delete;
 
   // ----- submission -----
@@ -123,22 +151,32 @@ class Engine {
   /// Drains the event queue: every submitted request runs to its finish.
   void RunToCompletion();
 
+  /// Current simulated time.
   double now_seconds() const;
   /// True when no simulation work is pending (all streams quiescent).
   bool idle() const;
 
   // ----- introspection -----
+  /// Cards the engine shards across.
   int num_cards() const;
+  /// Requests ever submitted (finished ones included).
   std::size_t submitted_requests() const { return entries_.size(); }
   /// Submitted and not yet finished (running, queued, or still arriving).
   std::size_t active_requests() const {
     return entries_.size() - finished_requests_;
   }
+  /// True once `handle`'s on_finish has fired (or would have).
   bool finished(RequestHandle handle) const;
-  /// KV blocks currently allocated / total on `card` (cancellation and
+  /// KV blocks currently allocated on `card` (cancellation and
   /// stop-token tests observe block recycling through this).
   std::int64_t kv_blocks_in_use(int card) const;
+  /// Total KV blocks `card`'s pool was carved into. Blocks already
+  /// reflect the card's dtype: an int8 card has ~2x the blocks of an
+  /// fp16 card at equal HBM.
   std::int64_t kv_block_capacity(int card) const;
+  /// KV-cache storage dtype `card`'s pool runs with (after per-card
+  /// overrides).
+  serving::KvCacheDtype kv_cache_dtype(int card) const;
   /// Live KV pool counters for `card`, including the prefix-cache
   /// hit/eviction/copy-on-write stats -- how multi-turn clients observe
   /// their conversation history being reused across turns.

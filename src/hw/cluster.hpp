@@ -17,13 +17,21 @@ namespace speedllm::hw {
 
 struct MultiCardConfig {
   std::vector<U280Config> cards;
+  /// Per-card KV-cache storage dtype. Empty means every card uses the
+  /// scheduler's default (SchedulerConfig::kv_cache_dtype); otherwise one
+  /// entry per card. Cards may mix fp16 and int8 pools -- placement is
+  /// unchanged (policies bid in blocks, and each card's block already
+  /// reflects its own bytes-per-token), and the per-pool cache-index hash
+  /// seed is dtype-aware so fp16 and int8 blocks can never alias.
+  std::vector<KvCacheDtype> kv_dtype_per_card;
 
   int num_cards() const { return static_cast<int>(cards.size()); }
 
   /// N identical copies of `card` -- the common deployment.
   static MultiCardConfig Homogeneous(const U280Config& card, int num_cards);
 
-  /// Non-empty and clock-uniform (see file comment).
+  /// Non-empty, clock-uniform (see file comment), and
+  /// `kv_dtype_per_card` either empty or one entry per card.
   Status Validate() const;
 };
 

@@ -55,21 +55,29 @@ ClusterSession::ClusterSession(const accel::Program& program,
       sampler_config_(sampler_config),
       clock_mhz_(cards.cards.front().clock_mhz) {
   config_.shard = NormalizeSchedulerConfig(config_.shard);
-  const std::uint64_t block_bytes =
-      static_cast<std::uint64_t>(config_.shard.block_size_tokens) *
-      KvBytesPerToken(program.model);
   const int n = cards_.num_cards();
   shards_.reserve(static_cast<std::size_t>(n));
   min_pool_blocks_ = std::numeric_limits<std::int64_t>::max();
   for (int c = 0; c < n; ++c) {
     const std::size_t ci = static_cast<std::size_t>(c);
     SchedulerConfig shard_config = config_.shard;
+    if (ci < cards_.kv_dtype_per_card.size()) {
+      // Heterogeneous KV dtypes: each card's pool geometry (and hence
+      // its block count) follows its own storage format.
+      shard_config.kv_cache_dtype = cards_.kv_dtype_per_card[ci];
+    }
     if (ci < config_.kv_pool_bytes_per_card.size() &&
         config_.kv_pool_bytes_per_card[ci] > 0) {
       shard_config.kv_pool_bytes = config_.kv_pool_bytes_per_card[ci];
     }
     shard_config.kv_pool_bytes =
         DeriveKvPoolBytes(program, cards_.cards[ci], shard_config.kv_pool_bytes);
+    const std::uint64_t block_bytes =
+        MakeKvPoolConfig(program.model, shard_config.kv_cache_dtype,
+                         shard_config.kv_pool_bytes,
+                         shard_config.block_size_tokens,
+                         shard_config.enable_prefix_cache)
+            .block_bytes();
     min_pool_blocks_ = std::min(
         min_pool_blocks_,
         block_bytes == 0 ? std::int64_t{0}
@@ -331,6 +339,8 @@ ClusterReport ClusterSession::Harvest() {
     m.prefix_cache_lookup_tokens += shard.prefix_cache_lookup_tokens;
     m.cow_copies += shard.cow_copies;
     m.cache_evictions += shard.cache_evictions;
+    m.dma_bytes_moved += shard.dma_bytes_moved;
+    m.dma_time_seconds += shard.dma_time_seconds;
     m.peak_kv_blocks += shard.peak_kv_blocks;
     m.kv_block_capacity += shard.kv_block_capacity;
     m.kv_capacity_bytes += shard.kv_capacity_bytes;

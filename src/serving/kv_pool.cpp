@@ -9,6 +9,8 @@ namespace {
 
 /// FNV-1a offset basis; the chain starts here for every sequence so equal
 /// token prefixes hash equally regardless of which sequence wrote them.
+/// KvChainSeed folds the dtype in on top, so fp16 and int8 content can
+/// never collide in a cache index.
 constexpr std::uint64_t kChainSeed = 0xcbf29ce484222325ull;
 
 /// Folds one token into the running chain hash (boost-style combine with
@@ -30,13 +32,60 @@ std::uint64_t MixBlock(std::uint64_t h,
 
 }  // namespace
 
-std::uint32_t KvBytesPerToken(const llama::ModelConfig& config) {
-  // K and V vectors of kv_dim floats per layer.
-  return static_cast<std::uint32_t>(2ll * config.n_layers * config.kv_dim() *
-                                    static_cast<std::int64_t>(sizeof(float)));
+std::string_view KvCacheDtypeName(KvCacheDtype dtype) {
+  switch (dtype) {
+    case KvCacheDtype::kFp16: return "fp16";
+    case KvCacheDtype::kInt8: return "int8";
+  }
+  return "unknown";
 }
 
-KvBlockPool::KvBlockPool(const KvPoolConfig& config) : config_(config) {
+std::uint32_t KvBytesPerToken(const llama::ModelConfig& config,
+                              KvCacheDtype dtype) {
+  // K and V vectors of kv_dim elements per layer, at the dtype's width.
+  const std::int64_t elems = 2ll * config.n_layers * config.kv_dim();
+  switch (dtype) {
+    case KvCacheDtype::kFp16:
+      return static_cast<std::uint32_t>(elems * 2);
+    case KvCacheDtype::kInt8:
+      return static_cast<std::uint32_t>(elems);
+  }
+  return 0;
+}
+
+std::uint32_t KvQuantMetadataBytesPerBlock(const llama::ModelConfig& config,
+                                           KvCacheDtype dtype) {
+  if (dtype != KvCacheDtype::kInt8) return 0;
+  // One fp32 scale per (layer, K|V) per block: quant::QuantizedTensor's
+  // symmetric (zero-point-free) per-group scale bookkeeping with the
+  // group spanning one block's tokens. Amortized over the block, so
+  // int8 stays close to half of fp16's bytes-per-token.
+  return static_cast<std::uint32_t>(2ll * config.n_layers * sizeof(float));
+}
+
+std::uint64_t KvChainSeed(KvCacheDtype dtype) {
+  // Advance the FNV basis by one dtype-tagged mix step; distinct dtypes
+  // start their chains from distinct, fixed seeds.
+  return MixToken(kChainSeed,
+                  static_cast<std::int32_t>(dtype) + 0x5eed);
+}
+
+KvPoolConfig MakeKvPoolConfig(const llama::ModelConfig& model,
+                              KvCacheDtype dtype, std::uint64_t pool_bytes,
+                              std::uint32_t block_size_tokens,
+                              bool enable_prefix_cache) {
+  KvPoolConfig config;
+  config.pool_bytes = pool_bytes;
+  config.block_size_tokens = block_size_tokens;
+  config.bytes_per_token = KvBytesPerToken(model, dtype);
+  config.dtype = dtype;
+  config.quant_metadata_bytes = KvQuantMetadataBytesPerBlock(model, dtype);
+  config.enable_prefix_cache = enable_prefix_cache;
+  return config;
+}
+
+KvBlockPool::KvBlockPool(const KvPoolConfig& config)
+    : config_(config), chain_seed_(KvChainSeed(config.dtype)) {
   assert(config_.bytes_per_token > 0 && "bytes_per_token must be set");
   assert(config_.block_size_tokens > 0 && "block_size_tokens must be set");
   const std::uint64_t block_bytes = config_.block_bytes();
@@ -65,7 +114,7 @@ std::int64_t KvBlockPool::WalkCachedPrefix(
   if (!config_.enable_prefix_cache || cache_.empty()) return 0;
   const std::int64_t bs = config_.block_size_tokens;
   const std::int64_t len = static_cast<std::int64_t>(tokens.size());
-  std::uint64_t h = kChainSeed;
+  std::uint64_t h = chain_seed_;
   std::int64_t full = 0;
   // Only whole blocks are content-addressed, and a block starting at or
   // past the cap cannot contribute any usable token.
@@ -108,7 +157,7 @@ Status KvBlockPool::Register(std::uint64_t seq) {
                               " already registered in KV pool");
   }
   SeqState state;
-  state.chain_hash = kChainSeed;
+  state.chain_hash = chain_seed_;
   seqs_.emplace(seq, std::move(state));
   ++stats_.sequence_registers;
   return Status::Ok();
@@ -177,6 +226,12 @@ StatusOr<PrefixMatch> KvBlockPool::AcquireCachedPrefix(
   }
   ++stats_.prefix_hits;
   stats_.prefix_hit_tokens += match.matched_tokens;
+  // Rebuilding the slot executor's KV from the cached blocks is an
+  // on-device HBM read of every mapped block.
+  const std::int64_t restore_bytes =
+      match.matched_blocks * static_cast<std::int64_t>(config_.block_bytes());
+  stats_.restore_dma_bytes += restore_bytes;
+  stats_.dma_bytes_moved += restore_bytes;
   assert(bytes_in_use() <= config_.pool_bytes &&
          "KV pool exceeded its HBM budget");
   return match;
@@ -287,6 +342,11 @@ Status KvBlockPool::Append(std::uint64_t seq, std::int32_t token) {
       DropBlockRef(tail);
       AdoptBlock(state, copy, /*replace_tail=*/true);
       ++stats_.cow_copies;
+      // The private copy rewrites one block's payload through HBM.
+      const std::int64_t cow_bytes =
+          static_cast<std::int64_t>(config_.block_bytes());
+      stats_.cow_dma_bytes += cow_bytes;
+      stats_.dma_bytes_moved += cow_bytes;
     }
   }
   state.tail.push_back(token);
@@ -300,6 +360,24 @@ Status KvBlockPool::Release(std::uint64_t seq, bool preempted) {
   if (it == seqs_.end()) {
     return NotFound("sequence " + std::to_string(seq) +
                     " not registered in KV pool");
+  }
+  if (preempted) {
+    // A swap-out drains the victim's privately-owned, non-cached KV back
+    // through the HBM staging buffers (the write-out a swap preemption
+    // pays). Blocks with a co-owner stay resident for the co-owner, and
+    // cache-indexed blocks park on the LRU list *in place* -- neither
+    // moves a byte. Readmission recomputes instead of restoring, so no
+    // swap-in is charged; if the cached blocks survive until then, the
+    // readmission's AcquireCachedPrefix charges a restore instead.
+    std::int64_t swap_bytes = 0;
+    for (std::int32_t b : it->second.blocks) {
+      const BlockMeta& m = meta_[static_cast<std::size_t>(b)];
+      if (m.refcount == 1 && !m.cached) {
+        swap_bytes += static_cast<std::int64_t>(config_.block_bytes());
+      }
+    }
+    stats_.swap_dma_bytes += swap_bytes;
+    stats_.dma_bytes_moved += swap_bytes;
   }
   for (std::int32_t b : it->second.blocks) {
     DropBlockRef(b);

@@ -20,6 +20,18 @@
 // free capacity -- they are evicted on demand, so caching never reduces
 // schedulable capacity. A block is writable iff it has exactly one owner
 // and is not in the cache index.
+//
+// KV dtype (PR 5): the byte geometry follows hw::KvCacheDtype. kFp16
+// stores 2 bytes per KV element; kInt8 stores 1 byte per element plus a
+// per-block fp32 scale per (layer, K|V) -- the same symmetric
+// bookkeeping shape as quant::QuantizedTensor's per-group fp32 scales,
+// with the group being one block's tokens. Int8 roughly halves
+// bytes-per-token, so the same HBM budget holds ~2x the resident
+// sequences. The cache-index hash seed mixes the dtype in, so an fp16
+// block and an int8 block can never alias even if their token content is
+// equal. The pool also counts simulated DMA traffic (bytes moved by
+// copy-on-write, cache restore, and preemption swap-out); the scheduler
+// turns those bytes into simulated time against the HBM bandwidth.
 #pragma once
 
 #include <cstdint>
@@ -29,28 +41,78 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "hw/u280_config.hpp"
 #include "llama/config.hpp"
 
+/// \namespace speedllm
+/// Root namespace of the SpeedLLM accelerator simulation and its
+/// serving stack.
+
+/// Serving stack: paged KV pool, continuous-batching scheduler, cluster
+/// router, and the request/report vocabulary they share.
 namespace speedllm::serving {
 
-/// Bytes one token's K+V vectors occupy across all layers (fp32 cache,
-/// matching the executor's on-device layout).
-std::uint32_t KvBytesPerToken(const llama::ModelConfig& config);
+/// On-device KV-block storage format (re-exported from hw so serving
+/// call sites can say serving::KvCacheDtype).
+using KvCacheDtype = hw::KvCacheDtype;
 
+/// Human-readable dtype name ("fp16" / "int8") for tables and logs.
+std::string_view KvCacheDtypeName(KvCacheDtype dtype);
+
+/// Bytes one token's K+V vectors occupy across all layers when stored as
+/// `dtype` (payload only; int8's per-block scale metadata is
+/// accounted separately by KvQuantMetadataBytesPerBlock). Defaults to
+/// fp16, the on-device layout the serving stack models.
+std::uint32_t KvBytesPerToken(const llama::ModelConfig& config,
+                              KvCacheDtype dtype = KvCacheDtype::kFp16);
+
+/// Per-block quantization metadata bytes for `dtype`: zero for fp16; for
+/// int8 one fp32 scale per (layer, K|V) -- quant::QuantizedTensor's
+/// symmetric (zero-point-free) per-group scale bookkeeping with one
+/// group per block. Amortized over a whole block, so int8's
+/// bytes-per-token stays close to half of fp16's.
+std::uint32_t KvQuantMetadataBytesPerBlock(const llama::ModelConfig& config,
+                                           KvCacheDtype dtype);
+
+/// Cache-index hash-chain seed for `dtype`. Seeds differ per dtype, so
+/// equal token content stored as fp16 and as int8 produces different
+/// chain hashes -- the two representations are not interchangeable and
+/// must never alias in a cache index.
+std::uint64_t KvChainSeed(KvCacheDtype dtype);
+
+/// Geometry and feature switches of one KvBlockPool.
 struct KvPoolConfig {
-  std::uint64_t pool_bytes = 0;        // total budget carved from HBM
+  /// Total budget carved from HBM for this pool, bytes.
+  std::uint64_t pool_bytes = 0;
+  /// Tokens per physical block (vLLM-style fixed-size paging).
   std::uint32_t block_size_tokens = 16;
-  std::uint32_t bytes_per_token = 0;   // see KvBytesPerToken
+  /// KV payload bytes per token; see KvBytesPerToken.
+  std::uint32_t bytes_per_token = 0;
+  /// Storage format the byte geometry models; see KvCacheDtype.
+  KvCacheDtype dtype = KvCacheDtype::kFp16;
+  /// Per-block quantization metadata bytes (per-group scales);
+  /// see KvQuantMetadataBytesPerBlock. Zero for fp16.
+  std::uint32_t quant_metadata_bytes = 0;
   /// Content-address full blocks and share them across sequences with a
   /// common prefix. Off restores the PR-1 private-blocks-only behavior;
   /// token streams are byte-identical either way.
   bool enable_prefix_cache = true;
 
+  /// Bytes one physical block occupies: payload plus quant metadata.
   std::uint64_t block_bytes() const {
-    return static_cast<std::uint64_t>(block_size_tokens) * bytes_per_token;
+    return static_cast<std::uint64_t>(block_size_tokens) * bytes_per_token +
+           quant_metadata_bytes;
   }
 };
 
+/// Builds a pool config whose byte geometry (bytes_per_token and
+/// quant_metadata_bytes) follows `dtype` for `model`.
+KvPoolConfig MakeKvPoolConfig(const llama::ModelConfig& model,
+                              KvCacheDtype dtype, std::uint64_t pool_bytes,
+                              std::uint32_t block_size_tokens,
+                              bool enable_prefix_cache);
+
+/// Monotonic counters the pool maintains; every field only grows.
 struct KvPoolStats {
   /// Fresh physical allocations (block boundaries + copy-on-write).
   std::int64_t block_allocs = 0;
@@ -58,22 +120,41 @@ struct KvPoolStats {
   /// to the free list otherwise).
   std::int64_t block_frees = 0;
   /// Peak simultaneously-owned *physical* blocks. A block shared by N
-  /// block tables counts once, not N times.
+  /// block tables counts once, not N times. Multiply by
+  /// KvBlockPool::bytes_per_block() for the byte-level peak the HBM
+  /// budget invariant is stated in.
   std::int64_t peak_used_blocks = 0;
+  /// KvBlockPool::Register calls that succeeded.
   std::int64_t sequence_registers = 0;
+  /// KvBlockPool::Release calls that succeeded.
   std::int64_t sequence_releases = 0;
-  std::int64_t preemption_releases = 0;  // releases flagged as swap-outs
+  /// Releases flagged as scheduler swap-outs.
+  std::int64_t preemption_releases = 0;
 
   // ----- prefix cache -----
-  std::int64_t prefix_queries = 0;       // AcquireCachedPrefix calls
-  std::int64_t prefix_hits = 0;          // queries matching >= 1 block
-  std::int64_t prefix_hit_tokens = 0;    // tokens restored from cache
-  std::int64_t prefix_lookup_tokens = 0; // tokens offered for matching
-  std::int64_t shared_block_acquires = 0; // refcount bumps on live blocks
-  std::int64_t cache_block_reacquires = 0; // evictable blocks revived
-  std::int64_t cow_copies = 0;           // copy-on-write block copies
-  std::int64_t cache_insertions = 0;     // full blocks content-addressed
-  std::int64_t cache_evictions = 0;      // LRU entries discarded for reuse
+  std::int64_t prefix_queries = 0;       ///< AcquireCachedPrefix calls
+  std::int64_t prefix_hits = 0;          ///< queries matching >= 1 block
+  std::int64_t prefix_hit_tokens = 0;    ///< tokens restored from cache
+  std::int64_t prefix_lookup_tokens = 0; ///< tokens offered for matching
+  std::int64_t shared_block_acquires = 0;  ///< refcount bumps on live blocks
+  std::int64_t cache_block_reacquires = 0; ///< evictable blocks revived
+  std::int64_t cow_copies = 0;           ///< copy-on-write block copies
+  std::int64_t cache_insertions = 0;     ///< full blocks content-addressed
+  std::int64_t cache_evictions = 0;      ///< LRU entries discarded for reuse
+
+  // ----- simulated DMA traffic -----
+  // Bytes the pool's bookkeeping implies actually move through HBM.
+  // The pool is the byte authority; the scheduler converts deltas of
+  // these counters into simulated seconds against hw::HbmConfig
+  // bandwidth (SchedulerConfig::charge_dma_cost).
+  /// Total DMA bytes moved: cow + restore + swap.
+  std::int64_t dma_bytes_moved = 0;
+  /// Bytes copied by copy-on-write (one block payload per copy).
+  std::int64_t cow_dma_bytes = 0;
+  /// Bytes read to rebuild executor KV from cached blocks at admission.
+  std::int64_t restore_dma_bytes = 0;
+  /// Bytes of privately-owned KV written out by preemption swap-outs.
+  std::int64_t swap_dma_bytes = 0;
 };
 
 /// Result of a cached-prefix probe/acquisition.
@@ -88,12 +169,15 @@ struct PrefixMatch {
   std::int64_t live_shared_blocks = 0;
 };
 
+/// Paged, reference-counted, content-addressed KV block allocator. See
+/// the file comment for the memory model.
 class KvBlockPool {
  public:
   /// `config.pool_bytes` and `config.bytes_per_token` must be non-zero.
   explicit KvBlockPool(const KvPoolConfig& config);
 
   // ----- capacity queries -----
+  /// Physical blocks the pool was carved into.
   std::int64_t num_blocks() const { return num_blocks_; }
   /// Blocks with at least one live owner. Shared blocks count once.
   std::int64_t used_blocks() const { return used_blocks_; }
@@ -108,10 +192,24 @@ class KvBlockPool {
   std::int64_t cached_blocks() const {
     return static_cast<std::int64_t>(cache_.size());
   }
+  /// The pool's byte budget (KvPoolConfig::pool_bytes).
   std::uint64_t capacity_bytes() const { return config_.pool_bytes; }
+  /// Bytes one block occupies, payload + quant metadata. The conversion
+  /// factor between every block-denominated counter (used_blocks,
+  /// evictable_blocks, KvPoolStats::peak_used_blocks) and the
+  /// byte-denominated HBM budget, so dtype changes cannot silently skew
+  /// the capacity invariant.
+  std::uint64_t bytes_per_block() const { return config_.block_bytes(); }
+  /// Bytes currently owned: used_blocks() * bytes_per_block().
   std::uint64_t bytes_in_use() const {
     return static_cast<std::uint64_t>(used_blocks_) * config_.block_bytes();
   }
+  /// Byte-level peak: KvPoolStats::peak_used_blocks * bytes_per_block().
+  std::uint64_t peak_bytes_in_use() const {
+    return static_cast<std::uint64_t>(stats_.peak_used_blocks) *
+           config_.block_bytes();
+  }
+  /// The geometry this pool was built with.
   const KvPoolConfig& config() const { return config_; }
 
   /// Blocks a sequence of `tokens` tokens occupies (ceiling division).
@@ -141,6 +239,8 @@ class KvBlockPool {
   /// present, so prefill can skip them. Must be called at most once per
   /// registration, before any Append. Never allocates, so it cannot run
   /// out of capacity. Returns the zero match when caching is disabled.
+  /// Counts the matched blocks' bytes as restore DMA traffic (the
+  /// on-device read that rebuilds the slot executor's KV).
   StatusOr<PrefixMatch> AcquireCachedPrefix(
       std::uint64_t seq, std::span<const std::int32_t> tokens,
       std::int64_t max_tokens);
@@ -148,18 +248,22 @@ class KvBlockPool {
   /// Accounts one more token (value `token`) for `seq`, allocating a
   /// fresh block when the tail is full (evicting the LRU cached block if
   /// the free list is dry) and copying the tail first when it is shared
-  /// or cache-immutable (copy-on-write). Full tails are sealed into the
-  /// content-addressed cache. Returns kResourceExhausted when no block
-  /// can be produced (callers preempt and retry).
+  /// or cache-immutable (copy-on-write; the copied block's bytes count
+  /// as DMA traffic). Full tails are sealed into the content-addressed
+  /// cache. Returns kResourceExhausted when no block can be produced
+  /// (callers preempt and retry).
   Status Append(std::uint64_t seq, std::int32_t token);
 
   /// Drops `seq`'s references and forgets it. Blocks whose refcount hits
   /// zero return to the free list, or to the evictable LRU list when
   /// they hold cached content; co-owners of shared blocks are never
-  /// affected. `preempted` marks the release as a scheduler swap-out.
+  /// affected. `preempted` marks the release as a scheduler swap-out and
+  /// counts the sequence's privately-owned bytes as swap DMA traffic.
   Status Release(std::uint64_t seq, bool preempted = false);
 
+  /// True when `seq` is registered.
   bool Contains(std::uint64_t seq) const { return seqs_.count(seq) > 0; }
+  /// Registered sequences.
   std::int64_t num_sequences() const {
     return static_cast<std::int64_t>(seqs_.size());
   }
@@ -186,6 +290,7 @@ class KvBlockPool {
                                   static_cast<double>(num_blocks_);
   }
 
+  /// Monotonic operation counters; see KvPoolStats.
   const KvPoolStats& stats() const { return stats_; }
 
  private:
@@ -225,6 +330,7 @@ class KvBlockPool {
   void SealTailBlock(SeqState& state);
 
   KvPoolConfig config_;
+  std::uint64_t chain_seed_ = 0;  // KvChainSeed(config_.dtype)
   std::int64_t num_blocks_ = 0;
   std::int64_t used_blocks_ = 0;
   std::vector<std::int32_t> free_list_;  // LIFO for deterministic reuse

@@ -111,6 +111,16 @@ struct ServingReport {
   std::int64_t cow_copies = 0;       // copy-on-write block copies
   std::int64_t cache_evictions = 0;  // cold cached blocks reclaimed
 
+  // Simulated DMA traffic (PR 5): KV bytes actually moved by
+  // copy-on-write copies, prefix-cache restores, and preemption
+  // swap-outs. `dma_time_seconds` is the simulated time those moves
+  // cost against the HBM bandwidth -- zero when
+  // SchedulerConfig::charge_dma_cost is off (bytes accumulate either
+  // way), so the prefix-cache speedup claims stay honest about what a
+  // restore actually costs.
+  std::int64_t dma_bytes_moved = 0;
+  double dma_time_seconds = 0.0;
+
   std::vector<TickRecord> tick_log;     // only when record_ticks
 
   double mean_ttft() const;

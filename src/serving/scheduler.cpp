@@ -34,8 +34,9 @@ StatusOr<ServingReport> ContinuousBatchScheduler::Run(
   ServingReport report;
   if (requests.empty()) return report;
 
-  const KvPoolConfig pool_config{pool_bytes_, config_.block_size_tokens,
-                                 KvBytesPerToken(program_->model)};
+  const KvPoolConfig pool_config = MakeKvPoolConfig(
+      program_->model, config_.kv_cache_dtype, pool_bytes_,
+      config_.block_size_tokens, config_.enable_prefix_cache);
   const std::int64_t pool_blocks =
       pool_config.block_bytes() == 0
           ? 0

@@ -41,14 +41,19 @@ namespace speedllm::serving {
 /// schedule ahead of prefill within a tick; policies govern which waiting
 /// request is admitted next and how much prefill a tick may carry.
 enum class BatchPolicy {
-  kFcfs,                // arrival order, head-of-line blocking on capacity
-  kShortestPromptFirst, // shortest remaining prompt first, with aging
-  kDecodePriority,      // FCFS admission, prefill capped per tick
+  kFcfs,                 ///< arrival order, head-of-line blocking on capacity
+  kShortestPromptFirst,  ///< shortest remaining prompt first, with aging
+  kDecodePriority,       ///< FCFS admission, prefill capped per tick
 };
 
+/// Human-readable policy name ("fcfs" / "shortest-prompt" /
+/// "decode-priority") for tables and logs.
 std::string_view BatchPolicyName(BatchPolicy policy);
 
+/// Knobs of one card's continuous-batching scheduler (shared verbatim by
+/// the single-card facade, every cluster shard, and api::EngineConfig).
 struct SchedulerConfig {
+  /// Admission-ordering policy; see BatchPolicy.
   BatchPolicy policy = BatchPolicy::kFcfs;
   /// Maximum resident sequences (= executor slots, i.e. grouped-launch
   /// batch width the datapath was generated for).
@@ -59,11 +64,26 @@ struct SchedulerConfig {
   std::int32_t prefill_chunk_tokens = 8;
   /// Paged KV block size in tokens.
   std::uint32_t block_size_tokens = 16;
+  /// On-device KV-block storage format. kInt8 roughly halves
+  /// bytes-per-token (plus small per-block group-scale metadata),
+  /// so the same HBM budget holds ~2x the resident sequences; a
+  /// deterministic per-block logit perturbation models the quantization
+  /// error, so token streams stay reproducible (greedy streams are
+  /// unchanged in practice -- locked in by tests). The prefix-cache hash
+  /// seed is dtype-aware: fp16 and int8 blocks never alias.
+  KvCacheDtype kv_cache_dtype = KvCacheDtype::kFp16;
   /// Content-address full KV blocks and share them across sequences with
   /// a common prefix (KvBlockPool prefix cache). Admission maps a new
   /// request's longest cached prefix onto shared blocks and prefill
   /// skips those tokens; token streams are byte-identical either way.
   bool enable_prefix_cache = true;
+  /// Charge simulated DMA time -- bytes moved against hw::HbmConfig
+  /// bandwidth plus per-transfer latency -- for copy-on-write copies,
+  /// prefix-cache restores, and preemption swap-outs. Off keeps the
+  /// PR-4 "moves are free" timing; byte counters
+  /// (ServingReport::dma_bytes_moved) accumulate either way, and token
+  /// streams are byte-identical on or off (timing shifts, tokens don't).
+  bool charge_dma_cost = true;
   /// Swap-by-recompute preemption when the KV pool is exhausted.
   bool allow_preemption = true;
   /// A waiting request older than this many ticks jumps the policy order
@@ -76,6 +96,10 @@ struct SchedulerConfig {
   bool record_ticks = false;
 };
 
+/// One simulated card's batch-offline serving loop: validates a request
+/// trace, runs it through a single ShardScheduler on a private event
+/// engine, and returns the aggregate ServingReport. The online streaming
+/// equivalent is api::Engine; both share every line of scheduling logic.
 class ContinuousBatchScheduler {
  public:
   /// `program` and `weights` must outlive the scheduler.
@@ -91,6 +115,7 @@ class ContinuousBatchScheduler {
   StatusOr<ServingReport> Run(const std::vector<ServingRequest>& requests,
                               const llama::SamplerConfig& sampler_config);
 
+  /// The normalized configuration this scheduler runs with.
   const SchedulerConfig& config() const { return config_; }
   /// Pool budget the scheduler will use (after derivation), for sizing
   /// admission tests and benches.

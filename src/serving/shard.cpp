@@ -93,10 +93,10 @@ ShardScheduler::ShardScheduler(const accel::Program& program,
       config_(config),
       shared_seconds_(DeriveSharedStepSeconds(program, u280)),
       engine_(engine),
-      pool_(KvPoolConfig{DeriveKvPoolBytes(program, u280, config.kv_pool_bytes),
-                         config.block_size_tokens,
-                         KvBytesPerToken(program.model),
-                         config.enable_prefix_cache}) {}
+      pool_(MakeKvPoolConfig(
+          program.model, config.kv_cache_dtype,
+          DeriveKvPoolBytes(program, u280, config.kv_pool_bytes),
+          config.block_size_tokens, config.enable_prefix_cache)) {}
 
 ShardScheduler::~ShardScheduler() = default;
 
@@ -208,6 +208,7 @@ ServingReport ShardScheduler::TakeReport(
   report_.prefix_cache_lookup_tokens = ps.prefix_lookup_tokens;
   report_.cow_copies = ps.cow_copies;
   report_.cache_evictions = ps.cache_evictions;
+  report_.dma_bytes_moved = ps.dma_bytes_moved;
   return std::move(report_);
 }
 
@@ -258,7 +259,10 @@ std::vector<std::size_t> ShardScheduler::AdmissionCandidates() const {
 bool ShardScheduler::EnsureKvToken(std::size_t seq_id, std::int32_t token) {
   while (true) {
     Status st = pool_.Append(seq_id, token);
-    if (st.ok()) return true;
+    if (st.ok()) {
+      ChargeDma();  // a copy-on-write may have moved one block
+      return true;
+    }
     if (st.code() != StatusCode::kResourceExhausted) {
       error_ = st;
       return false;
@@ -283,6 +287,7 @@ void ShardScheduler::Preempt(std::size_t victim) {
   Status st = pool_.Release(victim, /*preempted=*/true);
   assert(st.ok());
   (void)st;
+  ChargeDma();  // swap-out writes the victim's private blocks back
   ReleaseSlot(seq);
   residents_.erase(std::find(residents_.begin(), residents_.end(), victim));
   seq.state = SeqState::kWaiting;
@@ -308,10 +313,12 @@ std::int64_t ShardScheduler::RestoreCachedPrefix(std::size_t seq_id) {
     return -1;
   }
   const std::int64_t restored = match_or->matched_tokens;
+  ChargeDma();  // the restore reads the mapped blocks back through HBM
   if (restored == 0) return 0;
-  // Rebuild the slot executor's functional KV for the cached prefix at
-  // zero simulated cost: on the device those entries are already
-  // resident in HBM, so no compute or weight traffic is owed for them.
+  // Rebuild the slot executor's functional KV for the cached prefix. On
+  // the device those entries are already resident in HBM, so no forward
+  // compute or weight traffic is owed for them -- only the restore DMA
+  // charged above.
   accel::Executor& exec = *slots_[static_cast<std::size_t>(seq.slot)];
   for (std::int64_t p = 0; p < restored; ++p) {
     auto logits = exec.Forward(seq.fed[static_cast<std::size_t>(p)],
@@ -364,8 +371,53 @@ bool ShardScheduler::ForwardToken(Sequence& seq, std::int32_t token,
   return true;
 }
 
+void ShardScheduler::ChargeDma() {
+  const std::int64_t moved = pool_.stats().dma_bytes_moved - dma_bytes_seen_;
+  dma_bytes_seen_ = pool_.stats().dma_bytes_moved;
+  if (moved <= 0 || !config_.charge_dma_cost) return;
+  const hw::HbmConfig& hbm = u280_.hbm;
+  const std::uint64_t bytes_per_cycle = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(hbm.num_channels) *
+             hbm.bytes_per_cycle_per_channel);
+  const sim::Cycles cycles =
+      hbm.latency_cycles + hbm.dma_setup_cycles +
+      (static_cast<std::uint64_t>(moved) + bytes_per_cycle - 1) /
+          bytes_per_cycle;
+  const double seconds = u280_.cycles_to_seconds(cycles);
+  tick_marginal_ += seconds;
+  report_.dma_time_seconds += seconds;
+}
+
+/// The amplitude sits far below typical logit gaps, so greedy argmax is
+/// unchanged in practice (tests lock this in); temperature sampling may
+/// legally diverge from fp16, exactly like a real quantized cache.
+void ShardScheduler::PerturbLogitsForQuant(const Sequence& seq,
+                                           std::span<float> logits) const {
+  constexpr float kAmplitude = 1e-6f;
+  const std::uint64_t block_index =
+      seq.fed.size() / config_.block_size_tokens;
+  std::uint64_t h = (static_cast<std::uint64_t>(seq.stream_index) + 1) *
+                    0x9e3779b97f4a7c15ull;
+  h ^= (block_index + 1) * 0x100000001b3ull;
+  for (float& v : logits) {
+    h ^= h >> 12;  // xorshift64* per element
+    h ^= h << 25;
+    h ^= h >> 27;
+    const std::uint64_t r = h * 0x2545f4914f6cdd1dull;
+    // Top 53 bits over 2^52, recentered: uniform in [-1, 1).
+    const float noise =
+        static_cast<float>(static_cast<double>(r >> 11) /
+                           4503599627370496.0) -
+        1.0f;
+    v += kAmplitude * noise;
+  }
+}
+
 void ShardScheduler::SampleNext(Sequence& seq, std::span<const float> logits) {
   sample_scratch_.assign(logits.begin(), logits.end());
+  if (config_.kv_cache_dtype == KvCacheDtype::kInt8) {
+    PerturbLogitsForQuant(seq, sample_scratch_);
+  }
   seq.pending_token = seq.sampler.Sample(sample_scratch_);
 }
 

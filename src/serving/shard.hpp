@@ -224,10 +224,24 @@ class ShardScheduler {
   std::vector<std::size_t> AdmissionCandidates() const;
   bool EnsureKvToken(std::size_t seq_id, std::int32_t token);
   /// Maps `seq`'s longest cached prefix onto shared pool blocks and
-  /// functionally rebuilds the slot executor's KV for it at zero
-  /// simulated cost (the blocks are already resident in HBM). Returns
-  /// the restored token count, or -1 on a hard error.
+  /// functionally rebuilds the slot executor's KV for it. No forward
+  /// compute or weight traffic is owed for the restored tokens (on the
+  /// device they are already resident in HBM), but the restore's DMA
+  /// read is charged through ChargeDma. Returns the restored token
+  /// count, or -1 on a hard error.
   std::int64_t RestoreCachedPrefix(std::size_t seq_id);
+  /// Converts pool DMA bytes accrued since the last call (one COW copy,
+  /// cache restore, or preemption swap-out per call site) into simulated
+  /// time on the current tick when SchedulerConfig::charge_dma_cost is
+  /// on: transfer latency + DMA setup + bytes over the HBM aggregate
+  /// bandwidth. Byte counters accumulate regardless.
+  void ChargeDma();
+  /// Deterministic int8 accuracy proxy: perturbs `logits` with tiny
+  /// pseudo-noise seeded by (stream index, KV block index) only, so
+  /// streams stay reproducible under any batch composition, card count,
+  /// or preemption schedule.
+  void PerturbLogitsForQuant(const Sequence& seq,
+                             std::span<float> logits) const;
   void Preempt(std::size_t victim);
   int AcquireSlot();
   void ReleaseSlot(Sequence& seq);
@@ -261,6 +275,7 @@ class ShardScheduler {
 
   bool tick_pending_ = false;
   bool kv_blocked_ = false;  // this tick hit pool exhaustion
+  std::int64_t dma_bytes_seen_ = 0;  // pool DMA bytes already time-charged
   std::int64_t outstanding_tokens_ = 0;    // see outstanding_tokens()
   std::int64_t queued_demand_blocks_ = 0;  // never-admitted waiting demand
   std::int64_t tick_index_ = 0;

@@ -50,9 +50,21 @@ TEST(KvPoolTest, CapacityMath) {
 
 TEST(KvPoolTest, KvBytesPerTokenMatchesModelShape) {
   auto config = llama::ModelConfig::Tiny();
-  EXPECT_EQ(KvBytesPerToken(config),
+  const std::uint32_t elems =
+      2u * static_cast<std::uint32_t>(config.n_layers) *
+      static_cast<std::uint32_t>(config.kv_dim());
+  // Default dtype is fp16 (2 bytes per KV element).
+  EXPECT_EQ(KvBytesPerToken(config), elems * 2);
+  EXPECT_EQ(KvBytesPerToken(config, KvCacheDtype::kFp16), elems * 2);
+  EXPECT_EQ(KvBytesPerToken(config, KvCacheDtype::kInt8), elems);
+  // Int8 carries one fp32 scale per (layer, K|V) per block (the quant
+  // layer's symmetric zero-point-free scheme); fp16 carries none.
+  EXPECT_EQ(KvQuantMetadataBytesPerBlock(config, KvCacheDtype::kFp16), 0u);
+  EXPECT_EQ(KvQuantMetadataBytesPerBlock(config, KvCacheDtype::kInt8),
             2u * static_cast<std::uint32_t>(config.n_layers) *
-                static_cast<std::uint32_t>(config.kv_dim()) * sizeof(float));
+                static_cast<std::uint32_t>(sizeof(float)));
+  // Dtype-tagged cache-index seeds: fp16 and int8 content never alias.
+  EXPECT_NE(KvChainSeed(KvCacheDtype::kFp16), KvChainSeed(KvCacheDtype::kInt8));
 }
 
 TEST(KvPoolTest, AppendAllocatesOnlyAtBlockBoundaries) {

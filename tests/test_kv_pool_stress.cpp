@@ -33,11 +33,17 @@ namespace {
 constexpr std::int64_t kBlocks = 24;
 constexpr std::int64_t kBlockTokens = 4;
 
-KvPoolConfig StressPool(bool enable_prefix_cache) {
+/// The dtype decides the byte geometry: int8 halves bytes-per-token and
+/// carries per-block group-scale metadata. Each run draws one
+/// dtype (seed-keyed), so the invariant sweep covers both layouts.
+KvPoolConfig StressPool(bool enable_prefix_cache, KvCacheDtype dtype) {
   KvPoolConfig config;
-  config.bytes_per_token = 32;
+  config.dtype = dtype;
+  config.bytes_per_token = dtype == KvCacheDtype::kInt8 ? 16 : 32;
+  config.quant_metadata_bytes = dtype == KvCacheDtype::kInt8 ? 8 : 0;
   config.block_size_tokens = static_cast<std::uint32_t>(kBlockTokens);
-  config.pool_bytes = static_cast<std::uint64_t>(kBlocks) * kBlockTokens * 32;
+  config.pool_bytes =
+      static_cast<std::uint64_t>(kBlocks) * config.block_bytes();
   config.enable_prefix_cache = enable_prefix_cache;
   return config;
 }
@@ -45,7 +51,10 @@ KvPoolConfig StressPool(bool enable_prefix_cache) {
 class StressHarness {
  public:
   StressHarness(std::uint64_t seed, bool enable_prefix_cache)
-      : pool_(StressPool(enable_prefix_cache)), rng_(seed) {}
+      : pool_(StressPool(enable_prefix_cache,
+                         seed % 2 == 0 ? KvCacheDtype::kInt8
+                                       : KvCacheDtype::kFp16)),
+        rng_(seed) {}
 
   void Run(int ops) {
     for (int op = 0; op < ops; ++op) {
@@ -199,6 +208,31 @@ class StressHarness {
     ASSERT_LE(pool_.bytes_in_use(), pool_.capacity_bytes()) << "op " << op;
     ASSERT_EQ(pool_.free_blocks(), pool_.num_blocks() - pool_.used_blocks());
     ASSERT_LE(pool_.evictable_blocks(), pool_.free_blocks()) << "op " << op;
+    // Block-denominated counters convert to bytes through one factor,
+    // bytes_per_block(), and the byte-level budget invariant must hold
+    // for every one of them -- peaks and evictables included -- so a
+    // dtype change can never silently overrun HBM.
+    ASSERT_EQ(pool_.bytes_per_block(), pool_.config().block_bytes());
+    ASSERT_EQ(pool_.bytes_in_use(),
+              static_cast<std::uint64_t>(pool_.used_blocks()) *
+                  pool_.bytes_per_block())
+        << "op " << op;
+    ASSERT_LE(pool_.peak_bytes_in_use(), pool_.capacity_bytes())
+        << "op " << op;
+    ASSERT_EQ(pool_.peak_bytes_in_use(),
+              static_cast<std::uint64_t>(pool_.stats().peak_used_blocks) *
+                  pool_.bytes_per_block());
+    ASSERT_LE(static_cast<std::uint64_t>(pool_.evictable_blocks()) *
+                  pool_.bytes_per_block(),
+              pool_.capacity_bytes() - pool_.bytes_in_use())
+        << "op " << op;
+    // DMA byte counters only grow, and the total is exactly its parts.
+    const KvPoolStats& dma = pool_.stats();
+    ASSERT_EQ(dma.dma_bytes_moved,
+              dma.cow_dma_bytes + dma.restore_dma_bytes + dma.swap_dma_bytes)
+        << "op " << op;
+    ASSERT_GE(dma.dma_bytes_moved, last_dma_bytes_) << "op " << op;
+    last_dma_bytes_ = dma.dma_bytes_moved;
     ASSERT_EQ(pool_.num_sequences(),
               static_cast<std::int64_t>(live_.size()));
 
@@ -260,6 +294,7 @@ class StressHarness {
 
   KvBlockPool pool_;
   Rng rng_;
+  std::int64_t last_dma_bytes_ = 0;
   std::map<std::uint64_t, ModelSeq> live_;
   std::vector<std::vector<std::int32_t>> sources_;
   std::set<std::vector<std::int32_t>> sealed_ever_;
@@ -294,6 +329,12 @@ TEST(KvPoolStressTest, CowAndEvictionPathsAreActuallyExercised) {
   EXPECT_GT(s.cow_copies, 0);
   EXPECT_GT(s.cache_evictions, 0);
   EXPECT_GT(s.preemption_releases, 0);
+  // ... and each of them leaves its simulated-DMA fingerprint.
+  EXPECT_GT(s.cow_dma_bytes, 0);
+  EXPECT_GT(s.restore_dma_bytes, 0);
+  EXPECT_GT(s.swap_dma_bytes, 0);
+  EXPECT_EQ(s.dma_bytes_moved,
+            s.cow_dma_bytes + s.restore_dma_bytes + s.swap_dma_bytes);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+// Int8-quantized KV blocks (PR 5): residency doubling at equal HBM,
+// dtype-aware geometry/hash seeds, the deterministic quantization
+// accuracy proxy, and simulated DMA costing of copy-on-write /
+// cache-restore / preemption swap. The load-bearing invariants:
+//
+//  * an int8 pool admits >= 1.8x the resident sequences of an fp16 pool
+//    carved from the same HBM budget;
+//  * greedy token streams are byte-identical with DMA costing on vs off
+//    (timing shifts, tokens don't) and fp16 vs int8 (the perturbation
+//    proxy sits far below greedy argmax gaps);
+//  * DMA byte counters are nonzero on preemption/COW-heavy runs, and
+//    simulated DMA time is charged only when charge_dma_cost is on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "llama/tokenizer.hpp"
+#include "runtime/variants.hpp"
+#include "serving/cluster.hpp"
+#include "serving/kv_pool.hpp"
+#include "serving/scheduler.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+
+  accel::Program Compile(runtime::Variant v = runtime::Variant::kSpeedLLM) {
+    auto r = compiler::Compile(config, runtime::OptionsFor(v), u280);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value().program;
+  }
+};
+
+ServingRequest MakeRequest(std::int32_t prompt_len, std::int32_t gen,
+                           double arrival, std::int32_t salt = 0) {
+  ServingRequest req;
+  req.prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < prompt_len; ++t) {
+    req.prompt.push_back(3 + (salt * 31 + t * 7) % 500);
+  }
+  req.max_new_tokens = gen;
+  req.arrival_seconds = arrival;
+  return req;
+}
+
+llama::SamplerConfig Greedy() {
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+  return sc;
+}
+
+/// Sequences of `seq_tokens` tokens a pool carved as `dtype` from
+/// `hbm_bytes` admits before running dry (prefix caching off, so every
+/// sequence pays its full private footprint).
+std::int64_t ResidentsAtEqualHbm(const llama::ModelConfig& model,
+                                 KvCacheDtype dtype, std::uint64_t hbm_bytes,
+                                 std::int64_t seq_tokens) {
+  KvBlockPool pool(MakeKvPoolConfig(model, dtype, hbm_bytes,
+                                    /*block_size_tokens=*/16,
+                                    /*enable_prefix_cache=*/false));
+  std::int64_t residents = 0;
+  for (std::uint64_t seq = 0;; ++seq) {
+    if (!pool.CanReserve(seq_tokens)) break;
+    EXPECT_TRUE(pool.Register(seq).ok());
+    for (std::int64_t t = 0; t < seq_tokens; ++t) {
+      EXPECT_TRUE(pool.Append(seq, static_cast<std::int32_t>(t % 97)).ok());
+    }
+    ++residents;
+  }
+  EXPECT_LE(pool.bytes_in_use(), pool.capacity_bytes());
+  return residents;
+}
+
+TEST(KvQuantTest, Int8PoolAdmitsAtLeast1p8xResidentsAtEqualHbm) {
+  const auto model = llama::ModelConfig::Tiny();
+  const std::uint64_t hbm_bytes = 1ull << 20;  // 1 MiB of KV budget
+  const std::int64_t seq_tokens = 48;          // 3 blocks of 16
+  const std::int64_t fp16 =
+      ResidentsAtEqualHbm(model, KvCacheDtype::kFp16, hbm_bytes, seq_tokens);
+  const std::int64_t int8 =
+      ResidentsAtEqualHbm(model, KvCacheDtype::kInt8, hbm_bytes, seq_tokens);
+  ASSERT_GT(fp16, 0);
+  EXPECT_GE(static_cast<double>(int8), 1.8 * static_cast<double>(fp16))
+      << "int8 " << int8 << " residents vs fp16 " << fp16;
+}
+
+TEST(KvQuantTest, BlockGeometryFollowsDtype) {
+  const auto model = llama::ModelConfig::Tiny();
+  const KvPoolConfig fp16 =
+      MakeKvPoolConfig(model, KvCacheDtype::kFp16, 1u << 20, 16, true);
+  const KvPoolConfig int8 =
+      MakeKvPoolConfig(model, KvCacheDtype::kInt8, 1u << 20, 16, true);
+  EXPECT_EQ(fp16.bytes_per_token, 2 * int8.bytes_per_token);
+  EXPECT_EQ(fp16.quant_metadata_bytes, 0u);
+  EXPECT_GT(int8.quant_metadata_bytes, 0u);
+  // Metadata is amortized per block: an int8 block stays well under
+  // 60% of the fp16 block's bytes (it would be exactly 50% metadata-free).
+  EXPECT_LT(static_cast<double>(int8.block_bytes()),
+            0.6 * static_cast<double>(fp16.block_bytes()));
+  // The pool's byte/block conversion factor is the block size.
+  KvBlockPool pool(int8);
+  EXPECT_EQ(pool.bytes_per_block(), int8.block_bytes());
+}
+
+TEST(KvQuantTest, GreedyStreamsIdenticalAcrossDtypesAndDmaCosting) {
+  Fixture f;
+  auto prog = f.Compile();
+  // Tight pool + decode pressure: preemptions, COW, and cache restores
+  // all fire, so the timing-only knobs get real coverage.
+  SchedulerConfig base;
+  base.block_size_tokens = 4;
+  base.kv_pool_bytes = 10ull * 4 * KvBytesPerToken(f.config);
+  base.max_batch_seqs = 4;
+  base.max_batch_tokens = 32;
+  std::vector<ServingRequest> reqs = {MakeRequest(8, 12, 0.0, 0),
+                                      MakeRequest(8, 12, 0.0, 1),
+                                      MakeRequest(8, 12, 0.0, 0),
+                                      MakeRequest(8, 12, 0.0, 2)};
+
+  auto run = [&](KvCacheDtype dtype, bool charge_dma) {
+    SchedulerConfig config = base;
+    config.kv_cache_dtype = dtype;
+    config.charge_dma_cost = charge_dma;
+    auto report = ContinuousBatchScheduler(prog, f.weights, f.u280, config)
+                      .Run(reqs, Greedy());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+
+  const ServingReport fp16_on = run(KvCacheDtype::kFp16, true);
+  const ServingReport fp16_off = run(KvCacheDtype::kFp16, false);
+  const ServingReport int8_on = run(KvCacheDtype::kInt8, true);
+
+  // DMA costing moves time, never tokens.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(fp16_on.outcomes[i].generated, fp16_off.outcomes[i].generated)
+        << "request " << i << " diverged under DMA costing";
+    EXPECT_EQ(fp16_on.outcomes[i].generated, int8_on.outcomes[i].generated)
+        << "request " << i << " diverged under int8 quantization";
+  }
+  // Bytes move either way (the duplicate prompt forces COW + restores);
+  // only the charged run pays time for them.
+  EXPECT_GT(fp16_on.dma_bytes_moved, 0);
+  EXPECT_EQ(fp16_on.dma_bytes_moved, fp16_off.dma_bytes_moved);
+  EXPECT_GT(fp16_on.dma_time_seconds, 0.0);
+  EXPECT_EQ(fp16_off.dma_time_seconds, 0.0);
+  EXPECT_GT(fp16_on.makespan_seconds, fp16_off.makespan_seconds);
+}
+
+TEST(KvQuantTest, Int8PoolPreemptsLessUnderEqualPressure) {
+  Fixture f;
+  auto prog = f.Compile();
+  SchedulerConfig base;
+  base.block_size_tokens = 4;
+  // Sized in fp16 tokens: fp16 fits ~40 tokens, int8 ~80 for the same
+  // byte budget, so the same workload preempts strictly less on int8.
+  base.kv_pool_bytes = 10ull * 4 * KvBytesPerToken(f.config);
+  base.max_batch_seqs = 6;
+  base.max_batch_tokens = 48;
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back(MakeRequest(6, 10, 0.0, i));
+  }
+  auto run = [&](KvCacheDtype dtype) {
+    SchedulerConfig config = base;
+    config.kv_cache_dtype = dtype;
+    auto report = ContinuousBatchScheduler(prog, f.weights, f.u280, config)
+                      .Run(reqs, Greedy());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+  const ServingReport fp16 = run(KvCacheDtype::kFp16);
+  const ServingReport int8 = run(KvCacheDtype::kInt8);
+  EXPECT_GT(fp16.preemptions, 0);
+  EXPECT_LT(int8.preemptions, fp16.preemptions);
+  EXPECT_GT(int8.kv_block_capacity, fp16.kv_block_capacity);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(fp16.outcomes[i].generated, int8.outcomes[i].generated);
+  }
+}
+
+TEST(KvQuantTest, PerCardDtypeClusterKeepsStreamsIdentical) {
+  Fixture f;
+  auto prog = f.Compile();
+  ClusterConfig homo;
+  homo.shard.block_size_tokens = 8;
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back(MakeRequest(6, 6, 0.0005 * i, i % 3));
+  }
+  llama::SamplerConfig sc;
+  sc.temperature = 0.0f;
+
+  auto cards = hw::MultiCardConfig::Homogeneous(f.u280, 2);
+  ClusterRouter homo_router(prog, f.weights, cards, homo);
+  auto homo_report = homo_router.Run(reqs, sc);
+  ASSERT_TRUE(homo_report.ok()) << homo_report.status().ToString();
+
+  // Card 0 fp16, card 1 int8: placement is unchanged, streams identical.
+  cards.kv_dtype_per_card = {KvCacheDtype::kFp16, KvCacheDtype::kInt8};
+  ASSERT_TRUE(cards.Validate().ok());
+  ClusterRouter mixed_router(prog, f.weights, cards, homo);
+  auto mixed_report = mixed_router.Run(reqs, sc);
+  ASSERT_TRUE(mixed_report.ok()) << mixed_report.status().ToString();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(mixed_report->merged.outcomes[i].generated,
+              homo_report->merged.outcomes[i].generated)
+        << "request " << i;
+  }
+  // The int8 card's pool holds more blocks than the fp16 card's.
+  EXPECT_GT(mixed_report->shard_reports[1].kv_block_capacity,
+            mixed_report->shard_reports[0].kv_block_capacity);
+
+  // A dtype list that does not name every card is rejected.
+  cards.kv_dtype_per_card = {KvCacheDtype::kInt8};
+  EXPECT_EQ(cards.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace speedllm::serving
