@@ -10,15 +10,28 @@
 //
 //   ./bench/bench_serving_batching [--preset tiny] [--requests 24]
 //                                  [--seed 7] [--gen 12] [--json out.json]
+//                                  [--trace-out trace.json]
+//                                  [--metrics-out metrics.json]
 //
 // --json writes {"bench": "serving_batching", "metrics": {...}} for the
 // CI artifact upload and the tools/check_bench.py regression gate.
+// --trace-out dumps the closed-loop run's lifecycle trace (merged with a
+// one-token kernel trace excerpt) as Chrome Trace Event JSON for
+// ui.perfetto.dev; --metrics-out dumps the tick-sampled metrics JSON
+// plus a Prometheus text sibling (same path + ".prom"). Both imply a
+// telemetry-instrumented closed-loop rerun, which the bench times
+// against the uninstrumented run anyway to report
+// telemetry_overhead_ratio (host wall-clock on / off).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "accel/executor.hpp"
 #include "api/engine.hpp"
 #include "bench_util.hpp"
 #include "compiler/compiler.hpp"
@@ -62,8 +75,10 @@ void AddRow(Table& table, const std::string& rate_label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cl_or = CommandLine::Parse(argc, argv,
-                                  {"preset", "requests", "seed", "gen", "json"});
+  auto cl_or = CommandLine::Parse(
+      argc, argv,
+      {"preset", "requests", "seed", "gen", "json", "trace-out",
+       "metrics-out"});
   if (!cl_or.ok()) {
     std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
     return 1;
@@ -240,35 +255,85 @@ int main(int argc, char** argv) {
   loop.max_new_tokens = wc.max_new_tokens;
   loop.vocab_size = wc.vocab_size;
 
-  api::EngineConfig engine_config;
-  engine_config.sampler.temperature = 0.0f;
-  api::Engine engine(program, weights, u280, engine_config);
-  serving::ClosedLoopClientPool pool(seed, loop);
-  std::function<void(std::int32_t, serving::ServingRequest)> issue =
-      [&](std::int32_t user, serving::ServingRequest request) {
-        api::StreamCallbacks callbacks;
-        callbacks.on_finish = [&, user](api::RequestHandle, api::FinishReason,
-                                        const serving::RequestOutcome&) {
-          if (auto next = pool.OnFinish(user, engine.now_seconds())) {
-            issue(user, std::move(*next));
+  // One closed-loop run, parameterized by the telemetry switches. The
+  // engine is returned alive so the instrumented run can export its
+  // trace/metrics after the report is harvested.
+  struct ClosedRun {
+    std::unique_ptr<api::Engine> engine;
+    serving::ServingReport report;
+    double wall_seconds = 0.0;
+  };
+  auto run_closed = [&](const obs::TelemetryConfig& telemetry) -> ClosedRun {
+    const auto wall_start = std::chrono::steady_clock::now();
+    api::EngineConfig engine_config;
+    engine_config.sampler.temperature = 0.0f;
+    engine_config.telemetry = telemetry;
+    ClosedRun run;
+    run.engine =
+        std::make_unique<api::Engine>(program, weights, u280, engine_config);
+    api::Engine& engine = *run.engine;
+    serving::ClosedLoopClientPool pool(seed, loop);
+    std::function<void(std::int32_t, serving::ServingRequest)> issue =
+        [&](std::int32_t user, serving::ServingRequest request) {
+          api::StreamCallbacks callbacks;
+          callbacks.on_finish = [&, user](api::RequestHandle,
+                                          api::FinishReason,
+                                          const serving::RequestOutcome&) {
+            if (auto next = pool.OnFinish(user, engine.now_seconds())) {
+              issue(user, std::move(*next));
+            }
+          };
+          auto handle =
+              engine.Submit(std::move(request), std::move(callbacks));
+          if (!handle.ok()) {
+            std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+            std::exit(1);
           }
         };
-        auto handle = engine.Submit(std::move(request), std::move(callbacks));
-        if (!handle.ok()) {
-          std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
-          std::exit(1);
-        }
-      };
-  for (std::int32_t u = 0; u < cl_users; ++u) {
-    if (auto first = pool.StartUser(u)) issue(u, std::move(*first));
+    for (std::int32_t u = 0; u < cl_users; ++u) {
+      if (auto first = pool.StartUser(u)) issue(u, std::move(*first));
+    }
+    engine.RunToCompletion();
+    auto closed_or = engine.Finish();
+    if (!closed_or.ok()) {
+      std::fprintf(stderr, "%s\n", closed_or.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.report = std::move(closed_or->merged);
+    run.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+    return run;
+  };
+
+  // Host-cost measurement: min wall-clock of a few reps each way (min is
+  // the noise-robust statistic for "how fast can this go"). Telemetry
+  // must never perturb the simulation itself -- hard-fail if the
+  // simulated reports disagree.
+  constexpr int kOverheadReps = 3;
+  obs::TelemetryConfig telemetry_on;
+  telemetry_on.enable_tracing = true;
+  telemetry_on.enable_metrics = true;
+  ClosedRun plain = run_closed({});
+  ClosedRun traced = run_closed(telemetry_on);
+  double wall_off = plain.wall_seconds;
+  double wall_on = traced.wall_seconds;
+  for (int rep = 1; rep < kOverheadReps; ++rep) {
+    wall_off = std::min(wall_off, run_closed({}).wall_seconds);
+    ClosedRun r = run_closed(telemetry_on);
+    wall_on = std::min(wall_on, r.wall_seconds);
+    traced = std::move(r);  // keep a live instrumented engine for export
   }
-  engine.RunToCompletion();
-  auto closed_or = engine.Finish();
-  if (!closed_or.ok()) {
-    std::fprintf(stderr, "%s\n", closed_or.status().ToString().c_str());
+  if (plain.report.makespan_seconds != traced.report.makespan_seconds ||
+      plain.report.total_tokens != traced.report.total_tokens ||
+      plain.report.ttft_percentile(0.99) !=
+          traced.report.ttft_percentile(0.99)) {
+    std::fprintf(stderr, "telemetry perturbed the simulated timeline!\n");
     return 1;
   }
-  const serving::ServingReport& closed = closed_or->merged;
+  const double telemetry_overhead_ratio =
+      wall_off > 0.0 ? wall_on / wall_off : 1.0;
+  const serving::ServingReport& closed = plain.report;
 
   // The open-loop comparison offers the same number of requests at the
   // closed-loop run's realized rate -- without the feedback loop.
@@ -310,6 +375,47 @@ int main(int argc, char** argv) {
       "concurrency, so p99 latency stays bounded where the open-loop "
       "trace queues.\n",
       cl_users, cl_turns, loop.mean_think_seconds * 1e3);
+  std::printf(
+      "telemetry host overhead: %.2fx wall-clock with tracing+metrics on "
+      "(%.1f ms vs %.1f ms, min of %d reps)\n",
+      telemetry_overhead_ratio, wall_on * 1e3, wall_off * 1e3,
+      kOverheadReps);
+
+  // ---- telemetry export from the instrumented closed-loop run.
+  const std::string trace_out = cl.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    // A one-token kernel trace excerpt rides along under its own
+    // process so the serving timeline and the instruction schedule can
+    // be eyeballed on one Perfetto timebase.
+    accel::Executor kernel_exec(program, weights, u280);
+    kernel_exec.EnableTrace(true);
+    if (auto fwd = kernel_exec.Forward(5, 0); !fwd.ok()) {
+      std::fprintf(stderr, "%s\n", fwd.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = traced.engine->WriteTrace(trace_out, &kernel_exec.trace());
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote serving trace (+1-token kernel excerpt) to %s\n",
+                trace_out.c_str());
+  }
+  const std::string metrics_out = cl.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    if (auto st = traced.engine->WriteMetricsJson(metrics_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const std::string prom_out = metrics_out + ".prom";
+    if (auto st = traced.engine->WriteMetricsPrometheus(prom_out);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s (+ %s)\n", metrics_out.c_str(),
+                prom_out.c_str());
+  }
 
   const std::string json_path = cl.GetString("json", "");
   if (!json_path.empty() &&
@@ -319,7 +425,10 @@ int main(int argc, char** argv) {
            {"legacy_tokens_per_second", best_legacy_tps},
            {"batching_speedup", best_speedup},
            {"closed_loop_tokens_per_second", closed_tps},
-           {"closed_loop_p99_latency_ms", closed_p99_ms}})) {
+           {"closed_loop_p99_latency_ms", closed_p99_ms},
+           {"closed_loop_ttft_p50_ms", closed.ttft_percentile(0.50) * 1e3},
+           {"closed_loop_ttft_p99_ms", closed.ttft_percentile(0.99) * 1e3},
+           {"telemetry_overhead_ratio", telemetry_overhead_ratio}})) {
     return 1;
   }
   return best_speedup > 1.0 ? 0 : 1;

@@ -18,6 +18,13 @@
 //                           [--think-ms 30] [--cancel-every 5]
 //                           [--system-tokens 24] [--no-cache 0]
 //                           [--preset tiny] [--seed 17]
+//                           [--trace-out trace.json]
+//
+// --trace-out enables serving-layer telemetry and dumps the whole
+// session -- per-card tick tracks, per-request lanes with cache-hit and
+// hang-up marks, DMA spans -- as Chrome Trace Event JSON for
+// ui.perfetto.dev, plus tick-sampled metrics JSON next to it
+// (same path + ".metrics.json").
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -50,7 +57,7 @@ int main(int argc, char** argv) {
   auto cl_or = CommandLine::Parse(
       argc, argv,
       {"users", "turns", "cards", "think-ms", "cancel-every", "system-tokens",
-       "no-cache", "preset", "seed"});
+       "no-cache", "preset", "seed", "trace-out"});
   if (!cl_or.ok()) {
     std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
     return 1;
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(cl.GetInt("system-tokens", 24));
   const bool no_cache = cl.GetInt("no-cache", 0) != 0;
   const std::uint64_t seed = static_cast<std::uint64_t>(cl.GetInt("seed", 17));
+  const std::string trace_out = cl.GetString("trace-out", "");
 
   llama::ModelConfig model = cl.GetString("preset", "tiny") == "stories15m"
                                  ? llama::ModelConfig::Stories15M()
@@ -87,6 +95,10 @@ int main(int argc, char** argv) {
   engine_config.scheduler.enable_prefix_cache = !no_cache;
   engine_config.sampler.temperature = 0.8f;
   engine_config.sampler.seed = 99;
+  if (!trace_out.empty()) {
+    engine_config.telemetry.enable_tracing = true;
+    engine_config.telemetry.enable_metrics = true;
+  }
   api::Engine engine(compiled->program, weights, u280, engine_config);
 
   serving::MultiTurnConfig chat;
@@ -216,5 +228,21 @@ int main(int argc, char** argv) {
       "user message and answer pay prefill: the history blocks are "
       "already resident, and prefix-affinity placement keeps each "
       "conversation pinned to the card that holds them.\n");
+
+  if (!trace_out.empty()) {
+    if (Status st = engine.WriteTrace(trace_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const std::string metrics_out = trace_out + ".metrics.json";
+    if (Status st = engine.WriteMetricsJson(metrics_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nwrote lifecycle trace to %s (open in ui.perfetto.dev) and "
+        "metrics to %s\n",
+        trace_out.c_str(), metrics_out.c_str());
+  }
   return 0;
 }

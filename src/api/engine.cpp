@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "serving/shard.hpp"
 
 namespace speedllm::api {
@@ -16,6 +17,7 @@ serving::ClusterConfig ToClusterConfig(const EngineConfig& config) {
   cluster.shard = config.scheduler;
   cluster.kv_pool_bytes_per_card = config.kv_pool_bytes_per_card;
   cluster.rebalance_queued = config.rebalance_queued;
+  cluster.telemetry = config.telemetry;
   return cluster;
 }
 
@@ -158,6 +160,39 @@ serving::KvCacheDtype Engine::kv_cache_dtype(int card) const {
 serving::KvPoolStats Engine::kv_pool_stats(int card) const {
   return session_ == nullptr ? serving::KvPoolStats{}
                              : session_->shard(card).pool().stats();
+}
+
+const obs::Telemetry* Engine::telemetry() const {
+  return session_ == nullptr ? nullptr : session_->telemetry();
+}
+
+Status Engine::WriteTrace(const std::string& path,
+                          const sim::TraceRecorder* kernel) const {
+  const obs::Telemetry* t = telemetry();
+  if (t == nullptr || t->trace() == nullptr) {
+    return FailedPrecondition(
+        "tracing disabled: set EngineConfig::telemetry.enable_tracing");
+  }
+  return obs::WriteChromeTrace(*t->trace(), path, kernel,
+                               cards_.cards.front().clock_mhz);
+}
+
+Status Engine::WriteMetricsJson(const std::string& path) const {
+  const obs::Telemetry* t = telemetry();
+  if (t == nullptr || t->metrics() == nullptr) {
+    return FailedPrecondition(
+        "metrics disabled: set EngineConfig::telemetry.enable_metrics");
+  }
+  return obs::WriteMetricsJson(*t->metrics(), path);
+}
+
+Status Engine::WriteMetricsPrometheus(const std::string& path) const {
+  const obs::Telemetry* t = telemetry();
+  if (t == nullptr || t->metrics() == nullptr) {
+    return FailedPrecondition(
+        "metrics disabled: set EngineConfig::telemetry.enable_metrics");
+  }
+  return obs::WritePrometheusText(*t->metrics(), path);
 }
 
 StatusOr<serving::ClusterReport> Engine::Finish() {

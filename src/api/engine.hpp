@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "accel/program.hpp"
@@ -30,9 +31,11 @@
 #include "hw/cluster.hpp"
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
+#include "obs/telemetry.hpp"
 #include "serving/cluster.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
+#include "sim/trace.hpp"
 
 /// Public serving API: the online streaming engine facade.
 namespace speedllm::api {
@@ -102,6 +105,10 @@ struct EngineConfig {
   std::vector<serving::KvCacheDtype> kv_cache_dtype_per_card;
   /// Migrate queued (never-prefilled) requests away from a dry shard.
   bool rebalance_queued = true;
+  /// Serving-layer telemetry (per-request lifecycle tracing +
+  /// tick-sampled metrics). Both halves default off and cost ~nothing
+  /// while disabled; see docs/OBSERVABILITY.md.
+  obs::TelemetryConfig telemetry;
 };
 
 /// Online streaming serving engine (see the file comment): submit
@@ -181,6 +188,24 @@ class Engine {
   /// hit/eviction/copy-on-write stats -- how multi-turn clients observe
   /// their conversation history being reused across turns.
   serving::KvPoolStats kv_pool_stats(int card) const;
+
+  // ----- telemetry export -----
+  /// The session's telemetry (trace + metrics), or null when
+  /// EngineConfig::telemetry is off and record_ticks is unset.
+  const obs::Telemetry* telemetry() const;
+  /// Writes the serving trace as Chrome Trace Event JSON to `path`,
+  /// optionally merged with a `kernel` instruction trace on the same
+  /// simulated timebase (see docs/OBSERVABILITY.md for the Perfetto
+  /// workflow). FailedPrecondition when tracing is disabled.
+  Status WriteTrace(const std::string& path,
+                    const sim::TraceRecorder* kernel = nullptr) const;
+  /// Writes the metrics registry (series metadata, per-tick samples,
+  /// histograms) as JSON to `path`. FailedPrecondition when metrics are
+  /// disabled.
+  Status WriteMetricsJson(const std::string& path) const;
+  /// Writes the metrics registry in the Prometheus text exposition
+  /// format to `path`. FailedPrecondition when metrics are disabled.
+  Status WriteMetricsPrometheus(const std::string& path) const;
 
   // ----- harvest -----
   /// Finalizes the run and returns the merged + per-card report over the

@@ -1,0 +1,56 @@
+// SpeedLLM -- telemetry exporters.
+//
+// Renders a serving-layer RequestTraceRecorder as Chrome Trace Event
+// JSON (loadable in Perfetto / chrome://tracing), optionally merged with
+// a kernel sim::TraceRecorder on the same simulated timebase, and a
+// MetricsRegistry as either a JSON time series or a Prometheus-style
+// text exposition. docs/OBSERVABILITY.md documents the schemas;
+// ci/telemetry_schema.json pins them for CI validation.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/trace.hpp"
+
+namespace speedllm::obs {
+
+/// Renders the serving trace as a Chrome Trace Event JSON string.
+///
+/// Layout: process 1 "serving" holds one router track (cluster-level
+/// instants), two tracks per card ("cardN sched" with tick slices and
+/// per-request work slices, "cardN dma" with DMA transfer slices), one
+/// async lane per request (queue/prefill/decode phases plus lifecycle
+/// instants, grouped by request id), and flow arrows stitching each
+/// request's ticks across cards. When `kernel` is non-null its spans are
+/// appended under process 2 "kernel" on the same timebase (simulated
+/// seconds * 1e6 == cycles / clock_mhz, both in microseconds).
+std::string ToChromeTraceJson(const RequestTraceRecorder& trace,
+                              const sim::TraceRecorder* kernel = nullptr,
+                              double clock_mhz = 300.0);
+
+/// Renders the registry as a JSON document: series metadata, per-tick
+/// scalar samples, and final histogram buckets. Schema documented in
+/// docs/OBSERVABILITY.md and pinned by ci/telemetry_schema.json.
+std::string ToMetricsJson(const MetricsRegistry& registry);
+
+/// Renders the registry's final state in the Prometheus text exposition
+/// format (HELP/TYPE comments, labelled samples, histogram buckets).
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// Writes ToChromeTraceJson(...) to `path`.
+Status WriteChromeTrace(const RequestTraceRecorder& trace,
+                        const std::string& path,
+                        const sim::TraceRecorder* kernel = nullptr,
+                        double clock_mhz = 300.0);
+
+/// Writes ToMetricsJson(...) to `path`.
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path);
+
+/// Writes ToPrometheusText(...) to `path`.
+Status WritePrometheusText(const MetricsRegistry& registry,
+                           const std::string& path);
+
+}  // namespace speedllm::obs

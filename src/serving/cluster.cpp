@@ -10,6 +10,22 @@
 
 namespace speedllm::serving {
 
+namespace {
+
+/// Cluster-level event skeleton (card -1 = router; instants only).
+obs::RequestEvent RouterEvent(obs::RequestEventKind kind, std::int64_t stream,
+                              std::int32_t card, double t_seconds) {
+  obs::RequestEvent ev;
+  ev.kind = kind;
+  ev.stream = stream;
+  ev.card = card;
+  ev.start_seconds = t_seconds;
+  ev.end_seconds = t_seconds;
+  return ev;
+}
+
+}  // namespace
+
 std::string_view PlacementPolicyName(PlacementPolicy policy) {
   switch (policy) {
     case PlacementPolicy::kRoundRobin: return "round-robin";
@@ -55,6 +71,15 @@ ClusterSession::ClusterSession(const accel::Program& program,
       sampler_config_(sampler_config),
       clock_mhz_(cards.cards.front().clock_mhz) {
   config_.shard = NormalizeSchedulerConfig(config_.shard);
+  // One switch, one event path: the record_ticks compat flag implies
+  // lifecycle tracing, and ServingReport::tick_log is rebuilt from the
+  // shared event stream at harvest.
+  obs::TelemetryConfig telemetry_config = config_.telemetry;
+  telemetry_config.enable_tracing =
+      telemetry_config.enable_tracing || config_.shard.record_ticks;
+  if (telemetry_config.enabled()) {
+    telemetry_ = std::make_unique<obs::Telemetry>(telemetry_config);
+  }
   const int n = cards_.num_cards();
   shards_.reserve(static_cast<std::size_t>(n));
   min_pool_blocks_ = std::numeric_limits<std::int64_t>::max();
@@ -85,6 +110,9 @@ ClusterSession::ClusterSession(const accel::Program& program,
                                                      block_bytes));
     shards_.push_back(std::make_unique<ShardScheduler>(
         program, weights, cards_.cards[ci], shard_config, engine_));
+    if (telemetry_ != nullptr) {
+      shards_.back()->set_telemetry(telemetry_->MakeShardChannel(c));
+    }
     shards_.back()->set_kv_pressure_hook(
         [this, c] { Rebalance(static_cast<std::size_t>(c)); });
   }
@@ -134,8 +162,16 @@ void ClusterSession::SubmitAt(const ServingRequest* request,
     records_.resize(stream_index + 1);
   }
   records_[stream_index].request = request;
-  engine_.ScheduleAt(std::max(at, engine_.now()),
-                     [this, stream_index] { Place(stream_index); });
+  const sim::Cycles when = std::max(at, engine_.now());
+  if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+    obs::RequestEvent ev = RouterEvent(
+        obs::RequestEventKind::kSubmit,
+        static_cast<std::int64_t>(stream_index), -1,
+        static_cast<double>(when) / (clock_mhz_ * 1e6));
+    ev.tokens = static_cast<std::int64_t>(request->prompt.size());
+    telemetry_->trace()->Record(std::move(ev));
+  }
+  engine_.ScheduleAt(when, [this, stream_index] { Place(stream_index); });
 }
 
 Status ClusterSession::Cancel(std::size_t stream_index) {
@@ -170,6 +206,11 @@ Status ClusterSession::Cancel(std::size_t stream_index) {
     const auto [it, inserted] =
         unplaced_outcomes_.emplace(stream_index, std::move(outcome));
     (void)inserted;
+    if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+      telemetry_->trace()->Record(
+          RouterEvent(obs::RequestEventKind::kCancel,
+                      static_cast<std::int64_t>(stream_index), -1, now_s));
+    }
     if (on_finish_) {
       on_finish_(stream_index, FinishReason::kCancelled, it->second, now_s);
     }
@@ -187,6 +228,14 @@ void ClusterSession::Place(std::size_t stream_index) {
   const std::size_t card = PickCard(*rec.request);
   rec.placed = true;
   rec.shard = static_cast<std::int32_t>(card);
+  if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+    obs::RequestEvent ev = RouterEvent(
+        obs::RequestEventKind::kPlace,
+        static_cast<std::int64_t>(stream_index),
+        static_cast<std::int32_t>(card), now_seconds());
+    ev.detail = PlacementPolicyName(config_.placement);
+    telemetry_->trace()->Record(std::move(ev));
+  }
   shards_[card]->Submit(*rec.request, stream_index, sampler_config_);
 }
 
@@ -297,6 +346,13 @@ void ClusterSession::Rebalance(std::size_t donor) {
     ++records_[stream].migrations;
     ++rebalanced_;
     records_[stream].shard = static_cast<std::int32_t>(target);
+    if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+      obs::RequestEvent ev = RouterEvent(
+          obs::RequestEventKind::kMigrate, static_cast<std::int64_t>(stream),
+          static_cast<std::int32_t>(target), now_seconds());
+      ev.detail = "from card " + std::to_string(donor);
+      telemetry_->trace()->Record(std::move(ev));
+    }
     shards_[target]->Submit(*request, stream, sampler_config_);
   }
 }

@@ -37,6 +37,7 @@
 #include "hw/cluster.hpp"
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
+#include "obs/telemetry.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -45,10 +46,11 @@ namespace speedllm::serving {
 
 class ShardScheduler;
 
+/// How the router picks a card for each arriving request.
 enum class PlacementPolicy {
-  kRoundRobin,              // arrival order, ignores card state
-  kLeastOutstandingTokens,  // min remaining prefill+decode tokens
-  kBestFitFreeKv,           // max projected-free KV blocks
+  kRoundRobin,              ///< arrival order, ignores card state
+  kLeastOutstandingTokens,  ///< min remaining prefill+decode tokens
+  kBestFitFreeKv,           ///< max projected-free KV blocks
   /// Card whose KV pool holds the longest cached prefix of the prompt
   /// (multi-turn chats return to their history's card; shared system
   /// prompts pile onto one card's cache). Ties -- including "nobody has
@@ -56,9 +58,13 @@ enum class PlacementPolicy {
   kPrefixAffinity,
 };
 
+/// Human-readable policy name ("round_robin", ...) for tables and logs.
 std::string_view PlacementPolicyName(PlacementPolicy policy);
 
+/// Cluster-level knobs: placement policy, per-card scheduler config,
+/// optional per-card KV pool sizes, rebalancing, and telemetry.
 struct ClusterConfig {
+  /// Placement policy routing each arrival to a card.
   PlacementPolicy placement = PlacementPolicy::kRoundRobin;
   /// Per-card scheduler knobs (batch policy, budgets, block size, ...).
   SchedulerConfig shard;
@@ -68,8 +74,13 @@ struct ClusterConfig {
   std::vector<std::uint64_t> kv_pool_bytes_per_card;
   /// Migrate queued (never-prefilled) requests away from a dry shard.
   bool rebalance_queued = true;
+  /// Serving-layer telemetry switches (lifecycle tracing + tick-sampled
+  /// metrics). Off by default; SchedulerConfig::record_ticks implies
+  /// tracing so the tick_log compat view keeps working.
+  obs::TelemetryConfig telemetry;
 };
 
+/// Merged + per-card results of one cluster timeline.
 struct ClusterReport {
   /// Cluster-wide view: outcomes in original request order, aggregate
   /// tokens/s over the shared-clock makespan, summed tick/preemption/KV
@@ -87,6 +98,7 @@ struct ClusterReport {
   /// Max-over-mean of per-card token counts: 1.0 is perfectly balanced,
   /// N means one card did everything.
   double imbalance() const;
+  /// Average per-card busy-time fraction.
   double mean_utilization() const;
 };
 
@@ -105,19 +117,30 @@ class ClusterSession {
   ClusterSession(const accel::Program& program, const llama::Weights& weights,
                  const hw::MultiCardConfig& cards, const ClusterConfig& config,
                  const llama::SamplerConfig& sampler_config);
+  /// Destroys the session; unharvested outcomes are discarded.
   ~ClusterSession();
 
+  /// Non-copyable: the session owns a live simulation timeline.
   ClusterSession(const ClusterSession&) = delete;
+  /// Non-assignable: the session owns a live simulation timeline.
   ClusterSession& operator=(const ClusterSession&) = delete;
 
   /// The shared clock every shard chains its ticks on. The caller drives
   /// Run()/RunUntil(); shards and arrivals inject events.
   sim::Engine& engine() { return engine_; }
+  /// Current simulated time of the shared clock, seconds.
   double now_seconds() const;
+  /// Converts simulated seconds to engine cycles at the kernel clock.
   sim::Cycles SecondsToCycles(double seconds) const;
 
+  /// Number of cards (shards) in this session.
   int num_cards() const { return static_cast<int>(shards_.size()); }
+  /// Card `card`'s shard (placement-policy queries, tests).
   const ShardScheduler& shard(int card) const { return *shards_[card]; }
+
+  /// Session telemetry (trace + metrics), or null when disabled and
+  /// record_ticks is off. Owned by the session; alive until destruction.
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
   /// Model-limit + worst-case-pool admission check (a request must fit
   /// the smallest card: placement and rebalancing may use any card).
@@ -168,6 +191,7 @@ class ClusterSession {
   std::int64_t min_pool_blocks_ = 0;
 
   sim::Engine engine_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
   std::vector<std::unique_ptr<ShardScheduler>> shards_;
   std::vector<StreamRecord> records_;
   /// Outcomes of requests cancelled before their placement event ran
@@ -179,6 +203,8 @@ class ClusterSession {
   std::int64_t rebalanced_ = 0;
 };
 
+/// Offline multi-card runner: one ClusterSession fed a complete
+/// pre-timestamped request trace up front and drained to completion.
 class ClusterRouter {
  public:
   /// `program` and `weights` must outlive the router. All cards run the
@@ -194,7 +220,9 @@ class ClusterRouter {
   StatusOr<ClusterReport> Run(const std::vector<ServingRequest>& requests,
                               const llama::SamplerConfig& sampler_config);
 
+  /// Number of cards this router fans out over.
   int num_cards() const { return cards_.num_cards(); }
+  /// The cluster configuration the router was built with.
   const ClusterConfig& config() const { return config_; }
   /// KV pool budget card `card` will use (after overrides/derivation).
   std::uint64_t pool_bytes(int card) const;

@@ -15,6 +15,19 @@ namespace {
 /// compute tail.
 constexpr double kSharedShareCap = 0.95;
 
+/// Event skeleton for the telemetry trace; instants pass start == end.
+obs::RequestEvent MakeEvent(obs::RequestEventKind kind, std::int64_t stream,
+                            std::int64_t tick, double start_seconds,
+                            double end_seconds) {
+  obs::RequestEvent ev;
+  ev.kind = kind;
+  ev.stream = stream;
+  ev.tick = tick;
+  ev.start_seconds = start_seconds;
+  ev.end_seconds = end_seconds;
+  return ev;
+}
+
 }  // namespace
 
 SchedulerConfig NormalizeSchedulerConfig(SchedulerConfig config) {
@@ -96,9 +109,28 @@ ShardScheduler::ShardScheduler(const accel::Program& program,
       pool_(MakeKvPoolConfig(
           program.model, config.kv_cache_dtype,
           DeriveKvPoolBytes(program, u280, config.kv_pool_bytes),
-          config.block_size_tokens, config.enable_prefix_cache)) {}
+          config.block_size_tokens, config.enable_prefix_cache)) {
+  if (config_.record_ticks) {
+    // tick_log compat: with no external telemetry attached the shard
+    // records into a private trace so TakeReport can rebuild the log.
+    own_trace_ = std::make_unique<obs::RequestTraceRecorder>();
+    telemetry_.set_trace(own_trace_.get());
+  }
+}
 
 ShardScheduler::~ShardScheduler() = default;
+
+void ShardScheduler::set_telemetry(obs::ShardChannel channel) {
+  telemetry_ = std::move(channel);
+  if (telemetry_.tracing()) {
+    own_trace_.reset();  // the external sink supersedes the fallback
+  } else if (config_.record_ticks) {
+    if (own_trace_ == nullptr) {
+      own_trace_ = std::make_unique<obs::RequestTraceRecorder>();
+    }
+    telemetry_.set_trace(own_trace_.get());
+  }
+}
 
 void ShardScheduler::Submit(const ServingRequest& request,
                             std::size_t stream_index,
@@ -209,6 +241,35 @@ ServingReport ShardScheduler::TakeReport(
   report_.cow_copies = ps.cow_copies;
   report_.cache_evictions = ps.cache_evictions;
   report_.dma_bytes_moved = ps.dma_bytes_moved;
+  // tick_log compat view: rebuilt from the telemetry event stream (the
+  // only tick history path) when record_ticks asked for it.
+  if (config_.record_ticks && telemetry_.trace_recorder() != nullptr) {
+    report_.tick_log.clear();
+    for (const obs::RequestEvent& e : telemetry_.trace_recorder()->events()) {
+      if (e.card != telemetry_.card()) continue;
+      switch (e.kind) {
+        case obs::RequestEventKind::kTick: {
+          TickRecord rec;
+          rec.start_seconds = e.start_seconds;
+          rec.end_seconds = e.end_seconds;
+          report_.tick_log.push_back(std::move(rec));
+          break;
+        }
+        case obs::RequestEventKind::kDecodeToken:
+          report_.tick_log.back().decode_seqs.push_back(
+              static_cast<std::size_t>(e.stream));
+          break;
+        case obs::RequestEventKind::kPrefillChunk:
+          report_.tick_log.back().prefill_seqs.push_back(
+              static_cast<std::size_t>(e.stream));
+          report_.tick_log.back().prefill_tokens +=
+              static_cast<std::int32_t>(e.tokens);
+          break;
+        default:
+          break;
+      }
+    }
+  }
   return std::move(report_);
 }
 
@@ -260,7 +321,17 @@ bool ShardScheduler::EnsureKvToken(std::size_t seq_id, std::int32_t token) {
   while (true) {
     Status st = pool_.Append(seq_id, token);
     if (st.ok()) {
-      ChargeDma();  // a copy-on-write may have moved one block
+      // A copy-on-write may have moved one block.
+      const std::int64_t moved = ChargeDma("cow", seq_id);
+      if (moved > 0 && telemetry_.tracing()) {
+        const double now_s = u280_.cycles_to_seconds(engine_.now());
+        obs::RequestEvent ev = MakeEvent(
+            obs::RequestEventKind::kCowCopy,
+            static_cast<std::int64_t>(seqs_[seq_id].stream_index),
+            tick_index_, now_s, now_s);
+        ev.bytes = moved;
+        telemetry_.Record(std::move(ev));
+      }
       return true;
     }
     if (st.code() != StatusCode::kResourceExhausted) {
@@ -284,10 +355,19 @@ bool ShardScheduler::EnsureKvToken(std::size_t seq_id, std::int32_t token) {
 
 void ShardScheduler::Preempt(std::size_t victim) {
   Sequence& seq = seqs_[victim];
+  if (telemetry_.tracing()) {
+    const double now_s = u280_.cycles_to_seconds(engine_.now());
+    obs::RequestEvent ev = MakeEvent(
+        obs::RequestEventKind::kPreempt,
+        static_cast<std::int64_t>(seq.stream_index), tick_index_, now_s,
+        now_s);
+    ev.tokens = seq.cursor;  // fed work dropped, owed again as recompute
+    telemetry_.Record(std::move(ev));
+  }
   Status st = pool_.Release(victim, /*preempted=*/true);
   assert(st.ok());
   (void)st;
-  ChargeDma();  // swap-out writes the victim's private blocks back
+  ChargeDma("swap-out", victim);  // the victim's private blocks write back
   ReleaseSlot(seq);
   residents_.erase(std::find(residents_.begin(), residents_.end(), victim));
   seq.state = SeqState::kWaiting;
@@ -313,8 +393,17 @@ std::int64_t ShardScheduler::RestoreCachedPrefix(std::size_t seq_id) {
     return -1;
   }
   const std::int64_t restored = match_or->matched_tokens;
-  ChargeDma();  // the restore reads the mapped blocks back through HBM
+  ChargeDma("restore", seq_id);  // the restore reads blocks through HBM
   if (restored == 0) return 0;
+  if (telemetry_.tracing()) {
+    const double now_s = u280_.cycles_to_seconds(engine_.now());
+    obs::RequestEvent ev = MakeEvent(
+        obs::RequestEventKind::kCacheHit,
+        static_cast<std::int64_t>(seq.stream_index), tick_index_, now_s,
+        now_s);
+    ev.tokens = restored;
+    telemetry_.Record(std::move(ev));
+  }
   // Rebuild the slot executor's functional KV for the cached prefix. On
   // the device those entries are already resident in HBM, so no forward
   // compute or weight traffic is owed for them -- only the restore DMA
@@ -371,21 +460,36 @@ bool ShardScheduler::ForwardToken(Sequence& seq, std::int32_t token,
   return true;
 }
 
-void ShardScheduler::ChargeDma() {
+std::int64_t ShardScheduler::ChargeDma(const char* cause,
+                                       std::size_t seq_id) {
   const std::int64_t moved = pool_.stats().dma_bytes_moved - dma_bytes_seen_;
   dma_bytes_seen_ = pool_.stats().dma_bytes_moved;
-  if (moved <= 0 || !config_.charge_dma_cost) return;
-  const hw::HbmConfig& hbm = u280_.hbm;
-  const std::uint64_t bytes_per_cycle = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(hbm.num_channels) *
-             hbm.bytes_per_cycle_per_channel);
-  const sim::Cycles cycles =
-      hbm.latency_cycles + hbm.dma_setup_cycles +
-      (static_cast<std::uint64_t>(moved) + bytes_per_cycle - 1) /
-          bytes_per_cycle;
-  const double seconds = u280_.cycles_to_seconds(cycles);
-  tick_marginal_ += seconds;
-  report_.dma_time_seconds += seconds;
+  if (moved <= 0) return 0;
+  double seconds = 0.0;
+  if (config_.charge_dma_cost) {
+    const hw::HbmConfig& hbm = u280_.hbm;
+    const std::uint64_t bytes_per_cycle = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(hbm.num_channels) *
+               hbm.bytes_per_cycle_per_channel);
+    const sim::Cycles cycles =
+        hbm.latency_cycles + hbm.dma_setup_cycles +
+        (static_cast<std::uint64_t>(moved) + bytes_per_cycle - 1) /
+            bytes_per_cycle;
+    seconds = u280_.cycles_to_seconds(cycles);
+    tick_marginal_ += seconds;
+    report_.dma_time_seconds += seconds;
+  }
+  if (telemetry_.tracing()) {
+    const double now_s = u280_.cycles_to_seconds(engine_.now());
+    obs::RequestEvent ev = MakeEvent(
+        obs::RequestEventKind::kDmaTransfer,
+        static_cast<std::int64_t>(seqs_[seq_id].stream_index), tick_index_,
+        now_s, now_s + seconds);
+    ev.bytes = moved;
+    ev.detail = cause;
+    telemetry_.Record(std::move(ev));
+  }
+  return moved;
 }
 
 /// The amplitude sits far below typical logit gaps, so greedy argmax is
@@ -530,6 +634,13 @@ Status ShardScheduler::Abort(std::size_t stream_index) {
   }
   if (!seq.ever_admitted) seq.outcome.admission_seconds = now_s;
   ++report_.cancelled_requests;
+  if (telemetry_.tracing()) {
+    obs::RequestEvent ev = MakeEvent(
+        obs::RequestEventKind::kCancel,
+        static_cast<std::int64_t>(stream_index), tick_index_, now_s, now_s);
+    ev.tokens = seq.delivered;
+    telemetry_.Record(std::move(ev));
+  }
   if (on_finish_) {
     // Copy: the hook may reentrantly Submit and grow seqs_.
     const RequestOutcome outcome = seq.outcome;
@@ -550,9 +661,33 @@ void ShardScheduler::DeliverEmissions() {
     if (e.token >= 0) {
       ++seqs_[e.seq_id].delivered;
       if (on_token_) on_token_(stream, e.token, t);
-    } else if (on_finish_) {
-      const RequestOutcome outcome = seqs_[e.seq_id].outcome;
-      on_finish_(stream, e.finish, outcome, t);
+    } else {
+      // The finish's delivery time is the request's observable end;
+      // telemetry records the terminal event and the latency samples
+      // here so exactly one terminal event exists per stream (a cancel
+      // that won the race scrubbed this emission and recorded kCancel).
+      const RequestOutcome& oc = seqs_[e.seq_id].outcome;
+      if (telemetry_.tracing()) {
+        obs::RequestEvent ev =
+            MakeEvent(obs::RequestEventKind::kFinish,
+                      static_cast<std::int64_t>(stream), tick_index_, t, t);
+        ev.tokens = static_cast<std::int64_t>(oc.generated.size());
+        ev.detail = FinishReasonName(e.finish);
+        telemetry_.Record(std::move(ev));
+      }
+      if (telemetry_.metrics()) {
+        const std::int64_t n =
+            static_cast<std::int64_t>(oc.generated.size());
+        const double decode_span =
+            oc.completion_seconds - oc.first_token_seconds;
+        telemetry_.ObserveFinish(
+            oc.time_to_first_token(),
+            n > 1 ? decode_span / static_cast<double>(n - 1) : 0.0, n > 0);
+      }
+      if (on_finish_) {
+        const RequestOutcome outcome = seqs_[e.seq_id].outcome;
+        on_finish_(stream, e.finish, outcome, t);
+      }
     }
   }
 }
@@ -658,6 +793,12 @@ void ShardScheduler::RunTick() {
         seq.outcome.admission_seconds = start_s;
         // No longer queued demand: its blocks now come out of the pool.
         queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+        if (telemetry_.tracing()) {
+          telemetry_.Record(MakeEvent(
+              obs::RequestEventKind::kQueueWait,
+              static_cast<std::int64_t>(seq.stream_index), tick_index_,
+              seq.outcome.arrival_seconds, start_s));
+        }
       }
       const std::int64_t restored = RestoreCachedPrefix(cand);
       if (restored < 0) return;
@@ -794,6 +935,12 @@ void ShardScheduler::RunTick() {
   for (std::size_t seq_id : ttft_marks) {
     if (seqs_[seq_id].outcome.first_token_seconds == 0.0) {
       seqs_[seq_id].outcome.first_token_seconds = end_s;
+      if (telemetry_.tracing()) {
+        telemetry_.Record(MakeEvent(
+            obs::RequestEventKind::kFirstToken,
+            static_cast<std::int64_t>(seqs_[seq_id].stream_index),
+            tick_index_, end_s, end_s));
+      }
     }
   }
   for (const Emission& e : tick_emissions_) {
@@ -807,18 +954,49 @@ void ShardScheduler::RunTick() {
   ++report_.ticks;
   width_sum_ += static_cast<std::int64_t>(decode_executed.size() +
                                           prefill_executed.size());
-  if (config_.record_ticks) {
-    TickRecord rec;
-    rec.start_seconds = start_s;
-    rec.end_seconds = end_s;
+  // One event path for tick history: the telemetry trace records the
+  // tick and its per-sequence work; ServingReport::tick_log is rebuilt
+  // from these events in TakeReport when record_ticks is set (the shard
+  // keeps a private recorder for that case, see set_telemetry).
+  if (telemetry_.tracing()) {
+    obs::RequestEvent tick_ev = MakeEvent(obs::RequestEventKind::kTick, -1,
+                                          tick_index_, start_s, end_s);
+    tick_ev.tokens = executed_tokens;
+    telemetry_.Record(std::move(tick_ev));
     for (std::size_t id : decode_executed) {
-      rec.decode_seqs.push_back(seqs_[id].stream_index);
+      obs::RequestEvent ev = MakeEvent(
+          obs::RequestEventKind::kDecodeToken,
+          static_cast<std::int64_t>(seqs_[id].stream_index), tick_index_,
+          start_s, end_s);
+      ev.tokens = 1;
+      telemetry_.Record(std::move(ev));
     }
     for (auto& [id, n] : prefill_executed) {
-      rec.prefill_seqs.push_back(seqs_[id].stream_index);
-      rec.prefill_tokens += n;
+      obs::RequestEvent ev = MakeEvent(
+          obs::RequestEventKind::kPrefillChunk,
+          static_cast<std::int64_t>(seqs_[id].stream_index), tick_index_,
+          start_s, end_s);
+      ev.tokens = n;
+      telemetry_.Record(std::move(ev));
     }
-    report_.tick_log.push_back(std::move(rec));
+  }
+  if (telemetry_.metrics()) {
+    obs::ShardTickSample sample;
+    sample.end_seconds = end_s;
+    sample.tick_seconds = tick_seconds;
+    sample.decode_tokens = static_cast<std::int64_t>(decode_executed.size());
+    sample.prefill_tokens =
+        executed_tokens - static_cast<std::int64_t>(decode_executed.size());
+    sample.queue_depth = num_waiting();
+    sample.running_seqs = num_residents();
+    sample.kv_blocks_in_use = pool_.used_blocks();
+    sample.kv_blocks_evictable = pool_.evictable_blocks();
+    const KvPoolStats& ps = pool_.stats();
+    sample.cum_cache_hit_tokens = ps.prefix_hit_tokens;
+    sample.cum_cache_lookup_tokens = ps.prefix_lookup_tokens;
+    sample.cum_dma_bytes = ps.dma_bytes_moved;
+    sample.cum_preemptions = ps.preemption_releases;
+    telemetry_.OnTickEnd(sample);
   }
 
   // Stream this tick's commits at its end time, ahead of the next tick

@@ -29,6 +29,7 @@
 #include "hw/u280_config.hpp"
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
+#include "obs/telemetry.hpp"
 #include "serving/kv_pool.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
@@ -63,6 +64,12 @@ Status ValidateRequest(const ServingRequest& req, const std::string& tag,
                        const llama::ModelConfig& model,
                        std::int64_t pool_blocks, std::int64_t block_size);
 
+/// One card's continuous-batching execution core: a paged KvBlockPool
+/// plus the tick loop that batches decode sequences and prefill chunks
+/// into grouped forward passes on an engine provided by the caller.
+/// N shards interleave on one shared sim::Engine clock under the
+/// cluster router; a single-card ContinuousBatchScheduler is exactly
+/// one shard on a private engine.
 class ShardScheduler {
  public:
   /// `program`, `weights`, and `engine` must outlive the shard. `config`
@@ -71,9 +78,12 @@ class ShardScheduler {
   ShardScheduler(const accel::Program& program, const llama::Weights& weights,
                  const hw::U280Config& u280, const SchedulerConfig& config,
                  sim::Engine& engine);
+  /// Destroys the shard; unharvested outcomes are discarded.
   ~ShardScheduler();
 
+  /// Non-copyable: the shard owns live executor slots and pool state.
   ShardScheduler(const ShardScheduler&) = delete;
+  /// Non-assignable: the shard owns live executor slots and pool state.
   ShardScheduler& operator=(const ShardScheduler&) = delete;
 
   /// Enqueues `request` on this shard at the current engine time and
@@ -109,9 +119,21 @@ class ShardScheduler {
   /// inside a tick (hook callbacks are safe).
   Status Abort(std::size_t stream_index);
 
+  // ----- telemetry -----
+  /// Attaches the cluster's telemetry channel (lifecycle trace sink +
+  /// per-card metric ids). Must be set before the first tick runs. When
+  /// the shard was constructed with SchedulerConfig::record_ticks and
+  /// `channel` carries no trace sink, the shard keeps its own private
+  /// recorder so the tick_log compat view still fills in.
+  void set_telemetry(obs::ShardChannel channel);
+
   // ----- placement-policy queries -----
+  /// This shard's KV block pool (placement policies read its capacity
+  /// and occupancy).
   const KvBlockPool& pool() const { return pool_; }
+  /// KV pool capacity in bytes.
   std::uint64_t pool_bytes() const { return pool_.capacity_bytes(); }
+  /// Amortized per-tick shared cost (weight stream + launch overhead).
   double shared_step_seconds() const { return shared_seconds_; }
   /// Free KV blocks minus the full eventual footprint (prompt + budget)
   /// of every queued, never-admitted request -- the headroom a placement
@@ -124,9 +146,11 @@ class ShardScheduler {
   /// budget across every live sequence (waiting or resident). O(1):
   /// maintained incrementally as tokens are submitted/processed.
   std::int64_t outstanding_tokens() const { return outstanding_tokens_; }
+  /// Requests queued on this shard (arrived, not resident).
   std::int64_t num_waiting() const {
     return static_cast<std::int64_t>(waiting_.size());
   }
+  /// Sequences currently resident in the batch.
   std::int64_t num_residents() const {
     return static_cast<std::int64_t>(residents_.size());
   }
@@ -234,8 +258,10 @@ class ShardScheduler {
   /// cache restore, or preemption swap-out per call site) into simulated
   /// time on the current tick when SchedulerConfig::charge_dma_cost is
   /// on: transfer latency + DMA setup + bytes over the HBM aggregate
-  /// bandwidth. Byte counters accumulate regardless.
-  void ChargeDma();
+  /// bandwidth. Byte counters accumulate regardless. `cause` labels the
+  /// move ("cow" / "restore" / "swap-out") and `seq_id` attributes it in
+  /// the telemetry trace. Returns the bytes moved.
+  std::int64_t ChargeDma(const char* cause, std::size_t seq_id);
   /// Deterministic int8 accuracy proxy: perturbs `logits` with tiny
   /// pseudo-noise seeded by (stream index, KV block index) only, so
   /// streams stay reproducible under any batch composition, card count,
@@ -268,6 +294,10 @@ class ShardScheduler {
   std::vector<int> free_slots_;
   std::vector<float> sample_scratch_;
   std::function<void()> kv_pressure_hook_;
+  obs::ShardChannel telemetry_;
+  // record_ticks fallback recorder when no external trace is attached
+  // (single-card ContinuousBatchScheduler path).
+  std::unique_ptr<obs::RequestTraceRecorder> own_trace_;
   TokenEmissionHook on_token_;
   FinishEmissionHook on_finish_;
   std::vector<Emission> tick_emissions_;     // current tick, pre-timestamp

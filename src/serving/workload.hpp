@@ -22,19 +22,28 @@
 
 namespace speedllm::serving {
 
+/// Shape of an open-loop synthetic trace: arrival rate plus i.i.d.
+/// prompt / generation length ranges (all ranges inclusive).
 struct WorkloadConfig {
+  /// Number of requests in the trace.
   std::int32_t num_requests = 16;
-  double rate_rps = 50.0;  // mean arrival rate, requests per second
+  /// Mean arrival rate, requests per second.
+  double rate_rps = 50.0;
 
+  /// Minimum prompt length, tokens (BOS included).
   std::int32_t min_prompt_tokens = 4;
-  std::int32_t max_prompt_tokens = 24;  // inclusive
+  /// Maximum prompt length, tokens (inclusive).
+  std::int32_t max_prompt_tokens = 24;
+  /// Minimum generation budget, tokens.
   std::int32_t min_new_tokens = 8;
-  std::int32_t max_new_tokens = 24;  // inclusive
+  /// Maximum generation budget, tokens (inclusive).
+  std::int32_t max_new_tokens = 24;
+  /// Token ids are drawn from [3, vocab_size).
   std::int32_t vocab_size = 32000;
 
-  // Bursty shaping: requests arrive in clumps of `burst_size` whose burst
-  // epochs are Poisson at rate_rps / burst_size (so the long-run request
-  // rate matches the Poisson trace at the same rate_rps).
+  /// Bursty shaping: requests arrive in clumps of `burst_size` whose
+  /// burst epochs are Poisson at rate_rps / burst_size (so the long-run
+  /// request rate matches the Poisson trace at the same rate_rps).
   std::int32_t burst_size = 4;
 };
 
@@ -47,19 +56,29 @@ std::vector<ServingRequest> BurstyTrace(Rng& rng, const WorkloadConfig& config);
 
 // ------------------------------ shared-prefix workloads ---------------
 
+/// Shape of a shared-prefix trace (the traffic prefix caching exists
+/// for); see SharedPrefixTrace.
 struct SharedPrefixConfig {
+  /// Number of requests in the trace.
   std::int32_t num_requests = 32;
-  double rate_rps = 200.0;  // mean arrival rate, requests per second
+  /// Mean arrival rate, requests per second.
+  double rate_rps = 200.0;
 
   /// Probability a request opens with one of the shared system prompts.
   double shared_fraction = 0.8;
-  std::int32_t num_prefixes = 2;    // distinct shared system prompts
-  std::int32_t prefix_tokens = 40;  // length of each shared prefix
-  /// Unique user tokens appended after the shared prefix.
+  /// Distinct shared system prompts.
+  std::int32_t num_prefixes = 2;
+  /// Length of each shared prefix, tokens.
+  std::int32_t prefix_tokens = 40;
+  /// Minimum unique user tokens appended after the shared prefix.
   std::int32_t min_suffix_tokens = 2;
-  std::int32_t max_suffix_tokens = 8;  // inclusive
+  /// Maximum unique user tokens appended (inclusive).
+  std::int32_t max_suffix_tokens = 8;
+  /// Minimum generation budget, tokens.
   std::int32_t min_new_tokens = 8;
-  std::int32_t max_new_tokens = 16;  // inclusive
+  /// Maximum generation budget, tokens (inclusive).
+  std::int32_t max_new_tokens = 16;
+  /// Token ids are drawn from [3, vocab_size).
   std::int32_t vocab_size = 32000;
 };
 
@@ -74,8 +93,11 @@ std::vector<ServingRequest> SharedPrefixTrace(Rng& rng,
 
 // ------------------------------ multi-turn chat conversations ---------
 
+/// Shape of the multi-turn chat workload; see MultiTurnChatPool.
 struct MultiTurnConfig {
+  /// Concurrent simulated users (one growing conversation each).
   std::int32_t num_users = 4;
+  /// Turns each user's conversation runs for.
   std::int32_t turns_per_user = 3;
   /// Mean exponential think gap between a turn finishing and the user's
   /// next turn arriving (also before the first turn).
@@ -83,11 +105,15 @@ struct MultiTurnConfig {
   /// Tokens of the system prompt every conversation opens with. Shared
   /// across users, so even first turns prefix-share with each other.
   std::int32_t system_prompt_tokens = 16;
-  /// Fresh user-message tokens appended each turn.
+  /// Minimum fresh user-message tokens appended each turn.
   std::int32_t min_user_tokens = 2;
-  std::int32_t max_user_tokens = 6;  // inclusive
+  /// Maximum fresh user-message tokens appended (inclusive).
+  std::int32_t max_user_tokens = 6;
+  /// Minimum generation budget per turn, tokens.
   std::int32_t min_new_tokens = 4;
-  std::int32_t max_new_tokens = 10;  // inclusive
+  /// Maximum generation budget per turn, tokens (inclusive).
+  std::int32_t max_new_tokens = 10;
+  /// Token ids are drawn from [3, vocab_size).
   std::int32_t vocab_size = 32000;
 };
 
@@ -102,8 +128,11 @@ struct MultiTurnConfig {
 /// card count, or cache configuration.
 class MultiTurnChatPool {
  public:
+  /// Builds `config.num_users` conversations; randomness derives from
+  /// (`seed`, user id) only.
   MultiTurnChatPool(std::uint64_t seed, const MultiTurnConfig& config);
 
+  /// Number of simulated users.
   std::int32_t num_users() const {
     return static_cast<std::int32_t>(users_.size());
   }
@@ -121,9 +150,11 @@ class MultiTurnChatPool {
       std::int32_t user, double now_seconds,
       std::span<const std::int32_t> generated);
 
+  /// True while `user` has a turn submitted but not yet finished.
   bool in_flight(std::int32_t user) const {
     return users_[static_cast<std::size_t>(user)].in_flight;
   }
+  /// Turns `user` has completed so far.
   std::int32_t turns(std::int32_t user) const {
     return users_[static_cast<std::size_t>(user)].turns;
   }
@@ -131,6 +162,7 @@ class MultiTurnChatPool {
   const std::vector<std::int32_t>& history(std::int32_t user) const {
     return users_[static_cast<std::size_t>(user)].history;
   }
+  /// True once every user's conversation has run out of turns.
   bool AllDone() const;
 
  private:
@@ -152,18 +184,26 @@ class MultiTurnChatPool {
 
 // ------------------------------ closed-loop (per-user) workloads ------
 
+/// Shape of the closed-loop workload; see ClosedLoopClientPool.
 struct ClosedLoopConfig {
+  /// Concurrent simulated users.
   std::int32_t num_users = 8;
+  /// Requests each user issues before retiring.
   std::int32_t requests_per_user = 4;
   /// Mean of the exponential think-time gap a user waits between its
   /// previous request finishing and the next one arriving (also the gap
   /// before the user's first request).
   double mean_think_seconds = 0.01;
 
+  /// Minimum prompt length, tokens (BOS included).
   std::int32_t min_prompt_tokens = 4;
-  std::int32_t max_prompt_tokens = 24;  // inclusive
+  /// Maximum prompt length, tokens (inclusive).
+  std::int32_t max_prompt_tokens = 24;
+  /// Minimum generation budget, tokens.
   std::int32_t min_new_tokens = 8;
-  std::int32_t max_new_tokens = 24;  // inclusive
+  /// Maximum generation budget, tokens (inclusive).
+  std::int32_t max_new_tokens = 24;
+  /// Token ids are drawn from [3, vocab_size).
   std::int32_t vocab_size = 32000;
 };
 
@@ -177,8 +217,11 @@ struct ClosedLoopConfig {
 /// matter how the engine interleaves completions across users or cards.
 class ClosedLoopClientPool {
  public:
+  /// Builds `config.num_users` users; randomness derives from
+  /// (`seed`, user id) only.
   ClosedLoopClientPool(std::uint64_t seed, const ClosedLoopConfig& config);
 
+  /// Number of simulated users.
   std::int32_t num_users() const {
     return static_cast<std::int32_t>(users_.size());
   }
@@ -200,10 +243,13 @@ class ClosedLoopClientPool {
   bool in_flight(std::int32_t user) const {
     return users_[static_cast<std::size_t>(user)].in_flight;
   }
+  /// Requests `user` has issued so far (in flight included).
   std::int32_t issued(std::int32_t user) const {
     return users_[static_cast<std::size_t>(user)].issued;
   }
+  /// Requests issued across all users.
   std::int32_t total_issued() const { return total_issued_; }
+  /// True once every user's budget is spent and nothing is in flight.
   bool AllDone() const;
 
  private:

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Schema + invariant validator for telemetry export files.
+
+Validates the Chrome Trace Event JSON (``--trace-out``) and the metrics
+time-series JSON (``--metrics-out``) against the checked-in schema in
+``ci/telemetry_schema.json``, then checks the semantic invariants the
+exporters promise:
+
+trace
+  * every timestamp and duration is finite and non-negative,
+  * every legacy-async begin (``ph: "b"``) has a matching end (``"e"``)
+    with the same (cat, id, name) and end_ts >= begin_ts,
+  * flow arrows come in complete chains (an ``s`` and an ``f`` per id).
+
+metrics
+  * every sample's value count equals the scalar series count,
+  * sample times are non-decreasing,
+  * counter series are non-decreasing across samples,
+  * histogram bucket counts sum to the reported observation count.
+
+The schema checker is a self-contained subset of JSON Schema (type /
+type lists, required, properties, items, enum) so CI needs nothing
+beyond the Python standard library.
+
+Usage:
+    tools/check_telemetry.py --schema ci/telemetry_schema.json \
+        [--trace trace.json] [--metrics metrics.json]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_telemetry: cannot read {path}: {err}")
+
+
+def type_ok(value, type_name):
+    if isinstance(value, bool) and type_name in ("number", "integer"):
+        return False  # bool is an int in Python, not in JSON Schema
+    return isinstance(value, _TYPES[type_name])
+
+
+def validate(value, schema, path, errors):
+    """Subset-of-JSON-Schema validation; appends messages to errors."""
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(type_ok(value, t) for t in types):
+            errors.append(f"{path}: expected {'/'.join(types)}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_trace(trace, errors):
+    events = trace.get("traceEvents", [])
+    open_async = {}  # (cat, id, name) -> begin ts
+    flow_roles = {}  # id -> set of phases seen
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for key in ("ts", "dur"):
+            if key in ev:
+                v = ev[key]
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    errors.append(f"{where}: non-finite {key}")
+                elif v < 0:
+                    errors.append(f"{where}: negative {key} ({v})")
+        ph = ev.get("ph")
+        key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+        if ph == "b":
+            if key in open_async:
+                errors.append(f"{where}: async begin {key} nested")
+            open_async[key] = ev.get("ts", 0.0)
+        elif ph == "e":
+            begin = open_async.pop(key, None)
+            if begin is None:
+                errors.append(f"{where}: async end {key} without begin")
+            elif ev.get("ts", 0.0) < begin:
+                errors.append(f"{where}: async {key} ends before it begins")
+        elif ph in ("s", "t", "f"):
+            flow_roles.setdefault(ev.get("id"), set()).add(ph)
+    for key in open_async:
+        errors.append(f"async begin {key} never ended")
+    for fid, roles in flow_roles.items():
+        if "s" not in roles or "f" not in roles:
+            errors.append(f"flow id {fid}: incomplete chain (saw {roles})")
+
+
+def check_metrics(metrics, errors):
+    series = metrics.get("series", [])
+    samples = metrics.get("samples", [])
+    counters = [i for i, s in enumerate(series)
+                if s.get("type") == "counter"]
+    last_t = None
+    last_values = None
+    for i, sample in enumerate(samples):
+        where = f"samples[{i}]"
+        values = sample.get("values", [])
+        if len(values) != len(series):
+            errors.append(f"{where}: {len(values)} values for "
+                          f"{len(series)} scalar series")
+            continue
+        t = sample.get("t_seconds", 0.0)
+        if last_t is not None and t < last_t:
+            errors.append(f"{where}: time went backwards "
+                          f"({t} < {last_t})")
+        if last_values is not None:
+            for c in counters:
+                if values[c] < last_values[c]:
+                    errors.append(
+                        f"{where}: counter {series[c]['name']}"
+                        f"{series[c].get('labels', {})} decreased "
+                        f"({last_values[c]} -> {values[c]})")
+        last_t, last_values = t, values
+    for h in metrics.get("histograms", []):
+        total = sum(b.get("count", 0) for b in h.get("buckets", []))
+        if total != h.get("count", 0):
+            errors.append(f"histogram {h.get('name')}: buckets sum to "
+                          f"{total}, count says {h.get('count')}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate telemetry trace/metrics export files")
+    parser.add_argument("--schema", default="ci/telemetry_schema.json")
+    parser.add_argument("--trace", help="Chrome Trace Event JSON to check")
+    parser.add_argument("--metrics", help="metrics time-series JSON to check")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        sys.exit("check_telemetry: nothing to check "
+                 "(pass --trace and/or --metrics)")
+
+    schema = load_json(args.schema)
+    errors = []
+    if args.trace:
+        trace = load_json(args.trace)
+        validate(trace, schema["trace"], "trace", errors)
+        if not errors:
+            check_trace(trace, errors)
+        print(f"check_telemetry: {args.trace}: "
+              f"{len(trace.get('traceEvents', []))} events")
+    if args.metrics:
+        metrics = load_json(args.metrics)
+        validate(metrics, schema["metrics"], "metrics", errors)
+        if not errors:
+            check_metrics(metrics, errors)
+        print(f"check_telemetry: {args.metrics}: "
+              f"{len(metrics.get('series', []))} series, "
+              f"{len(metrics.get('samples', []))} samples")
+
+    if errors:
+        for e in errors[:50]:
+            print(f"check_telemetry: FAIL {e}", file=sys.stderr)
+        sys.exit(1)
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()
