@@ -19,12 +19,21 @@
 //                           [--system-tokens 24] [--no-cache 0]
 //                           [--preset tiny] [--seed 17]
 //                           [--trace-out trace.json]
+//                           [--scenario rag|agentic|parallel_sampling|
+//                                       long_context]
+//                           [--tier-mix 0.3,0.5,0.2]
 //
 // --trace-out enables serving-layer telemetry and dumps the whole
 // session -- per-card tick tracks, per-request lanes with cache-hit and
 // hang-up marks, DMA spans -- as Chrome Trace Event JSON for
 // ui.perfetto.dev, plus tick-sampled metrics JSON next to it
 // (same path + ".metrics.json").
+//
+// --scenario swaps the multi-turn chat pool for one of the scenario-zoo
+// traces (docs/SCENARIOS.md) and streams it through the same engine with
+// SLO tiers enabled, reporting per-tier finishes, sheds, and goodput.
+// --tier-mix overrides the scenario's default interactive,standard,
+// best-effort weights (it also works in chat mode, tagging each turn).
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -51,13 +60,106 @@ struct UserStats {
   double last_finish_seconds = 0.0;
 };
 
+// Parses "--tier-mix i,s,b" (non-negative weights, any scale).
+bool ParseTierMix(const std::string& text, serving::TierMix* mix) {
+  serving::TierMix parsed;
+  if (std::sscanf(text.c_str(), "%lf,%lf,%lf", &parsed.interactive,
+                  &parsed.standard, &parsed.best_effort) != 3 ||
+      parsed.interactive < 0.0 || parsed.standard < 0.0 ||
+      parsed.best_effort < 0.0) {
+    return false;
+  }
+  *mix = parsed;
+  return true;
+}
+
+// --scenario mode: streams a scenario-zoo trace through the online
+// engine with SLO tiers on and prints the per-tier outcome.
+int RunScenario(const accel::Program& program, const llama::Weights& weights,
+                const hw::U280Config& u280, int cards, const std::string& name,
+                bool have_mix, const serving::TierMix& mix,
+                std::uint64_t seed, const std::string& trace_out) {
+  serving::Scenario scenario;
+  if (!serving::ScenarioFromName(name, &scenario)) {
+    std::fprintf(stderr,
+                 "unknown --scenario %s (want rag, agentic, "
+                 "parallel_sampling, or long_context)\n",
+                 name.c_str());
+    return 1;
+  }
+  Rng rng(seed);
+  auto trace = serving::ScenarioTrace(rng, scenario);
+  if (have_mix) serving::ApplyTierMix(rng, mix, trace);
+
+  api::EngineConfig engine_config;
+  engine_config.num_cards = cards;
+  engine_config.scheduler.enable_prefix_cache = true;  // zoo traces share
+  engine_config.scheduler.enable_tiers = true;
+  engine_config.telemetry.enable_tracing = true;  // feeds the tier report
+  engine_config.sampler.temperature = 0.8f;
+  engine_config.sampler.seed = 99;
+  if (!trace_out.empty()) engine_config.telemetry.enable_metrics = true;
+  api::Engine engine(program, weights, u280, engine_config);
+
+  std::printf("== scenario %s: %zu requests on %d card(s), tiers on ==\n\n",
+              name.c_str(), trace.size(), cards);
+  for (serving::ServingRequest& request : trace) {
+    api::StreamCallbacks callbacks;
+    auto handle = engine.Submit(std::move(request), std::move(callbacks));
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit: %s\n", handle.status().ToString().c_str());
+    }
+  }
+  engine.RunToCompletion();
+  auto report_or = engine.Finish();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const serving::ServingReport& m = report_or->merged;
+
+  Table table({"tier", "finished", "shed", "ttft_p99_ms", "goodput_tok_s"});
+  for (int t = 0; t < serving::kNumTiers; ++t) {
+    const auto tier = static_cast<serving::RequestTier>(t);
+    const serving::TierReport& tr = m.tiers[static_cast<std::size_t>(t)];
+    table.AddRow();
+    table.Cell(std::string(serving::RequestTierName(tier)));
+    table.Cell(tr.finished_requests);
+    table.Cell(tr.shed_requests);
+    table.Cell(m.tier_ttft_percentile(tier, 0.99) * 1e3, 3);
+    table.Cell(tr.goodput_tokens_per_second, 1);
+  }
+  table.Print();
+  std::printf(
+      "\n%zu requests, %.1f tok/s aggregate (%.1f tok/s goodput) over "
+      "%.3f s makespan, cache hit rate %.0f%%\n",
+      m.outcomes.size(), m.device_tokens_per_second,
+      m.goodput_tokens_per_second, m.makespan_seconds,
+      m.cache_hit_rate() * 100.0);
+
+  if (!trace_out.empty()) {
+    if (Status st = engine.WriteTrace(trace_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const std::string metrics_out = trace_out + ".metrics.json";
+    if (Status st = engine.WriteMetricsJson(metrics_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s and metrics to %s\n", trace_out.c_str(),
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto cl_or = CommandLine::Parse(
       argc, argv,
       {"users", "turns", "cards", "think-ms", "cancel-every", "system-tokens",
-       "no-cache", "preset", "seed", "trace-out"});
+       "no-cache", "preset", "seed", "trace-out", "scenario", "tier-mix"});
   if (!cl_or.ok()) {
     std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
     return 1;
@@ -75,6 +177,16 @@ int main(int argc, char** argv) {
   const bool no_cache = cl.GetInt("no-cache", 0) != 0;
   const std::uint64_t seed = static_cast<std::uint64_t>(cl.GetInt("seed", 17));
   const std::string trace_out = cl.GetString("trace-out", "");
+  const std::string scenario = cl.GetString("scenario", "");
+  const std::string tier_mix_flag = cl.GetString("tier-mix", "");
+  serving::TierMix tier_mix;
+  if (!tier_mix_flag.empty() && !ParseTierMix(tier_mix_flag, &tier_mix)) {
+    std::fprintf(stderr,
+                 "bad --tier-mix %s (want three non-negative weights, "
+                 "e.g. 0.3,0.5,0.2)\n",
+                 tier_mix_flag.c_str());
+    return 1;
+  }
 
   llama::ModelConfig model = cl.GetString("preset", "tiny") == "stories15m"
                                  ? llama::ModelConfig::Stories15M()
@@ -88,6 +200,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!scenario.empty()) {
+    return RunScenario(compiled->program, weights, u280, cards, scenario,
+                       !tier_mix_flag.empty(), tier_mix, seed, trace_out);
+  }
+
   api::EngineConfig engine_config;
   engine_config.num_cards = cards;
   // Follow-up turns chase their conversation's cached history blocks.
@@ -95,11 +212,15 @@ int main(int argc, char** argv) {
   engine_config.scheduler.enable_prefix_cache = !no_cache;
   engine_config.sampler.temperature = 0.8f;
   engine_config.sampler.seed = 99;
+  // Tagged turns only reorder scheduling under pressure; the transcript
+  // stays byte-identical (tiers never change sampling).
+  if (!tier_mix_flag.empty()) engine_config.scheduler.enable_tiers = true;
   if (!trace_out.empty()) {
     engine_config.telemetry.enable_tracing = true;
     engine_config.telemetry.enable_metrics = true;
   }
   api::Engine engine(compiled->program, weights, u280, engine_config);
+  Rng tier_rng(seed + 1);
 
   serving::MultiTurnConfig chat;
   chat.num_users = users;
@@ -122,6 +243,9 @@ int main(int argc, char** argv) {
   std::function<void(std::int32_t, serving::ServingRequest)> issue =
       [&](std::int32_t user, serving::ServingRequest request) {
         ++submissions;
+        if (!tier_mix_flag.empty()) {
+          request.tier = serving::DrawTier(tier_rng, tier_mix);
+        }
         const bool hang_up =
             cancel_every > 0 && submissions % cancel_every == 0;
         const auto streamed =

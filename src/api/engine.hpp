@@ -74,7 +74,10 @@ struct StreamCallbacks {
                      double time_seconds)>
       on_token;
   /// Fires exactly once, after the last token, with the finish reason
-  /// and final outcome (valid for the duration of the callback).
+  /// and final outcome (valid for the duration of the callback). A
+  /// request rejected by admission control (SchedulerConfig::admission)
+  /// fires this with FinishReason::kShed at its arrival time, having
+  /// emitted no tokens.
   std::function<void(RequestHandle handle, FinishReason reason,
                      const serving::RequestOutcome& outcome)>
       on_finish;
@@ -140,7 +143,10 @@ class Engine {
   /// Returns InvalidArgument for empty prompts, non-positive
   /// max_new_tokens, or negative/non-finite arrivals; OutOfRange /
   /// ResourceExhausted when the request can never fit the model or the
-  /// smallest card's KV pool; FailedPrecondition after Finish().
+  /// smallest card's KV pool; FailedPrecondition after Finish(). A valid
+  /// handle does not guarantee service: under overload, admission
+  /// control (SchedulerConfig::admission) may shed the request at its
+  /// arrival event -- on_finish then fires with FinishReason::kShed.
   StatusOr<RequestHandle> Submit(serving::ServingRequest request,
                                  StreamCallbacks callbacks = {});
 

@@ -259,12 +259,13 @@ std::string ToChromeTraceJson(const RequestTraceRecorder& trace,
                         EventArgs(e)));
         break;
       case RequestEventKind::kCancel:
+      case RequestEventKind::kShed:
       case RequestEventKind::kFinish: {
         emit.Item(Instant(name, kServingPid, tid, ts, EventArgs(e)));
         StreamState& st = streams[e.stream];
         if (!st.has_finish) {
           st.has_finish = true;
-          st.cancelled = e.kind == RequestEventKind::kCancel;
+          st.cancelled = e.kind != RequestEventKind::kFinish;
           st.finish_s = e.start_seconds;
           st.finish_tokens = e.tokens;
           st.finish_detail = e.detail;

@@ -1,0 +1,115 @@
+#include "obs/slo.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace speedllm::obs {
+
+namespace {
+
+/// Maps a submit event's tier label back to the tier index; unknown or
+/// missing labels (e.g. traces recorded before tiers existed) fall back
+/// to kStandard.
+int TierIndexFromLabel(const std::string& label) {
+  for (int t = 0; t < serving::kNumTiers; ++t) {
+    if (label == serving::RequestTierName(static_cast<serving::RequestTier>(t))) {
+      return t;
+    }
+  }
+  return serving::TierIndex(serving::RequestTier::kStandard);
+}
+
+/// Per-stream digest accumulated while scanning the event stream.
+struct StreamDigest {
+  int tier = serving::TierIndex(serving::RequestTier::kStandard);
+  double arrival_seconds = 0.0;
+  double first_token_seconds = 0.0;
+  bool has_first_token = false;
+  double completion_seconds = 0.0;
+  std::int64_t generated_tokens = 0;
+  bool finished = false;  // terminal "length" / "stop" finish observed
+  bool shed = false;
+};
+
+}  // namespace
+
+GoodputAccounting ComputeGoodput(
+    const std::vector<RequestEvent>& events,
+    const std::array<serving::TierSlo, serving::kNumTiers>& slo,
+    double makespan_seconds) {
+  std::unordered_map<std::int64_t, StreamDigest> streams;
+  for (const RequestEvent& e : events) {
+    if (e.stream < 0) continue;
+    switch (e.kind) {
+      case RequestEventKind::kSubmit: {
+        StreamDigest& d = streams[e.stream];
+        d.arrival_seconds = e.start_seconds;
+        d.tier = TierIndexFromLabel(e.detail);
+        break;
+      }
+      case RequestEventKind::kFirstToken: {
+        StreamDigest& d = streams[e.stream];
+        if (!d.has_first_token) {
+          d.first_token_seconds = e.end_seconds;
+          d.has_first_token = true;
+        }
+        break;
+      }
+      case RequestEventKind::kFinish: {
+        StreamDigest& d = streams[e.stream];
+        d.completion_seconds = e.end_seconds;
+        d.generated_tokens = e.tokens;
+        d.finished = e.detail == "length" || e.detail == "stop";
+        break;
+      }
+      case RequestEventKind::kShed: {
+        streams[e.stream].shed = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  GoodputAccounting acc;
+  for (const auto& [stream, d] : streams) {
+    (void)stream;
+    serving::TierReport& tier = acc.tiers[static_cast<std::size_t>(d.tier)];
+    if (d.shed) {
+      ++tier.shed_requests;
+      continue;
+    }
+    if (!d.finished) continue;
+    ++tier.finished_requests;
+    tier.generated_tokens += d.generated_tokens;
+    const serving::TierSlo& target = slo[static_cast<std::size_t>(d.tier)];
+    bool attained = d.generated_tokens > 0 && d.has_first_token;
+    if (attained && target.ttft_target_seconds > 0.0) {
+      attained = d.first_token_seconds - d.arrival_seconds <=
+                 target.ttft_target_seconds;
+    }
+    if (attained && target.tpot_target_seconds > 0.0) {
+      const double tpot = (d.completion_seconds - d.first_token_seconds) /
+                          static_cast<double>(d.generated_tokens);
+      attained = tpot <= target.tpot_target_seconds;
+    }
+    if (attained) {
+      ++tier.slo_attained_requests;
+      tier.goodput_tokens += d.generated_tokens;
+    }
+  }
+
+  double total_goodput_tokens = 0.0;
+  for (serving::TierReport& tier : acc.tiers) {
+    tier.goodput_tokens_per_second =
+        makespan_seconds > 0.0
+            ? static_cast<double>(tier.goodput_tokens) / makespan_seconds
+            : 0.0;
+    total_goodput_tokens += static_cast<double>(tier.goodput_tokens);
+  }
+  acc.goodput_tokens_per_second =
+      makespan_seconds > 0.0 ? total_goodput_tokens / makespan_seconds : 0.0;
+  return acc;
+}
+
+}  // namespace speedllm::obs

@@ -18,6 +18,7 @@ std::string_view RequestEventKindName(RequestEventKind kind) {
     case RequestEventKind::kCowCopy: return "cow_copy";
     case RequestEventKind::kDmaTransfer: return "dma_transfer";
     case RequestEventKind::kCancel: return "cancel";
+    case RequestEventKind::kShed: return "shed";
     case RequestEventKind::kFinish: return "finish";
     case RequestEventKind::kTick: return "tick";
   }
@@ -136,8 +137,8 @@ void ShardChannel::Record(RequestEvent event) {
   trace_->Record(std::move(event));
 }
 
-void ShardChannel::OnTickEnd(const ShardTickSample& sample) {
-  if (registry_ == nullptr) return;
+bool ShardChannel::OnTickEnd(const ShardTickSample& sample) {
+  if (registry_ == nullptr) return false;
   registry_->Set(ids_.queue_depth, static_cast<double>(sample.queue_depth));
   registry_->Set(ids_.running_seqs, static_cast<double>(sample.running_seqs));
   registry_->Set(ids_.kv_blocks_in_use,
@@ -163,9 +164,12 @@ void ShardChannel::OnTickEnd(const ShardTickSample& sample) {
   registry_->Set(ids_.preemptions_total,
                  static_cast<double>(sample.cum_preemptions));
   ++ticks_seen_;
-  if (ticks_seen_ % sample_every_ticks_ == 0) {
-    registry_->SampleAt(sample.end_seconds);
-  }
+  return ticks_seen_ % sample_every_ticks_ == 0;
+}
+
+void ShardChannel::SampleNow(double t_seconds) {
+  if (registry_ == nullptr) return;
+  registry_->SampleAt(t_seconds);
 }
 
 void ShardChannel::ObserveFinish(double ttft_seconds, double tpot_seconds,

@@ -50,6 +50,7 @@ enum class RequestEventKind {
   kCowCopy,      ///< instant: copy-on-write copied `bytes` of KV
   kDmaTransfer,  ///< span: one charged DMA move (`detail` names the cause)
   kCancel,       ///< instant: stream aborted mid-flight
+  kShed,         ///< instant: rejected by admission control (terminal)
   kFinish,       ///< instant: finish delivered (`detail` names the reason)
   kTick,         ///< span: one scheduler tick on a card (shard-level)
 };
@@ -282,10 +283,17 @@ class ShardChannel {
   /// tracing is off.
   void Record(RequestEvent event);
 
-  /// Fans one tick's sample into the per-card series and snapshots the
-  /// registry every `sample_every_ticks` ticks. No-op when metrics are
-  /// off.
-  void OnTickEnd(const ShardTickSample& sample);
+  /// Fans one tick's sample into the per-card series. Returns true when
+  /// a registry snapshot is due (every `sample_every_ticks` ticks): the
+  /// shard then schedules SampleNow at the tick's simulated end time, so
+  /// sample rows from overlapping ticks on different cards land in
+  /// timestamp order. Returns false (no-op) when metrics are off.
+  bool OnTickEnd(const ShardTickSample& sample);
+
+  /// Snapshots the registry's current values at sim time `t_seconds`.
+  /// Called from an event the shard schedules at the tick's end cycles
+  /// (see OnTickEnd). No-op when metrics are off.
+  void SampleNow(double t_seconds);
 
   /// Observes a finished request's TTFT (always) and TPOT (only when
   /// `has_tokens`: TPOT is undefined for empty generations) into the

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/slo.hpp"
 #include "serving/shard.hpp"
 
 namespace speedllm::serving {
@@ -115,6 +116,121 @@ ClusterSession::ClusterSession(const accel::Program& program,
     }
     shards_.back()->set_kv_pressure_hook(
         [this, c] { Rebalance(static_cast<std::size_t>(c)); });
+    // Shard-side emission wrappers are installed up front (before any
+    // tick can run): they keep the per-stream records and the SLO
+    // metrics current whether or not the caller ever registers hooks.
+    shards_.back()->set_emission_hooks(
+        [this](std::size_t stream, std::int32_t token, double t) {
+          if (on_token_) on_token_(stream, token, t);
+        },
+        [this](std::size_t stream, FinishReason reason,
+               const RequestOutcome& outcome, double t) {
+          records_[stream].finished = true;
+          if (reason == FinishReason::kCancelled) {
+            records_[stream].cancelled = true;
+          }
+          ObserveSloMetrics(outcome, reason);
+          if (on_finish_) on_finish_(stream, reason, outcome, t);
+        });
+  }
+  // Admission control starts from a full bucket; the first refill delta
+  // is measured from t = 0.
+  bucket_tokens_ = config_.shard.admission.burst_tokens;
+  bucket_refill_seconds_ = 0.0;
+  if (telemetry_ != nullptr && telemetry_->metrics() != nullptr) {
+    slo_metrics_ = true;
+    obs::MetricsRegistry& reg = *telemetry_->metrics();
+    for (int t = 0; t < kNumTiers; ++t) {
+      const std::string tier_name{
+          RequestTierName(static_cast<RequestTier>(t))};
+      goodput_ids_[static_cast<std::size_t>(t)] = reg.AddCounter(
+          "speedllm_goodput_tokens_total",
+          "Generated tokens of SLO-attaining finished requests", "tokens",
+          {{"tier", tier_name}});
+      slo_attained_ids_[static_cast<std::size_t>(t)] = reg.AddCounter(
+          "speedllm_slo_requests_total",
+          "Finished requests by SLO attainment", "requests",
+          {{"tier", tier_name}, {"slo", "attained"}});
+      slo_missed_ids_[static_cast<std::size_t>(t)] = reg.AddCounter(
+          "speedllm_slo_requests_total",
+          "Finished requests by SLO attainment", "requests",
+          {{"tier", tier_name}, {"slo", "missed"}});
+      shed_ids_[static_cast<std::size_t>(t)] = reg.AddCounter(
+          "speedllm_shed_requests_total",
+          "Requests rejected by admission control", "requests",
+          {{"tier", tier_name}});
+    }
+  }
+}
+
+bool ClusterSession::ShouldShed(const ServingRequest& request, double now_s) {
+  const AdmissionConfig& adm = config_.shard.admission;
+  if (!adm.enable || adm.burst_tokens <= 0.0) return false;
+  // Refill by the simulated time elapsed since the last arrival, then
+  // draw this request's full eventual footprint. The tier's reserve
+  // floor must survive the draw: best-effort requests bounce while the
+  // bucket can still absorb an interactive burst.
+  bucket_tokens_ = std::min(
+      adm.burst_tokens,
+      bucket_tokens_ +
+          (now_s - bucket_refill_seconds_) * adm.rate_tokens_per_second);
+  bucket_refill_seconds_ = now_s;
+  const double cost = static_cast<double>(request.prompt.size()) +
+                      static_cast<double>(request.max_new_tokens);
+  const double reserve =
+      adm.tier_reserve_fraction[static_cast<std::size_t>(
+          TierIndex(request.tier))] *
+      adm.burst_tokens;
+  if (bucket_tokens_ - cost < reserve) return true;
+  bucket_tokens_ -= cost;
+  return false;
+}
+
+void ClusterSession::Shed(std::size_t stream_index, double now_s) {
+  StreamRecord& rec = records_[stream_index];
+  rec.finished = true;
+  RequestOutcome outcome;
+  outcome.arrival_seconds = std::min(rec.request->arrival_seconds, now_s);
+  outcome.prompt_tokens =
+      static_cast<std::int32_t>(rec.request->prompt.size());
+  outcome.tier = rec.request->tier;
+  outcome.finish_reason = FinishReason::kShed;
+  outcome.admission_seconds = now_s;
+  outcome.first_token_seconds = now_s;
+  outcome.completion_seconds = now_s;
+  const auto [it, inserted] =
+      unplaced_outcomes_.emplace(stream_index, std::move(outcome));
+  (void)inserted;
+  if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+    obs::RequestEvent ev =
+        RouterEvent(obs::RequestEventKind::kShed,
+                    static_cast<std::int64_t>(stream_index), -1, now_s);
+    ev.detail = RequestTierName(rec.request->tier);
+    telemetry_->trace()->Record(std::move(ev));
+  }
+  if (slo_metrics_) {
+    telemetry_->metrics()->Add(
+        shed_ids_[static_cast<std::size_t>(TierIndex(rec.request->tier))],
+        1.0);
+  }
+  if (on_finish_) {
+    on_finish_(stream_index, FinishReason::kShed, it->second, now_s);
+  }
+}
+
+void ClusterSession::ObserveSloMetrics(const RequestOutcome& outcome,
+                                       FinishReason reason) {
+  if (!slo_metrics_) return;
+  if (reason != FinishReason::kLength && reason != FinishReason::kStop) {
+    return;
+  }
+  const std::size_t t = static_cast<std::size_t>(TierIndex(outcome.tier));
+  if (outcome.attains(config_.shard.tier_slo[t])) {
+    telemetry_->metrics()->Add(slo_attained_ids_[t], 1.0);
+    telemetry_->metrics()->Add(
+        goodput_ids_[t], static_cast<double>(outcome.generated.size()));
+  } else {
+    telemetry_->metrics()->Add(slo_missed_ids_[t], 1.0);
   }
 }
 
@@ -138,22 +254,10 @@ Status ClusterSession::Validate(const ServingRequest& request,
 
 void ClusterSession::set_emission_hooks(TokenEmissionHook on_token,
                                         FinishEmissionHook on_finish) {
+  // The shard-side wrappers were installed at construction and read
+  // these members at call time, so assigning here is all there is to it.
   on_token_ = std::move(on_token);
   on_finish_ = std::move(on_finish);
-  for (auto& shard : shards_) {
-    shard->set_emission_hooks(
-        [this](std::size_t stream, std::int32_t token, double t) {
-          if (on_token_) on_token_(stream, token, t);
-        },
-        [this](std::size_t stream, FinishReason reason,
-               const RequestOutcome& outcome, double t) {
-          records_[stream].finished = true;
-          if (reason == FinishReason::kCancelled) {
-            records_[stream].cancelled = true;
-          }
-          if (on_finish_) on_finish_(stream, reason, outcome, t);
-        });
-  }
 }
 
 void ClusterSession::SubmitAt(const ServingRequest* request,
@@ -169,6 +273,9 @@ void ClusterSession::SubmitAt(const ServingRequest* request,
         static_cast<std::int64_t>(stream_index), -1,
         static_cast<double>(when) / (clock_mhz_ * 1e6));
     ev.tokens = static_cast<std::int64_t>(request->prompt.size());
+    // The tier label rides on the submit event so SLO/goodput accounting
+    // (obs::ComputeGoodput) needs nothing outside the event stream.
+    ev.detail = RequestTierName(request->tier);
     telemetry_->trace()->Record(std::move(ev));
   }
   engine_.ScheduleAt(when, [this, stream_index] { Place(stream_index); });
@@ -221,10 +328,16 @@ Status ClusterSession::Cancel(std::size_t stream_index) {
   return shards_[static_cast<std::size_t>(rec.shard)]->Abort(stream_index);
 }
 
-/// Routes request `stream_index` to a card at its arrival event.
+/// Routes request `stream_index` to a card at its arrival event (after
+/// the admission-control gate; a shed request never reaches a shard).
 void ClusterSession::Place(std::size_t stream_index) {
   StreamRecord& rec = records_[stream_index];
   if (rec.cancelled) return;  // cancelled before arrival
+  const double now_s = now_seconds();
+  if (ShouldShed(*rec.request, now_s)) {
+    Shed(stream_index, now_s);
+    return;
+  }
   const std::size_t card = PickCard(*rec.request);
   rec.placed = true;
   rec.shard = static_cast<std::int32_t>(card);
@@ -244,10 +357,21 @@ std::size_t ClusterSession::PickCard(const ServingRequest& request) {
     case PlacementPolicy::kRoundRobin:
       return rr_counter_++ % shards_.size();
     case PlacementPolicy::kLeastOutstandingTokens: {
+      // Tier-aware when tiers are enabled: a card is scored by the work
+      // this request would actually wait behind -- tokens owed at its
+      // own priority or higher. Lower-tier work does not count against
+      // a card, because the new arrival outranks it in admission,
+      // decode funding, and preemption. With tiers off every request is
+      // equal and this is the plain outstanding-token count.
+      const auto load = [&](std::size_t c) {
+        return config_.shard.enable_tiers
+                   ? shards_[c]->outstanding_tokens_at_or_above(request.tier)
+                   : shards_[c]->outstanding_tokens();
+      };
       std::size_t best = 0;
-      std::int64_t best_tokens = shards_[0]->outstanding_tokens();
+      std::int64_t best_tokens = load(0);
       for (std::size_t c = 1; c < shards_.size(); ++c) {
-        const std::int64_t t = shards_[c]->outstanding_tokens();
+        const std::int64_t t = load(c);
         if (t < best_tokens) {
           best = c;
           best_tokens = t;
@@ -411,10 +535,15 @@ ClusterReport ClusterSession::Harvest() {
     report.shard_reports.push_back(std::move(shard));
   }
   ServingReport& m = report.merged;
-  // Requests cancelled before placement never reached a shard.
+  // Requests that never reached a shard: cancelled before placement, or
+  // rejected by admission control at the arrival event.
   for (auto& [stream, outcome] : unplaced_outcomes_) {
+    if (outcome.finish_reason == FinishReason::kShed) {
+      ++m.shed_requests;
+    } else {
+      ++m.cancelled_requests;
+    }
     m.outcomes[stream] = std::move(outcome);
-    ++m.cancelled_requests;
   }
   // Interleave per-card tick logs into one clock-ordered timeline
   // (stable: same-time ticks keep card order).
@@ -427,6 +556,16 @@ ClusterReport ClusterSession::Harvest() {
       m.makespan_seconds > 0.0
           ? static_cast<double>(m.total_tokens) / m.makespan_seconds
           : 0.0;
+  // Goodput and per-tier SLO attainment come from the telemetry event
+  // stream (obs::ComputeGoodput), not from a second bookkeeping path:
+  // with tracing off the tier slices stay zero.
+  if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+    obs::GoodputAccounting acc =
+        obs::ComputeGoodput(telemetry_->trace()->events(),
+                            config_.shard.tier_slo, m.makespan_seconds);
+    m.tiers = acc.tiers;
+    m.goodput_tokens_per_second = acc.goodput_tokens_per_second;
+  }
   for (std::size_t c = 0; c < shards_.size(); ++c) {
     report.card_utilization[c] =
         m.makespan_seconds > 0.0 ? busy[c] / m.makespan_seconds : 0.0;

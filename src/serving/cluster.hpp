@@ -26,6 +26,7 @@
 // policy, or preemption schedule.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -158,7 +159,10 @@ class ClusterSession {
   /// FinishReason::kCancelled before this returns.
   Status Cancel(std::size_t stream_index);
 
-  /// Streams tokens/finishes from every shard (stream_index keyed).
+  /// Streams tokens/finishes from every shard (stream_index keyed). The
+  /// shard-side wrappers are installed at construction, so these may be
+  /// (re)assigned at any time; shed rejections also fire `on_finish`
+  /// (with FinishReason::kShed), from inside the arrival event.
   void set_emission_hooks(TokenEmissionHook on_token,
                           FinishEmissionHook on_finish);
 
@@ -181,6 +185,19 @@ class ClusterSession {
   void Place(std::size_t stream_index);
   std::size_t PickCard(const ServingRequest& request);
   void Rebalance(std::size_t donor);
+  /// Deterministic token-bucket admission check, evaluated at the
+  /// arrival event before placement. Returns true when the request must
+  /// be shed. Depends only on the arrival trace and AdmissionConfig --
+  /// never on card count, placement, or scheduling -- so the shed set is
+  /// identical across cluster sizes.
+  bool ShouldShed(const ServingRequest& request, double now_s);
+  /// Synthesizes the kShed outcome, records the terminal event, bumps
+  /// the per-tier shed metrics, and fires the finish hook.
+  void Shed(std::size_t stream_index, double now_s);
+  /// Updates the per-tier SLO/goodput metric counters for one finished
+  /// request (no-op when metrics are off or the finish is not terminal
+  /// success).
+  void ObserveSloMetrics(const RequestOutcome& outcome, FinishReason reason);
 
   const accel::Program& program_;
   const llama::Weights& weights_;
@@ -201,6 +218,17 @@ class ClusterSession {
   FinishEmissionHook on_finish_;
   std::size_t rr_counter_ = 0;
   std::int64_t rebalanced_ = 0;
+  // Admission-control token bucket (see AdmissionConfig): refilled by
+  // simulated-time deltas at each arrival, drained by admitted requests.
+  double bucket_tokens_ = 0.0;
+  double bucket_refill_seconds_ = 0.0;
+  // Per-tier SLO metric series (registered when metrics are on), by
+  // TierIndex: goodput tokens, attained/missed finishes, sheds.
+  std::array<obs::MetricsRegistry::MetricId, kNumTiers> goodput_ids_{};
+  std::array<obs::MetricsRegistry::MetricId, kNumTiers> slo_attained_ids_{};
+  std::array<obs::MetricsRegistry::MetricId, kNumTiers> slo_missed_ids_{};
+  std::array<obs::MetricsRegistry::MetricId, kNumTiers> shed_ids_{};
+  bool slo_metrics_ = false;
 };
 
 /// Offline multi-card runner: one ClusterSession fed a complete

@@ -12,6 +12,16 @@ std::string_view FinishReasonName(FinishReason reason) {
     case FinishReason::kLength: return "length";
     case FinishReason::kStop: return "stop";
     case FinishReason::kCancelled: return "cancelled";
+    case FinishReason::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::string_view RequestTierName(RequestTier tier) {
+  switch (tier) {
+    case RequestTier::kInteractive: return "interactive";
+    case RequestTier::kStandard: return "standard";
+    case RequestTier::kBestEffort: return "best-effort";
   }
   return "unknown";
 }
@@ -62,6 +72,19 @@ double ServingReport::ttft_percentile(double p) const {
 double ServingReport::latency_percentile(double p) const {
   return PercentileOf(outcomes, p,
                       [](const RequestOutcome& o) { return o.latency(); });
+}
+
+double ServingReport::tier_ttft_percentile(RequestTier tier, double p) const {
+  std::vector<double> samples;
+  for (const auto& o : outcomes) {
+    if (o.tier != tier) continue;
+    if (o.finish_reason != FinishReason::kLength &&
+        o.finish_reason != FinishReason::kStop) {
+      continue;
+    }
+    samples.push_back(o.time_to_first_token());
+  }
+  return Percentile(std::move(samples), p);
 }
 
 double ServingReport::tpot_percentile(double p) const {

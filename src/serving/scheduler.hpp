@@ -23,6 +23,7 @@
 // path and a width-1 scheduler agree.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,35 @@ enum class BatchPolicy {
 /// Human-readable policy name ("fcfs" / "shortest-prompt" /
 /// "decode-priority") for tables and logs.
 std::string_view BatchPolicyName(BatchPolicy policy);
+
+/// Cluster-level admission control (load shedding). When enabled, every
+/// arriving request draws `prompt + max_new_tokens` tokens from a
+/// deterministic token bucket refilled at `rate_tokens_per_second` of
+/// simulated time; a request whose tier's reserve floor cannot be met is
+/// rejected before placement with FinishReason::kShed (its on_finish
+/// callback fires, no tokens ever stream). Because the bucket depends
+/// only on the arrival trace and this config -- never on card count,
+/// placement, or scheduling -- the shed set is identical across cluster
+/// sizes (locked by tests/test_slo.cpp).
+struct AdmissionConfig {
+  /// Master switch; off (the default) admits everything.
+  bool enable = false;
+  /// Sustained token budget per second of simulated time.
+  double rate_tokens_per_second = 0.0;
+  /// Bucket capacity: the burst the cluster absorbs at full reserve.
+  double burst_tokens = 0.0;
+  /// Per-tier reserve floor, indexed by TierIndex: tier T is admitted
+  /// only while the bucket holds at least `tier_reserve_fraction[T] *
+  /// burst_tokens` (after its own draw). Interactive's 0 floor means it
+  /// is shed only when the bucket is truly dry; best-effort's high floor
+  /// sheds it first as load approaches saturation.
+  std::array<double, kNumTiers> tier_reserve_fraction = {0.0, 0.2, 0.5};
+};
+
+/// Per-tier TTFT/TPOT targets, indexed by TierIndex. Defaults are
+/// all-unbounded (every finished request attains); benches and tests set
+/// explicit targets. Goodput in ServingReport is computed against these.
+using TierSloTargets = std::array<TierSlo, kNumTiers>;
 
 /// Knobs of one card's continuous-batching scheduler (shared verbatim by
 /// the single-card facade, every cluster shard, and api::EngineConfig).
@@ -94,6 +124,20 @@ struct SchedulerConfig {
   std::uint64_t kv_pool_bytes = 0;
   /// Record a TickRecord per tick into the report (tests / debugging).
   bool record_ticks = false;
+  /// Honor ServingRequest::tier in admission order, decode-budget
+  /// allocation, and preemption-victim selection (higher tiers admit
+  /// first, lower tiers preempt first, and a lower tier never evicts a
+  /// higher one). Off treats every request as kStandard. Tiering only
+  /// reorders scheduling -- token streams are byte-identical on or off
+  /// at equal admission (locked by tests/test_slo.cpp).
+  bool enable_tiers = false;
+  /// Per-tier TTFT/TPOT SLO targets goodput is computed against.
+  TierSloTargets tier_slo{};
+  /// Cluster-level load shedding; see AdmissionConfig. Evaluated before
+  /// placement by ClusterSession / api::Engine (a one-card cluster sheds
+  /// identically to an N-card one). The batch-offline
+  /// ContinuousBatchScheduler facade predates placement and never sheds.
+  AdmissionConfig admission;
 };
 
 /// One simulated card's batch-offline serving loop: validates a request

@@ -136,7 +136,16 @@ void ShardScheduler::Submit(const ServingRequest& request,
                             std::size_t stream_index,
                             const llama::SamplerConfig& sampler_config) {
   if (!error_.ok()) return;
+  // Per-request sampler overrides (PR 3 absorb) layer over the engine
+  // default before the stream seed is derived: the seed offset is never
+  // overridable, so overridden streams stay independent of batch
+  // composition and placement exactly like default ones.
   llama::SamplerConfig sc = sampler_config;
+  if (request.sampler.has_temperature) {
+    sc.temperature = request.sampler.temperature;
+  }
+  if (request.sampler.has_top_p) sc.top_p = request.sampler.top_p;
+  if (request.sampler.has_eos_token) sc.eos_token = request.sampler.eos_token;
   sc.seed = sampler_config.seed + stream_index * 7919;  // independent streams
   Sequence seq{llama::Sampler(sc)};
   seq.request = &request;
@@ -144,13 +153,29 @@ void ShardScheduler::Submit(const ServingRequest& request,
   seq.fed = request.prompt;
   seq.outcome.arrival_seconds = request.arrival_seconds;
   seq.outcome.prompt_tokens = static_cast<std::int32_t>(request.prompt.size());
+  seq.outcome.tier = request.tier;
   seq.wait_since_tick = tick_index_;
-  outstanding_tokens_ += static_cast<std::int64_t>(request.prompt.size()) +
-                         request.max_new_tokens;
+  AddOutstanding(request.tier,
+                 static_cast<std::int64_t>(request.prompt.size()) +
+                     request.max_new_tokens);
   queued_demand_blocks_ += BlocksForRequest(request);
   seqs_.push_back(std::move(seq));
   waiting_.push_back(seqs_.size() - 1);
   if (!tick_pending_) ScheduleTick(engine_.now());
+}
+
+void ShardScheduler::AddOutstanding(RequestTier tier, std::int64_t delta) {
+  outstanding_tokens_ += delta;
+  tier_outstanding_[static_cast<std::size_t>(TierIndex(tier))] += delta;
+}
+
+std::int64_t ShardScheduler::outstanding_tokens_at_or_above(
+    RequestTier tier) const {
+  std::int64_t sum = 0;
+  for (int t = 0; t <= TierIndex(tier); ++t) {
+    sum += tier_outstanding_[static_cast<std::size_t>(t)];
+  }
+  return sum;
 }
 
 std::int64_t ShardScheduler::BlocksForRequest(
@@ -178,9 +203,9 @@ ShardScheduler::StealNewestQueued(const StreamPredicate& eligible) {
     if (seq.ever_admitted) continue;
     if (eligible && !eligible(seq.stream_index)) continue;
     seq.state = SeqState::kMigrated;
-    outstanding_tokens_ -=
-        static_cast<std::int64_t>(seq.request->prompt.size()) +
-        seq.request->max_new_tokens;
+    AddOutstanding(seq.request->tier,
+                   -(static_cast<std::int64_t>(seq.request->prompt.size()) +
+                     seq.request->max_new_tokens));
     queued_demand_blocks_ -= BlocksForRequest(*seq.request);
     waiting_.erase(std::next(it).base());
     return std::pair{seq.request, seq.stream_index};
@@ -285,7 +310,10 @@ void ShardScheduler::ScheduleTick(sim::Cycles at) {
 /// Waiting-queue candidates in admission order for this tick. FCFS and
 /// decode-priority only ever look at the head (head-of-line blocking is
 /// part of the policy); shortest-prompt-first may skip over requests that
-/// do not fit, and ages starved requests back to FCFS.
+/// do not fit, and ages starved requests back to FCFS. With tiers
+/// enabled the policy order is stably re-sorted by tier, so higher tiers
+/// admit first and equal-tier requests keep the policy's order exactly
+/// (a uniform-tier trace is scheduled identically to tiers-off).
 std::vector<std::size_t> ShardScheduler::AdmissionCandidates() const {
   std::vector<std::size_t> order(waiting_.begin(), waiting_.end());
   if (config_.policy == BatchPolicy::kShortestPromptFirst) {
@@ -303,7 +331,14 @@ std::vector<std::size_t> ShardScheduler::AdmissionCandidates() const {
                        return seqs_[a].fed.size() < seqs_[b].fed.size();
                      });
     aged.insert(aged.end(), fresh.begin(), fresh.end());
-    return aged;
+    order = std::move(aged);
+  }
+  if (config_.enable_tiers) {
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return TierIndex(seqs_[a].request->tier) <
+                              TierIndex(seqs_[b].request->tier);
+                     });
   }
   return order;
 }
@@ -340,15 +375,29 @@ bool ShardScheduler::EnsureKvToken(std::size_t seq_id, std::int32_t token) {
     }
     kv_blocked_ = true;
     if (!config_.allow_preemption) return false;
+    // Victim selection: with tiers enabled the lowest-priority resident
+    // loses first (numerically-highest tier), newest admission breaking
+    // ties within a tier; and a requester never evicts a strictly
+    // higher-priority resident on its own behalf -- it defers instead.
+    // With tiers off every resident ranks equal and this reduces to
+    // "newest admission order" exactly as before.
     std::size_t victim = seqs_.size();
+    int victim_tier = -1;
     std::int64_t newest = -1;
     for (std::size_t r : residents_) {
-      if (seqs_[r].admission_order > newest) {
+      const int tier =
+          config_.enable_tiers ? TierIndex(seqs_[r].request->tier) : 0;
+      if (tier > victim_tier ||
+          (tier == victim_tier && seqs_[r].admission_order > newest)) {
+        victim_tier = tier;
         newest = seqs_[r].admission_order;
         victim = r;
       }
     }
     if (victim == seqs_.size() || victim == seq_id) return false;
+    const int my_tier =
+        config_.enable_tiers ? TierIndex(seqs_[seq_id].request->tier) : 0;
+    if (victim_tier < my_tier) return false;  // never evict a higher tier
     Preempt(victim);
   }
 }
@@ -371,7 +420,8 @@ void ShardScheduler::Preempt(std::size_t victim) {
   ReleaseSlot(seq);
   residents_.erase(std::find(residents_.begin(), residents_.end(), victim));
   seq.state = SeqState::kWaiting;
-  outstanding_tokens_ += seq.cursor;  // fed work is owed again (recompute)
+  // Fed work is owed again (recompute).
+  AddOutstanding(seq.request->tier, seq.cursor);
   seq.cursor = 0;  // KV gone: recompute from scratch on readmission
   seq.wait_since_tick = tick_index_;
   // Preempted sequences re-queue at the front: they are the oldest work
@@ -419,7 +469,7 @@ std::int64_t ShardScheduler::RestoreCachedPrefix(std::size_t seq_id) {
   }
   seq.cursor = static_cast<std::int32_t>(restored);
   seq.high_water = std::max(seq.high_water, seq.cursor);
-  outstanding_tokens_ -= restored;
+  AddOutstanding(seq.request->tier, -restored);
   return restored;
 }
 
@@ -542,7 +592,7 @@ void ShardScheduler::FinishSequence(std::size_t seq_id, FinishReason reason) {
     const std::int64_t saved =
         seq.request->max_new_tokens -
         static_cast<std::int64_t>(seq.outcome.generated.size());
-    outstanding_tokens_ -= saved;
+    AddOutstanding(seq.request->tier, -saved);
     report_.stop_saved_tokens += saved;
     ++report_.stopped_requests;
   }
@@ -594,10 +644,11 @@ Status ShardScheduler::Abort(std::size_t stream_index) {
   } else {
     // Tokens still owed (remaining prefill/recompute plus unused decode
     // budget) leave the backlog; capacity frees immediately.
-    outstanding_tokens_ -=
-        seq.remaining_prefill() +
-        (seq.request->max_new_tokens -
-         static_cast<std::int64_t>(seq.outcome.generated.size()));
+    AddOutstanding(
+        seq.request->tier,
+        -(seq.remaining_prefill() +
+          (seq.request->max_new_tokens -
+           static_cast<std::int64_t>(seq.outcome.generated.size()))));
     if (seq.state == SeqState::kWaiting) {
       waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq_id));
       if (!seq.ever_admitted) {
@@ -702,7 +753,11 @@ void ShardScheduler::RunTick() {
   tick_marginal_ = 0.0;
 
   // ---- plan: decode set first, in admission order (rotating only when
-  // the token budget cannot cover every decoding sequence).
+  // the token budget cannot cover every decoding sequence). With tiers
+  // enabled a scarce budget funds tiers in priority order: every fully
+  // funded tier decodes whole, and the rotation fairness applies only
+  // within the first tier the budget cannot cover. A uniform-tier batch
+  // is one group, so the plan is identical to tiers-off.
   std::int32_t budget = config_.max_batch_tokens;
   std::vector<std::size_t> decode_plan;
   {
@@ -710,8 +765,41 @@ void ShardScheduler::RunTick() {
     for (std::size_t r : residents_) {
       if (seqs_[r].state == SeqState::kDecode) decoding.push_back(r);
     }
-    if (static_cast<std::int32_t>(decoding.size()) <= budget) {
+    if (config_.enable_tiers &&
+        static_cast<std::int32_t>(decoding.size()) > budget) {
+      std::stable_sort(decoding.begin(), decoding.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return TierIndex(seqs_[a].request->tier) <
+                                TierIndex(seqs_[b].request->tier);
+                       });
+      std::size_t tier_begin = 0;
+      while (tier_begin < decoding.size() && budget > 0) {
+        std::size_t tier_end = tier_begin + 1;
+        while (tier_end < decoding.size() &&
+               seqs_[decoding[tier_end]].request->tier ==
+                   seqs_[decoding[tier_begin]].request->tier) {
+          ++tier_end;
+        }
+        const std::size_t n = tier_end - tier_begin;
+        if (static_cast<std::int32_t>(n) <= budget) {
+          for (std::size_t k = tier_begin; k < tier_end; ++k) {
+            decode_plan.push_back(decoding[k]);
+          }
+          budget -= static_cast<std::int32_t>(n);
+        } else {
+          const std::size_t start = rr_offset_ % n;
+          for (std::int32_t k = 0; k < budget; ++k) {
+            decode_plan.push_back(
+                decoding[tier_begin + (start + static_cast<std::size_t>(k)) % n]);
+          }
+          rr_offset_ += static_cast<std::size_t>(budget);
+          budget = 0;
+        }
+        tier_begin = tier_end;
+      }
+    } else if (static_cast<std::int32_t>(decoding.size()) <= budget) {
       decode_plan = decoding;
+      budget -= static_cast<std::int32_t>(decode_plan.size());
     } else {
       const std::size_t n = decoding.size();
       const std::size_t start = rr_offset_ % n;
@@ -719,8 +807,8 @@ void ShardScheduler::RunTick() {
         decode_plan.push_back(decoding[(start + k) % n]);
       }
       rr_offset_ += static_cast<std::size_t>(budget);
+      budget = 0;
     }
-    budget -= static_cast<std::int32_t>(decode_plan.size());
   }
 
   // ---- plan: prefill chunks -- resident partial prefills continue
@@ -841,7 +929,7 @@ void ShardScheduler::RunTick() {
     seq.outcome.generated.push_back(seq.pending_token);
     tick_emissions_.push_back(
         Emission{seq_id, seq.pending_token, FinishReason::kNone});
-    --outstanding_tokens_;  // one less decode token owed
+    AddOutstanding(seq.request->tier, -1);  // one less decode token owed
     ++report_.total_tokens;
     decode_committed.push_back(seq_id);
     decode_executed.push_back(seq_id);
@@ -870,7 +958,7 @@ void ShardScheduler::RunTick() {
         return;
       }
       ++seq.cursor;
-      --outstanding_tokens_;  // one less prefill token owed
+      AddOutstanding(seq.request->tier, -1);  // one less prefill token owed
       if (seq.cursor <= seq.high_water) {
         ++report_.recomputed_tokens;  // swap-in recompute pass
       } else {
@@ -996,7 +1084,15 @@ void ShardScheduler::RunTick() {
     sample.cum_cache_lookup_tokens = ps.prefix_lookup_tokens;
     sample.cum_dma_bytes = ps.dma_bytes_moved;
     sample.cum_preemptions = ps.preemption_releases;
-    telemetry_.OnTickEnd(sample);
+    // The tick event runs at its *start* cycles, so snapshotting the
+    // registry here would interleave out of timestamp order with other
+    // cards' overlapping ticks. Defer the snapshot to an event at the
+    // tick's end: the event queue then serializes samples in time order.
+    if (telemetry_.OnTickEnd(sample)) {
+      engine_.ScheduleAt(end_cycles, [this, end_s] {
+        telemetry_.SampleNow(end_s);
+      });
+    }
   }
 
   // Stream this tick's commits at its end time, ahead of the next tick

@@ -16,6 +16,7 @@
 // token streams are identical no matter which shard serves a request.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -146,6 +147,10 @@ class ShardScheduler {
   /// budget across every live sequence (waiting or resident). O(1):
   /// maintained incrementally as tokens are submitted/processed.
   std::int64_t outstanding_tokens() const { return outstanding_tokens_; }
+  /// Outstanding tokens owed to requests at priority `tier` or higher
+  /// (numerically lower-or-equal). Tier-aware placement bids with this:
+  /// work a new arrival would outrank does not count against a card.
+  std::int64_t outstanding_tokens_at_or_above(RequestTier tier) const;
   /// Requests queued on this shard (arrived, not resident).
   std::int64_t num_waiting() const {
     return static_cast<std::int64_t>(waiting_.size());
@@ -245,6 +250,9 @@ class ShardScheduler {
 
   void ScheduleTick(sim::Cycles at);
   void RunTick();
+  /// Adjusts the total and per-tier outstanding-token counters together
+  /// (every mutation site routes through here so they never diverge).
+  void AddOutstanding(RequestTier tier, std::int64_t delta);
   std::vector<std::size_t> AdmissionCandidates() const;
   bool EnsureKvToken(std::size_t seq_id, std::int32_t token);
   /// Maps `seq`'s longest cached prefix onto shared pool blocks and
@@ -307,6 +315,7 @@ class ShardScheduler {
   bool kv_blocked_ = false;  // this tick hit pool exhaustion
   std::int64_t dma_bytes_seen_ = 0;  // pool DMA bytes already time-charged
   std::int64_t outstanding_tokens_ = 0;    // see outstanding_tokens()
+  std::array<std::int64_t, kNumTiers> tier_outstanding_{};  // by TierIndex
   std::int64_t queued_demand_blocks_ = 0;  // never-admitted waiting demand
   std::int64_t tick_index_ = 0;
   std::int64_t next_admission_ = 0;

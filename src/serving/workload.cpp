@@ -250,6 +250,230 @@ bool MultiTurnChatPool::AllDone() const {
   return true;
 }
 
+// ------------------------------ scenario zoo --------------------------
+
+RequestTier DrawTier(Rng& rng, const TierMix& mix) {
+  const double w[kNumTiers] = {std::max(0.0, mix.interactive),
+                               std::max(0.0, mix.standard),
+                               std::max(0.0, mix.best_effort)};
+  const double total = w[0] + w[1] + w[2];
+  if (total <= 0.0) return RequestTier::kStandard;
+  double u = rng.NextDouble() * total;
+  for (int t = 0; t < kNumTiers; ++t) {
+    if (u < w[t]) return static_cast<RequestTier>(t);
+    u -= w[t];
+  }
+  return RequestTier::kBestEffort;  // float round-off on the last edge
+}
+
+void ApplyTierMix(Rng& rng, const TierMix& mix,
+                  std::vector<ServingRequest>& trace) {
+  for (ServingRequest& req : trace) req.tier = DrawTier(rng, mix);
+}
+
+namespace {
+
+/// BOS-first block of `len` random non-control tokens.
+std::vector<std::int32_t> DrawPrompt(Rng& rng, std::int32_t len,
+                                     std::int32_t vocab_size) {
+  std::vector<std::int32_t> prompt;
+  const std::int32_t n = std::max<std::int32_t>(1, len);
+  prompt.reserve(static_cast<std::size_t>(n));
+  prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < n; ++t) {
+    prompt.push_back(DrawToken(rng, vocab_size));
+  }
+  return prompt;
+}
+
+}  // namespace
+
+std::vector<ServingRequest> RagTrace(Rng& rng, const RagConfig& config) {
+  // Materialize the retrieved contexts first so the shared documents
+  // depend only on (seed, config), not on the arrival draws.
+  const std::int32_t n_docs = std::max<std::int32_t>(1, config.num_documents);
+  std::vector<std::vector<std::int32_t>> documents(
+      static_cast<std::size_t>(n_docs));
+  for (auto& doc : documents) {
+    doc = DrawPrompt(rng, config.document_tokens, config.vocab_size);
+  }
+
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  double now = 0.0;
+  for (std::int32_t i = 0; i < config.num_requests; ++i) {
+    now += ExpGap(rng, config.rate_rps);
+    ServingRequest req;
+    req.arrival_seconds = now;
+    req.prompt = documents[static_cast<std::size_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n_docs)))];
+    const std::int32_t question = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_question_tokens,
+                            config.max_question_tokens));
+    for (std::int32_t t = 0; t < question; ++t) {
+      req.prompt.push_back(DrawToken(rng, config.vocab_size));
+    }
+    req.max_new_tokens = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+    req.tier = DrawTier(rng, config.tier_mix);
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+std::vector<ServingRequest> AgenticBurstTrace(
+    Rng& rng, const AgenticBurstConfig& config) {
+  // One shared scaffold opens every chain, so agents prefix-share it.
+  const std::vector<std::int32_t> scaffold =
+      DrawPrompt(rng, config.scaffold_tokens, config.vocab_size);
+
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_agents) *
+                static_cast<std::size_t>(config.steps_per_agent));
+  double epoch = 0.0;
+  for (std::int32_t a = 0; a < config.num_agents; ++a) {
+    epoch += ExpGap(rng, 1.0 / std::max(1e-12, config.mean_agent_gap_seconds));
+    std::vector<std::int32_t> transcript = scaffold;
+    for (std::int32_t s = 0; s < config.steps_per_agent; ++s) {
+      // The tool result lands in the transcript before the step runs;
+      // each step replays the whole chain so far (prefix-cache food).
+      const std::int32_t tool = std::max<std::int32_t>(
+          1, UniformInclusive(rng, config.min_tool_tokens,
+                              config.max_tool_tokens));
+      for (std::int32_t t = 0; t < tool; ++t) {
+        transcript.push_back(DrawToken(rng, config.vocab_size));
+      }
+      ServingRequest req;
+      req.prompt = transcript;
+      req.max_new_tokens = std::max<std::int32_t>(
+          1, UniformInclusive(rng, config.min_new_tokens,
+                              config.max_new_tokens));
+      req.arrival_seconds =
+          epoch + static_cast<double>(s) * config.step_gap_seconds;
+      req.tier = DrawTier(rng, config.tier_mix);
+      trace.push_back(std::move(req));
+    }
+  }
+  // Chains overlap when an agent wakes before the previous burst's last
+  // step; callers submit in arrival order.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const ServingRequest& a, const ServingRequest& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  return trace;
+}
+
+std::vector<ServingRequest> ParallelSamplingTrace(
+    Rng& rng, const ParallelSamplingConfig& config) {
+  const std::int32_t n = std::max<std::int32_t>(1, config.samples_per_prompt);
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_groups) *
+                static_cast<std::size_t>(n));
+  double now = 0.0;
+  for (std::int32_t g = 0; g < config.num_groups; ++g) {
+    now += ExpGap(rng, config.rate_rps);
+    const std::vector<std::int32_t> prompt = DrawPrompt(
+        rng,
+        UniformInclusive(rng, config.min_prompt_tokens,
+                         config.max_prompt_tokens),
+        config.vocab_size);
+    const std::int32_t budget = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+    const RequestTier tier = DrawTier(rng, config.tier_mix);
+    for (std::int32_t k = 0; k < n; ++k) {
+      ServingRequest req;
+      req.prompt = prompt;  // identical content: the pool COW-forks it
+      req.max_new_tokens = budget;
+      req.arrival_seconds = now;
+      req.tier = tier;
+      if (config.vary_temperature) {
+        req.sampler.temperature = config.temperature_base +
+                                  static_cast<float>(k) *
+                                      config.temperature_step;
+        req.sampler.has_temperature = true;
+      }
+      trace.push_back(std::move(req));
+    }
+  }
+  return trace;
+}
+
+std::vector<ServingRequest> LongContextTrace(Rng& rng,
+                                             const LongContextConfig& config) {
+  std::vector<ServingRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  double now = 0.0;
+  for (std::int32_t i = 0; i < config.num_requests; ++i) {
+    now += ExpGap(rng, config.rate_rps);
+    ServingRequest req;
+    req.arrival_seconds = now;
+    req.prompt = DrawPrompt(rng,
+                            UniformInclusive(rng, config.min_context_tokens,
+                                             config.max_context_tokens),
+                            config.vocab_size);
+    req.max_new_tokens = std::max<std::int32_t>(
+        1, UniformInclusive(rng, config.min_new_tokens, config.max_new_tokens));
+    req.tier = DrawTier(rng, config.tier_mix);
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+std::string_view ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kRag: return "rag";
+    case Scenario::kAgentic: return "agentic";
+    case Scenario::kParallelSampling: return "parallel_sampling";
+    case Scenario::kLongContext: return "long_context";
+  }
+  return "unknown";
+}
+
+bool ScenarioFromName(std::string_view name, Scenario* out) {
+  for (Scenario s : {Scenario::kRag, Scenario::kAgentic,
+                     Scenario::kParallelSampling, Scenario::kLongContext}) {
+    if (name == ScenarioName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ServingRequest> ScenarioTrace(Rng& rng, Scenario scenario,
+                                          std::int32_t num_requests) {
+  switch (scenario) {
+    case Scenario::kRag: {
+      RagConfig cfg;
+      if (num_requests > 0) cfg.num_requests = num_requests;
+      return RagTrace(rng, cfg);
+    }
+    case Scenario::kAgentic: {
+      AgenticBurstConfig cfg;
+      if (num_requests > 0) {
+        cfg.num_agents = std::max<std::int32_t>(
+            1, num_requests / std::max<std::int32_t>(1, cfg.steps_per_agent));
+      }
+      return AgenticBurstTrace(rng, cfg);
+    }
+    case Scenario::kParallelSampling: {
+      ParallelSamplingConfig cfg;
+      if (num_requests > 0) {
+        cfg.num_groups = std::max<std::int32_t>(
+            1,
+            num_requests / std::max<std::int32_t>(1, cfg.samples_per_prompt));
+      }
+      return ParallelSamplingTrace(rng, cfg);
+    }
+    case Scenario::kLongContext: {
+      LongContextConfig cfg;
+      if (num_requests > 0) cfg.num_requests = num_requests;
+      return LongContextTrace(rng, cfg);
+    }
+  }
+  return {};
+}
+
 std::vector<ServingRequest> BurstyTrace(Rng& rng,
                                         const WorkloadConfig& config) {
   std::vector<ServingRequest> trace;

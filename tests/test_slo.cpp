@@ -1,0 +1,419 @@
+// Unit tests for the SLO-tier / admission-control / goodput surface
+// (PR 7): tiers-on vs tiers-off byte-identity at equal admission,
+// shed-set determinism across card counts, trace-derived goodput
+// reconciliation against an independent recomputation from the
+// outcomes, preemption ordering (a lower tier never evicts a higher
+// one), FinishReason::kShed surfacing through api::Engine callbacks,
+// and per-request sampler overrides.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "compiler/compiler.hpp"
+#include "llama/tokenizer.hpp"
+#include "obs/slo.hpp"
+#include "runtime/variants.hpp"
+#include "serving/cluster.hpp"
+#include "serving/kv_pool.hpp"
+#include "serving/workload.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+
+  accel::Program Compile() {
+    auto r = compiler::Compile(
+        config, runtime::OptionsFor(runtime::Variant::kSpeedLLM), u280);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value().program;
+  }
+};
+
+ServingRequest MakeRequest(std::int32_t prompt_len, std::int32_t gen,
+                           double arrival, std::int32_t salt = 0,
+                           RequestTier tier = RequestTier::kStandard) {
+  ServingRequest req;
+  req.prompt.push_back(llama::kBosToken);
+  for (std::int32_t t = 1; t < prompt_len; ++t) {
+    req.prompt.push_back(3 + (salt * 31 + t * 7) % 500);
+  }
+  req.max_new_tokens = gen;
+  req.arrival_seconds = arrival;
+  req.tier = tier;
+  return req;
+}
+
+/// Mixed-tier open-loop trace; deterministic in (seed, n, rate).
+std::vector<ServingRequest> MixedTierTrace(const llama::ModelConfig& config,
+                                           int n, double rate_rps) {
+  Rng rng(4242);
+  WorkloadConfig wc;
+  wc.num_requests = n;
+  wc.rate_rps = rate_rps;
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 8;
+  wc.min_new_tokens = 4;
+  wc.max_new_tokens = 8;
+  wc.vocab_size = config.vocab_size;
+  auto trace = PoissonTrace(rng, wc);
+  ApplyTierMix(rng, TierMix{0.3, 0.4, 0.3}, trace);
+  return trace;
+}
+
+llama::SamplerConfig Stochastic() {
+  llama::SamplerConfig sc;
+  sc.temperature = 0.8f;  // stochastic: the strictest identity check
+  sc.seed = 4;
+  return sc;
+}
+
+ClusterReport MustRun(const Fixture& f, const accel::Program& prog,
+                      const std::vector<ServingRequest>& reqs,
+                      const ClusterConfig& config, int cards,
+                      const llama::SamplerConfig& sampler) {
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, cards),
+                       config);
+  auto report = router.Run(reqs, sampler);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+/// Stream indices that finished with FinishReason::kShed.
+std::set<std::size_t> ShedSet(const ServingReport& report) {
+  std::set<std::size_t> shed;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (report.outcomes[i].finish_reason == FinishReason::kShed) {
+      shed.insert(i);
+    }
+  }
+  return shed;
+}
+
+// ---------------- byte-identity: tiers reorder, never rewrite ---------
+
+TEST(SloTest, TiersOnOffByteIdenticalAtEqualAdmission) {
+  Fixture f;
+  auto prog = f.Compile();
+  const auto reqs = MixedTierTrace(f.config, 24, 4000.0);
+
+  // Admission control on in both runs: the token bucket depends only on
+  // the arrival trace, so the shed set matches, and the survivors'
+  // streams must be byte-identical because tier logic only *reorders*
+  // scheduling -- per-request sampler seeding pins the tokens.
+  ClusterConfig base;
+  base.shard.admission.enable = true;
+  base.shard.admission.rate_tokens_per_second = 20000.0;
+  base.shard.admission.burst_tokens = 60.0;
+  ClusterConfig tiered = base;
+  tiered.shard.enable_tiers = true;
+
+  for (int cards : {1, 2}) {
+    auto off = MustRun(f, prog, reqs, base, cards, Stochastic());
+    auto on = MustRun(f, prog, reqs, tiered, cards, Stochastic());
+    EXPECT_EQ(ShedSet(off.merged), ShedSet(on.merged)) << cards << " cards";
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(off.merged.outcomes[i].generated,
+                on.merged.outcomes[i].generated)
+          << "request " << i << ", " << cards << " cards";
+    }
+  }
+}
+
+// ---------------- shed determinism across cluster sizes ---------------
+
+TEST(SloTest, ShedSetIsIdenticalAcrossCardCounts) {
+  Fixture f;
+  auto prog = f.Compile();
+  // Overloaded: the bucket admits roughly half the offered tokens.
+  const auto reqs = MixedTierTrace(f.config, 40, 8000.0);
+
+  ClusterConfig config;
+  config.shard.enable_tiers = true;
+  config.shard.admission.enable = true;
+  config.shard.admission.rate_tokens_per_second = 30000.0;
+  config.shard.admission.burst_tokens = 60.0;
+
+  auto one = MustRun(f, prog, reqs, config, 1, Stochastic());
+  auto two = MustRun(f, prog, reqs, config, 2, Stochastic());
+  auto four = MustRun(f, prog, reqs, config, 4, Stochastic());
+
+  const auto shed = ShedSet(one.merged);
+  EXPECT_FALSE(shed.empty());
+  EXPECT_LT(shed.size(), reqs.size());  // some traffic was served
+  EXPECT_EQ(shed, ShedSet(two.merged));
+  EXPECT_EQ(shed, ShedSet(four.merged));
+  EXPECT_EQ(one.merged.shed_requests,
+            static_cast<std::int64_t>(shed.size()));
+  // Shed requests never reach a shard, emit nothing, and are labeled.
+  for (std::size_t i : shed) {
+    EXPECT_TRUE(one.merged.outcomes[i].generated.empty());
+    EXPECT_EQ(one.merged.outcomes[i].tier, reqs[i].tier);
+  }
+}
+
+// ---------------- goodput reconciliation ------------------------------
+
+TEST(SloTest, TraceDerivedGoodputReconcilesWithOutcomes) {
+  Fixture f;
+  auto prog = f.Compile();
+  const auto reqs = MixedTierTrace(f.config, 32, 6000.0);
+
+  ClusterConfig config;
+  config.telemetry.enable_tracing = true;
+  config.shard.enable_tiers = true;
+  config.shard.admission.enable = true;
+  config.shard.admission.rate_tokens_per_second = 30000.0;
+  config.shard.admission.burst_tokens = 80.0;
+  // Targets far from any boundary, so sub-cycle timestamp rounding in
+  // the event stream cannot flip an attainment verdict: interactive
+  // attains freely, standard (1 ps TTFT) can never attain, best-effort
+  // is unbounded.
+  config.shard.tier_slo[TierIndex(RequestTier::kInteractive)]
+      .ttft_target_seconds = 10.0;
+  config.shard.tier_slo[TierIndex(RequestTier::kStandard)]
+      .ttft_target_seconds = 1e-12;
+
+  auto report = MustRun(f, prog, reqs, config, 2, Stochastic());
+  const ServingReport& m = report.merged;
+
+  // Independent recomputation from the outcomes (the path the trace
+  // replay must agree with).
+  std::array<TierReport, kNumTiers> expect{};
+  for (std::size_t i = 0; i < m.outcomes.size(); ++i) {
+    const RequestOutcome& out = m.outcomes[i];
+    TierReport& tier = expect[static_cast<std::size_t>(TierIndex(out.tier))];
+    if (out.finish_reason == FinishReason::kShed) {
+      ++tier.shed_requests;
+      continue;
+    }
+    if (out.finish_reason != FinishReason::kLength &&
+        out.finish_reason != FinishReason::kStop) {
+      continue;
+    }
+    ++tier.finished_requests;
+    tier.generated_tokens +=
+        static_cast<std::int64_t>(out.generated.size());
+    if (out.attains(
+            config.shard.tier_slo[static_cast<std::size_t>(
+                TierIndex(out.tier))])) {
+      ++tier.slo_attained_requests;
+      tier.goodput_tokens += static_cast<std::int64_t>(out.generated.size());
+    }
+  }
+
+  std::int64_t total_goodput = 0;
+  for (int t = 0; t < kNumTiers; ++t) {
+    const TierReport& got = m.tiers[static_cast<std::size_t>(t)];
+    const TierReport& want = expect[static_cast<std::size_t>(t)];
+    EXPECT_EQ(got.finished_requests, want.finished_requests) << "tier " << t;
+    EXPECT_EQ(got.shed_requests, want.shed_requests) << "tier " << t;
+    EXPECT_EQ(got.slo_attained_requests, want.slo_attained_requests)
+        << "tier " << t;
+    EXPECT_EQ(got.generated_tokens, want.generated_tokens) << "tier " << t;
+    EXPECT_EQ(got.goodput_tokens, want.goodput_tokens) << "tier " << t;
+    // Rates divide the same counts by the same makespan; tolerate float
+    // round-off only.
+    EXPECT_NEAR(got.goodput_tokens_per_second,
+                m.makespan_seconds > 0.0
+                    ? static_cast<double>(want.goodput_tokens) /
+                          m.makespan_seconds
+                    : 0.0,
+                1e-6)
+        << "tier " << t;
+    total_goodput += want.goodput_tokens;
+  }
+  EXPECT_NEAR(m.goodput_tokens_per_second,
+              m.makespan_seconds > 0.0
+                  ? static_cast<double>(total_goodput) / m.makespan_seconds
+                  : 0.0,
+              1e-6);
+  // The shape is non-degenerate: something attained, something did not.
+  EXPECT_GT(m.tiers[0].slo_attained_requests +
+                m.tiers[2].slo_attained_requests,
+            0);
+  EXPECT_EQ(m.tiers[1].slo_attained_requests, 0);  // 1 ps TTFT target
+  EXPECT_GT(m.tiers[1].finished_requests, 0);
+
+  // With tracing off the tier slices stay zero (no parallel bookkeeping
+  // path fills them).
+  ClusterConfig untraced = config;
+  untraced.telemetry.enable_tracing = false;
+  auto dark = MustRun(f, prog, reqs, untraced, 2, Stochastic());
+  for (int t = 0; t < kNumTiers; ++t) {
+    EXPECT_EQ(dark.merged.tiers[static_cast<std::size_t>(t)].finished_requests,
+              0);
+  }
+  EXPECT_EQ(dark.merged.goodput_tokens_per_second, 0.0);
+  // ...but the outcomes themselves are identical either way.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(dark.merged.outcomes[i].generated,
+              m.outcomes[i].generated);
+  }
+}
+
+// ---------------- preemption ordering ---------------------------------
+
+TEST(SloTest, PreemptionNeverEvictsAHigherTier) {
+  Fixture f;
+  auto prog = f.Compile();
+  const std::uint32_t bytes_per_token = KvBytesPerToken(f.config);
+
+  // 8 blocks of 4 tokens: three 16-token sequences cannot all stay
+  // resident, so somebody gets swapped under decode pressure. The
+  // interactive request must never be the victim of the best-effort
+  // ones.
+  ClusterConfig config;
+  config.shard.enable_tiers = true;
+  config.shard.block_size_tokens = 4;
+  config.shard.kv_pool_bytes = 8ull * 4 * bytes_per_token;
+  config.shard.max_batch_seqs = 4;
+  config.shard.max_batch_tokens = 32;
+
+  std::vector<ServingRequest> reqs = {
+      MakeRequest(4, 12, 0.0, 0, RequestTier::kBestEffort),
+      MakeRequest(4, 12, 0.0, 1, RequestTier::kBestEffort),
+      MakeRequest(4, 12, 0.0, 2, RequestTier::kInteractive),
+  };
+
+  auto report = MustRun(f, prog, reqs, config, 1, Stochastic());
+  EXPECT_GT(report.merged.preemptions, 0);
+  EXPECT_EQ(report.merged.outcomes[2].preemptions, 0)
+      << "a best-effort sequence evicted the interactive one";
+  // Every stream still finishes with its full budget served.
+  for (const RequestOutcome& out : report.merged.outcomes) {
+    EXPECT_EQ(out.finish_reason, FinishReason::kLength);
+    EXPECT_EQ(out.generated.size(), 12u);
+  }
+
+  // Identity against a roomy pool: preemption ordering changes time,
+  // never tokens.
+  ClusterConfig roomy = config;
+  roomy.shard.kv_pool_bytes = 0;  // derive from HBM: effectively unbounded
+  auto roomy_report = MustRun(f, prog, reqs, roomy, 1, Stochastic());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(report.merged.outcomes[i].generated,
+              roomy_report.merged.outcomes[i].generated);
+  }
+}
+
+// ---------------- kShed through the api::Engine facade ----------------
+
+TEST(SloTest, ShedRejectionsSurfaceThroughEngineCallbacks) {
+  Fixture f;
+  auto prog = f.Compile();
+
+  api::EngineConfig config;
+  config.sampler = Stochastic();
+  config.scheduler.enable_tiers = true;
+  config.scheduler.admission.enable = true;
+  // Bucket of 20 tokens and no refill: the first interactive request
+  // (cost 4 + 8 = 12) is admitted, the rest of the burst bounces.
+  config.scheduler.admission.rate_tokens_per_second = 0.0;
+  config.scheduler.admission.burst_tokens = 20.0;
+
+  api::Engine engine(prog, f.weights, f.u280, config);
+  std::vector<serving::FinishReason> reasons(3, FinishReason::kNone);
+  std::vector<std::int32_t> token_counts(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    api::StreamCallbacks cb;
+    cb.on_token = [&token_counts, i](api::RequestHandle, std::int32_t,
+                                     double) { ++token_counts[i]; };
+    cb.on_finish = [&reasons, i](api::RequestHandle, FinishReason reason,
+                                 const RequestOutcome& outcome) {
+      reasons[i] = reason;
+      if (reason == FinishReason::kShed) {
+        EXPECT_TRUE(outcome.generated.empty());
+        EXPECT_EQ(outcome.finish_reason, FinishReason::kShed);
+      }
+    };
+    auto h = engine.Submit(
+        MakeRequest(4, 8, 0.0, i, RequestTier::kInteractive), cb);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+  }
+  engine.RunToCompletion();
+
+  EXPECT_EQ(reasons[0], FinishReason::kLength);
+  EXPECT_GT(token_counts[0], 0);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(reasons[i], FinishReason::kShed) << "request " << i;
+    EXPECT_EQ(token_counts[i], 0) << "request " << i;
+  }
+
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->merged.shed_requests, 2);
+  EXPECT_EQ(report->merged.outcomes[1].finish_reason, FinishReason::kShed);
+}
+
+// ---------------- per-request sampler overrides -----------------------
+
+TEST(SloTest, SamplerOverrideLayersOverEngineDefault) {
+  Fixture f;
+  auto prog = f.Compile();
+
+  // One request carrying a greedy override inside a stochastic engine
+  // must generate exactly what a greedy engine generates for the same
+  // stream -- and the no-override sibling must not be perturbed.
+  std::vector<ServingRequest> reqs = {MakeRequest(6, 10, 0.0, 0),
+                                      MakeRequest(6, 10, 0.0, 1)};
+  EXPECT_TRUE(reqs[0].sampler.empty());
+  reqs[0].sampler.temperature = 0.0f;
+  reqs[0].sampler.has_temperature = true;
+  EXPECT_FALSE(reqs[0].sampler.empty());
+
+  ClusterConfig config;
+  auto mixed = MustRun(f, prog, reqs, config, 1, Stochastic());
+
+  llama::SamplerConfig greedy = Stochastic();
+  greedy.temperature = 0.0f;
+  std::vector<ServingRequest> plain = {MakeRequest(6, 10, 0.0, 0),
+                                       MakeRequest(6, 10, 0.0, 1)};
+  auto all_greedy = MustRun(f, prog, plain, config, 1, greedy);
+  auto all_stochastic = MustRun(f, prog, plain, config, 1, Stochastic());
+
+  EXPECT_EQ(mixed.merged.outcomes[0].generated,
+            all_greedy.merged.outcomes[0].generated);
+  EXPECT_EQ(mixed.merged.outcomes[1].generated,
+            all_stochastic.merged.outcomes[1].generated);
+  // Sanity: the override actually changed something.
+  EXPECT_NE(mixed.merged.outcomes[0].generated,
+            all_stochastic.merged.outcomes[0].generated);
+}
+
+TEST(SloTest, EosOverrideStopsOneStreamOnly) {
+  Fixture f;
+  auto prog = f.Compile();
+
+  std::vector<ServingRequest> plain = {MakeRequest(5, 12, 0.0, 0),
+                                       MakeRequest(5, 12, 0.0, 1)};
+  ClusterConfig config;
+  auto base = MustRun(f, prog, plain, config, 1, Stochastic());
+  ASSERT_EQ(base.merged.outcomes[0].generated.size(), 12u);
+
+  // Declare stream 0's third token its EOS: it must stop after two
+  // tokens (kStop, EOS not committed) while stream 1 is untouched.
+  std::vector<ServingRequest> eos = {MakeRequest(5, 12, 0.0, 0),
+                                     MakeRequest(5, 12, 0.0, 1)};
+  eos[0].sampler.eos_token = base.merged.outcomes[0].generated[2];
+  eos[0].sampler.has_eos_token = true;
+  auto stopped = MustRun(f, prog, eos, config, 1, Stochastic());
+
+  EXPECT_EQ(stopped.merged.outcomes[0].finish_reason, FinishReason::kStop);
+  ASSERT_EQ(stopped.merged.outcomes[0].generated.size(), 2u);
+  EXPECT_EQ(stopped.merged.outcomes[0].generated[0],
+            base.merged.outcomes[0].generated[0]);
+  EXPECT_EQ(stopped.merged.outcomes[1].generated,
+            base.merged.outcomes[1].generated);
+}
+
+}  // namespace
+}  // namespace speedllm::serving

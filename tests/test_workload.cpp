@@ -5,7 +5,10 @@
 // contract.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <set>
+#include <vector>
 
 #include "llama/tokenizer.hpp"
 #include "serving/workload.hpp"
@@ -195,6 +198,127 @@ TEST(WorkloadTest, ClosedLoopStreamsArePerUserDeterministic) {
       EXPECT_EQ(fifo_reqs[u][k].max_new_tokens,
                 lifo_reqs[u][k].max_new_tokens);
     }
+  }
+}
+
+// ---------------- scenario zoo ----------------
+
+/// Equality over everything a scheduler can observe about a request.
+void ExpectSameTrace(const std::vector<ServingRequest>& a,
+                     const std::vector<ServingRequest>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prompt, b[i].prompt) << "request " << i;
+    EXPECT_EQ(a[i].max_new_tokens, b[i].max_new_tokens) << "request " << i;
+    EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds)
+        << "request " << i;
+    EXPECT_EQ(a[i].tier, b[i].tier) << "request " << i;
+    EXPECT_EQ(a[i].sampler.has_temperature, b[i].sampler.has_temperature);
+    if (a[i].sampler.has_temperature) {
+      EXPECT_EQ(a[i].sampler.temperature, b[i].sampler.temperature);
+    }
+  }
+}
+
+TEST(WorkloadTest, ScenarioTracesAreDeterministicAndNamed) {
+  for (Scenario s : {Scenario::kRag, Scenario::kAgentic,
+                     Scenario::kParallelSampling, Scenario::kLongContext}) {
+    Rng a(99), b(99);
+    auto trace_a = ScenarioTrace(a, s);
+    auto trace_b = ScenarioTrace(b, s);
+    ASSERT_FALSE(trace_a.empty()) << ScenarioName(s);
+    ExpectSameTrace(trace_a, trace_b);
+    // Name round-trip: every scenario is reachable from its CLI flag.
+    Scenario parsed;
+    ASSERT_TRUE(ScenarioFromName(ScenarioName(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  Scenario ignored;
+  EXPECT_FALSE(ScenarioFromName("no-such-scenario", &ignored));
+}
+
+TEST(WorkloadTest, RagTraceSharesDocumentPrefixes) {
+  RagConfig rc;
+  Rng rng(5);
+  auto trace = RagTrace(rng, rc);
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(rc.num_requests));
+  // Every prompt opens with one of `num_documents` shared contexts, so a
+  // prefix-caching pool sees heavy block reuse: the distinct
+  // document-length prefixes are at most num_documents.
+  std::set<std::vector<std::int32_t>> prefixes;
+  for (const ServingRequest& req : trace) {
+    ASSERT_GT(static_cast<std::int32_t>(req.prompt.size()),
+              rc.document_tokens);
+    prefixes.insert({req.prompt.begin(),
+                     req.prompt.begin() + rc.document_tokens});
+    EXPECT_GE(req.max_new_tokens, rc.min_new_tokens);
+    EXPECT_LE(req.max_new_tokens, rc.max_new_tokens);
+  }
+  EXPECT_LE(prefixes.size(), static_cast<std::size_t>(rc.num_documents));
+  EXPECT_GT(prefixes.size(), 1u);  // more than one document gets cited
+}
+
+TEST(WorkloadTest, AgenticBurstsShareAScaffoldAndGrowTranscripts) {
+  AgenticBurstConfig ac;
+  Rng rng(5);
+  auto trace = AgenticBurstTrace(rng, ac);
+  ASSERT_EQ(trace.size(),
+            static_cast<std::size_t>(ac.num_agents * ac.steps_per_agent));
+  const std::vector<std::int32_t> scaffold(
+      trace[0].prompt.begin(), trace[0].prompt.begin() + ac.scaffold_tokens);
+  double prev = 0.0;
+  for (const ServingRequest& req : trace) {
+    EXPECT_GE(req.arrival_seconds, prev);  // merged timeline stays sorted
+    prev = req.arrival_seconds;
+    ASSERT_GE(static_cast<std::int32_t>(req.prompt.size()),
+              ac.scaffold_tokens);
+    // Every step of every agent reuses the shared system scaffold.
+    const std::vector<std::int32_t> head(
+        req.prompt.begin(), req.prompt.begin() + ac.scaffold_tokens);
+    EXPECT_EQ(head, scaffold);
+  }
+}
+
+TEST(WorkloadTest, ParallelSamplingGroupsDifferOnlyInTemperature) {
+  ParallelSamplingConfig pc;
+  Rng rng(5);
+  auto trace = ParallelSamplingTrace(rng, pc);
+  ASSERT_EQ(trace.size(),
+            static_cast<std::size_t>(pc.num_groups * pc.samples_per_prompt));
+  for (std::int32_t g = 0; g < pc.num_groups; ++g) {
+    const std::size_t base =
+        static_cast<std::size_t>(g * pc.samples_per_prompt);
+    const ServingRequest& head = trace[base];
+    for (std::int32_t k = 1; k < pc.samples_per_prompt; ++k) {
+      const ServingRequest& req = trace[base + k];
+      const ServingRequest& prev = trace[base + k - 1];
+      // n samples of one prompt: identical everything but the sampler.
+      EXPECT_EQ(req.prompt, head.prompt);
+      EXPECT_EQ(req.max_new_tokens, head.max_new_tokens);
+      EXPECT_DOUBLE_EQ(req.arrival_seconds, head.arrival_seconds);
+      EXPECT_EQ(req.tier, head.tier);
+      ASSERT_TRUE(req.sampler.has_temperature);
+      EXPECT_GT(req.sampler.temperature, prev.sampler.temperature);
+    }
+  }
+}
+
+TEST(WorkloadTest, TierMixFrequenciesTrackTheWeights) {
+  Rng rng(17);
+  const TierMix mix{0.2, 0.5, 0.3};
+  std::array<int, kNumTiers> counts{};
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(TierIndex(DrawTier(rng, mix)))];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.2, 0.03);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.5, 0.03);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.3, 0.03);
+
+  // Degenerate mix: everything collapses to the standard tier.
+  const TierMix zero{0.0, 0.0, 0.0};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(DrawTier(rng, zero), RequestTier::kStandard);
   }
 }
 

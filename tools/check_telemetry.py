@@ -18,6 +18,14 @@ metrics
   * counter series are non-decreasing across samples,
   * histogram bucket counts sum to the reported observation count.
 
+With ``--require-goodput`` the metrics file must additionally carry the
+full SLO/goodput series family -- ``speedllm_goodput_tokens_total`` and
+``speedllm_shed_requests_total`` labeled per tier, and
+``speedllm_slo_requests_total`` labeled per (tier, attained|missed) --
+and the final sample must satisfy the derivation invariant that a tier
+with zero SLO-attaining requests reports zero goodput tokens (goodput
+only counts tokens from requests that finished inside their targets).
+
 The schema checker is a self-contained subset of JSON Schema (type /
 type lists, required, properties, items, enum) so CI needs nothing
 beyond the Python standard library.
@@ -147,13 +155,67 @@ def check_metrics(metrics, errors):
                           f"{total}, count says {h.get('count')}")
 
 
+_TIERS = ("interactive", "standard", "best-effort")
+
+
+def check_goodput(metrics, errors):
+    """SLO/goodput series family: presence, typing, and derivation."""
+    series = metrics.get("series", [])
+    samples = metrics.get("samples", [])
+    index = {}  # (name, frozenset(labels)) -> series position
+    for i, s in enumerate(series):
+        index[(s.get("name"),
+               frozenset(s.get("labels", {}).items()))] = i
+
+    def find(name, labels):
+        key = (name, frozenset(labels.items()))
+        if key not in index:
+            errors.append(f"goodput: missing series {name}{labels}")
+            return None
+        i = index[key]
+        if series[i].get("type") != "counter":
+            errors.append(f"goodput: {name}{labels} must be a counter, "
+                          f"is {series[i].get('type')!r}")
+        return i
+
+    cols = {}
+    for tier in _TIERS:
+        cols[("goodput", tier)] = find(
+            "speedllm_goodput_tokens_total", {"tier": tier})
+        cols[("shed", tier)] = find(
+            "speedllm_shed_requests_total", {"tier": tier})
+        for verdict in ("attained", "missed"):
+            cols[("slo", tier, verdict)] = find(
+                "speedllm_slo_requests_total",
+                {"tier": tier, "slo": verdict})
+    if not samples or any(c is None for c in cols.values()):
+        if not samples:
+            errors.append("goodput: metrics file has no samples")
+        return
+    final = samples[-1].get("values", [])
+    if len(final) != len(series):
+        return  # already reported by check_metrics
+    for tier in _TIERS:
+        attained = final[cols[("slo", tier, "attained")]]
+        tokens = final[cols[("goodput", tier)]]
+        if attained == 0 and tokens != 0:
+            errors.append(
+                f"goodput: tier {tier!r} reports {tokens} goodput tokens "
+                f"with zero SLO-attaining requests")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Validate telemetry trace/metrics export files")
     parser.add_argument("--schema", default="ci/telemetry_schema.json")
     parser.add_argument("--trace", help="Chrome Trace Event JSON to check")
     parser.add_argument("--metrics", help="metrics time-series JSON to check")
+    parser.add_argument("--require-goodput", action="store_true",
+                        help="require the per-tier SLO/goodput series "
+                             "family in --metrics")
     args = parser.parse_args()
+    if args.require_goodput and not args.metrics:
+        sys.exit("check_telemetry: --require-goodput needs --metrics")
     if not args.trace and not args.metrics:
         sys.exit("check_telemetry: nothing to check "
                  "(pass --trace and/or --metrics)")
@@ -172,6 +234,8 @@ def main():
         validate(metrics, schema["metrics"], "metrics", errors)
         if not errors:
             check_metrics(metrics, errors)
+        if args.require_goodput:
+            check_goodput(metrics, errors)
         print(f"check_telemetry: {args.metrics}: "
               f"{len(metrics.get('series', []))} series, "
               f"{len(metrics.get('samples', []))} samples")
