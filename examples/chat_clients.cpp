@@ -22,6 +22,7 @@
 //                           [--scenario rag|agentic|parallel_sampling|
 //                                       long_context]
 //                           [--tier-mix 0.3,0.5,0.2]
+//                           [--roles p,d,...]
 //
 // --trace-out enables serving-layer telemetry and dumps the whole
 // session -- per-card tick tracks, per-request lanes with cache-hit and
@@ -34,6 +35,13 @@
 // SLO tiers enabled, reporting per-tier finishes, sheds, and goodput.
 // --tier-mix overrides the scenario's default interactive,standard,
 // best-effort weights (it also works in chat mode, tagging each turn).
+//
+// --roles splits the cluster into prefill/decode specialists (one
+// letter per card: p, d, or u for unified) -- prefill shards run first
+// passes and ship the finished KV to decode shards over the modeled
+// interconnect. Transcripts stay byte-identical to unified mode; the
+// per-role table at the end shows who did what and what the
+// interconnect carried.
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -45,6 +53,7 @@
 #include "common/table.hpp"
 #include "compiler/compiler.hpp"
 #include "runtime/variants.hpp"
+#include "serving/scheduler.hpp"
 #include "serving/workload.hpp"
 
 using namespace speedllm;
@@ -73,11 +82,72 @@ bool ParseTierMix(const std::string& text, serving::TierMix* mix) {
   return true;
 }
 
+// Parses "--roles p,d,..." (one letter per card: p = prefill, d =
+// decode, u = unified) into EngineConfig::shard_roles.
+bool ParseRoles(const std::string& text,
+                std::vector<serving::ShardRole>* roles) {
+  roles->clear();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        comma == std::string::npos ? text.substr(start)
+                                   : text.substr(start, comma - start);
+    if (item == "p") {
+      roles->push_back(serving::ShardRole::kPrefill);
+    } else if (item == "d") {
+      roles->push_back(serving::ShardRole::kDecode);
+    } else if (item == "u") {
+      roles->push_back(serving::ShardRole::kUnified);
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) return true;
+    start = comma + 1;
+  }
+}
+
+// Per-card/per-role rollup of a disaggregated run: which side of the
+// split served which requests, how busy each card stayed, and what the
+// interconnect carried on its behalf.
+void PrintRoleTable(const std::vector<serving::ShardRole>& roles,
+                    const serving::ClusterReport& report) {
+  std::printf("\n");
+  Table table({"card", "role", "requests", "ticks", "tokens", "util",
+               "sent_KB", "recv_KB"});
+  for (std::size_t c = 0; c < report.shard_reports.size(); ++c) {
+    const serving::ServingReport& s = report.shard_reports[c];
+    table.AddRow();
+    table.Cell(static_cast<std::int64_t>(c));
+    table.Cell(std::string(serving::ShardRoleName(
+        c < roles.size() ? roles[c] : serving::ShardRole::kUnified)));
+    table.Cell(static_cast<std::int64_t>(s.outcomes.size()));
+    table.Cell(s.ticks);
+    table.Cell(s.total_tokens);
+    table.Cell(report.card_utilization[c], 2);
+    table.Cell(static_cast<double>(report.card_transfer_out_bytes[c]) / 1e3,
+               1);
+    table.Cell(static_cast<double>(report.card_transfer_in_bytes[c]) / 1e3,
+               1);
+  }
+  table.Print();
+  std::printf(
+      "interconnect: %lld KV handoffs and %lld remote prefix hits "
+      "(%lld tokens fetched instead of recomputed), %.2f MB shipped "
+      "card-to-card; a request's answer counts for the decode card that "
+      "finished it, so prefill shards show requests=0 by design.\n",
+      static_cast<long long>(report.kv_handoffs),
+      static_cast<long long>(report.remote_prefix_hits),
+      static_cast<long long>(report.remote_prefix_hit_tokens),
+      static_cast<double>(report.kv_transfer_bytes) / 1e6);
+}
+
 // --scenario mode: streams a scenario-zoo trace through the online
 // engine with SLO tiers on and prints the per-tier outcome.
 int RunScenario(const accel::Program& program, const llama::Weights& weights,
                 const hw::U280Config& u280, int cards, const std::string& name,
                 bool have_mix, const serving::TierMix& mix,
+                const std::vector<serving::ShardRole>& roles,
                 std::uint64_t seed, const std::string& trace_out) {
   serving::Scenario scenario;
   if (!serving::ScenarioFromName(name, &scenario)) {
@@ -98,6 +168,7 @@ int RunScenario(const accel::Program& program, const llama::Weights& weights,
   engine_config.telemetry.enable_tracing = true;  // feeds the tier report
   engine_config.sampler.temperature = 0.8f;
   engine_config.sampler.seed = 99;
+  engine_config.shard_roles = roles;
   if (!trace_out.empty()) engine_config.telemetry.enable_metrics = true;
   api::Engine engine(program, weights, u280, engine_config);
 
@@ -136,6 +207,7 @@ int RunScenario(const accel::Program& program, const llama::Weights& weights,
       m.outcomes.size(), m.device_tokens_per_second,
       m.goodput_tokens_per_second, m.makespan_seconds,
       m.cache_hit_rate() * 100.0);
+  if (!roles.empty()) PrintRoleTable(roles, *report_or);
 
   if (!trace_out.empty()) {
     if (Status st = engine.WriteTrace(trace_out); !st.ok()) {
@@ -159,7 +231,8 @@ int main(int argc, char** argv) {
   auto cl_or = CommandLine::Parse(
       argc, argv,
       {"users", "turns", "cards", "think-ms", "cancel-every", "system-tokens",
-       "no-cache", "preset", "seed", "trace-out", "scenario", "tier-mix"});
+       "no-cache", "preset", "seed", "trace-out", "scenario", "tier-mix",
+       "roles"});
   if (!cl_or.ok()) {
     std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
     return 1;
@@ -187,6 +260,23 @@ int main(int argc, char** argv) {
                  tier_mix_flag.c_str());
     return 1;
   }
+  const std::string roles_flag = cl.GetString("roles", "");
+  std::vector<serving::ShardRole> roles;
+  if (!roles_flag.empty()) {
+    if (!ParseRoles(roles_flag, &roles)) {
+      std::fprintf(stderr,
+                   "bad --roles %s (want one letter per card: p = prefill, "
+                   "d = decode, u = unified, e.g. p,d)\n",
+                   roles_flag.c_str());
+      return 1;
+    }
+    if (roles.size() != static_cast<std::size_t>(cards)) {
+      std::fprintf(stderr,
+                   "--roles names %zu card(s) but --cards is %d\n",
+                   roles.size(), cards);
+      return 1;
+    }
+  }
 
   llama::ModelConfig model = cl.GetString("preset", "tiny") == "stories15m"
                                  ? llama::ModelConfig::Stories15M()
@@ -202,7 +292,8 @@ int main(int argc, char** argv) {
 
   if (!scenario.empty()) {
     return RunScenario(compiled->program, weights, u280, cards, scenario,
-                       !tier_mix_flag.empty(), tier_mix, seed, trace_out);
+                       !tier_mix_flag.empty(), tier_mix, roles, seed,
+                       trace_out);
   }
 
   api::EngineConfig engine_config;
@@ -210,6 +301,7 @@ int main(int argc, char** argv) {
   // Follow-up turns chase their conversation's cached history blocks.
   engine_config.placement = serving::PlacementPolicy::kPrefixAffinity;
   engine_config.scheduler.enable_prefix_cache = !no_cache;
+  engine_config.shard_roles = roles;
   engine_config.sampler.temperature = 0.8f;
   engine_config.sampler.seed = 99;
   // Tagged turns only reorder scheduling under pressure; the transcript
@@ -352,6 +444,7 @@ int main(int argc, char** argv) {
       "user message and answer pay prefill: the history blocks are "
       "already resident, and prefix-affinity placement keeps each "
       "conversation pinned to the card that holds them.\n");
+  if (!roles.empty()) PrintRoleTable(roles, report);
 
   if (!trace_out.empty()) {
     if (Status st = engine.WriteTrace(trace_out); !st.ok()) {

@@ -18,6 +18,8 @@ serving::ClusterConfig ToClusterConfig(const EngineConfig& config) {
   cluster.kv_pool_bytes_per_card = config.kv_pool_bytes_per_card;
   cluster.rebalance_queued = config.rebalance_queued;
   cluster.telemetry = config.telemetry;
+  cluster.shard_roles = config.shard_roles;
+  cluster.prefix_fetch = config.prefix_fetch;
   return cluster;
 }
 
@@ -49,6 +51,10 @@ Engine::Engine(const accel::Program& program, const llama::Weights& weights,
     }
   }
   setup_ = cards_.Validate();
+  if (setup_.ok()) {
+    setup_ = serving::ValidateClusterRoles(ToClusterConfig(config_),
+                                           cards_.num_cards());
+  }
   if (!setup_.ok()) return;
   session_ = std::make_unique<serving::ClusterSession>(
       program_, weights_, cards_, ToClusterConfig(config_), config_.sampler);
@@ -160,6 +166,20 @@ serving::KvCacheDtype Engine::kv_cache_dtype(int card) const {
 serving::KvPoolStats Engine::kv_pool_stats(int card) const {
   return session_ == nullptr ? serving::KvPoolStats{}
                              : session_->shard(card).pool().stats();
+}
+
+const serving::Interconnect* Engine::interconnect() const {
+  return session_ == nullptr ? nullptr : &session_->interconnect();
+}
+
+serving::PrefixDirectorySnapshot Engine::ExportPrefixDirectory() const {
+  return session_ == nullptr ? serving::PrefixDirectorySnapshot{}
+                             : session_->ExportPrefixDirectory();
+}
+
+void Engine::ImportPrefixDirectory(
+    const serving::PrefixDirectorySnapshot& snapshot) {
+  if (session_ != nullptr) session_->ImportPrefixDirectory(snapshot);
 }
 
 const obs::Telemetry* Engine::telemetry() const {

@@ -112,6 +112,16 @@ struct EngineConfig {
   /// tick-sampled metrics). Both halves default off and cost ~nothing
   /// while disabled; see docs/OBSERVABILITY.md.
   obs::TelemetryConfig telemetry;
+  /// Per-card prefill/decode disaggregation roles (empty = every card
+  /// unified; otherwise one entry per card, see
+  /// serving::ValidateClusterRoles). Prefill shards ship finished KV to
+  /// decode shards over the modeled interconnect; token streams stay
+  /// byte-identical to unified mode.
+  std::vector<serving::ShardRole> shard_roles;
+  /// Remote-prefix arbitration at admission (fetch a remote card's
+  /// cached prefix over the interconnect vs. recompute locally).
+  serving::PrefixFetchPolicy prefix_fetch =
+      serving::PrefixFetchPolicy::kAuto;
 };
 
 /// Online streaming serving engine (see the file comment): submit
@@ -194,6 +204,17 @@ class Engine {
   /// hit/eviction/copy-on-write stats -- how multi-turn clients observe
   /// their conversation history being reused across turns.
   serving::KvPoolStats kv_pool_stats(int card) const;
+  /// The session's card-to-card interconnect (per-link byte counters,
+  /// local DMA totals). Null before construction succeeds.
+  const serving::Interconnect* interconnect() const;
+  /// Token-level snapshot of every card's cached prefix chains; feed it
+  /// to a fresh engine's ImportPrefixDirectory to persist the
+  /// cluster-wide prefix index across engine restarts.
+  serving::PrefixDirectorySnapshot ExportPrefixDirectory() const;
+  /// Warm-starts per-card KV caches (and thereby the cluster-wide
+  /// prefix index) from a snapshot taken by ExportPrefixDirectory on a
+  /// previous engine life. Zero simulated cost; call before Submit().
+  void ImportPrefixDirectory(const serving::PrefixDirectorySnapshot& snapshot);
 
   // ----- telemetry export -----
   /// The session's telemetry (trace + metrics), or null when

@@ -4,6 +4,13 @@
 
 namespace speedllm::hw {
 
+Status InterconnectConfig::Validate() const {
+  if (link_bytes_per_cycle == 0) {
+    return InvalidArgument("interconnect link bandwidth must be positive");
+  }
+  return Status::Ok();
+}
+
 MultiCardConfig MultiCardConfig::Homogeneous(const U280Config& card,
                                              int num_cards) {
   MultiCardConfig config;
@@ -32,6 +39,7 @@ Status MultiCardConfig::Validate() const {
         std::to_string(kv_dtype_per_card.size()) + " dtypes for " +
         std::to_string(cards.size()) + " cards");
   }
+  if (Status s = interconnect.Validate(); !s.ok()) return s;
   return Status::Ok();
 }
 

@@ -258,6 +258,18 @@ std::string ToChromeTraceJson(const RequestTraceRecorder& trace,
                         e.card >= 0 ? DmaTid(e.card) : kRouterTid, ts, dur,
                         EventArgs(e)));
         break;
+      case RequestEventKind::kKvTransfer:
+        // One slice per endpoint (detail "send" on the source card's DMA
+        // lane, "recv" on the destination's), sharing one time window so
+        // the pairing is checkable on a single timebase.
+        emit.Item(Slice(name, kServingPid,
+                        e.card >= 0 ? DmaTid(e.card) : kRouterTid, ts, dur,
+                        EventArgs(e)));
+        break;
+      case RequestEventKind::kRemoteHit:
+        emit.Item(Instant(name, kServingPid, tid, ts, EventArgs(e)));
+        mark(e, e.start_seconds);
+        break;
       case RequestEventKind::kCancel:
       case RequestEventKind::kShed:
       case RequestEventKind::kFinish: {

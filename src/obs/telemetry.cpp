@@ -17,6 +17,8 @@ std::string_view RequestEventKindName(RequestEventKind kind) {
     case RequestEventKind::kCacheHit: return "cache_hit";
     case RequestEventKind::kCowCopy: return "cow_copy";
     case RequestEventKind::kDmaTransfer: return "dma_transfer";
+    case RequestEventKind::kKvTransfer: return "kv_transfer";
+    case RequestEventKind::kRemoteHit: return "remote_hit";
     case RequestEventKind::kCancel: return "cancel";
     case RequestEventKind::kShed: return "shed";
     case RequestEventKind::kFinish: return "finish";

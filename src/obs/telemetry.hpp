@@ -49,6 +49,8 @@ enum class RequestEventKind {
   kCacheHit,     ///< instant: prefix-cache restore mapped `tokens` tokens
   kCowCopy,      ///< instant: copy-on-write copied `bytes` of KV
   kDmaTransfer,  ///< span: one charged DMA move (`detail` names the cause)
+  kKvTransfer,   ///< span: card-to-card KV move; paired send/recv events
+  kRemoteHit,    ///< instant: admission served by a remote prefix fetch
   kCancel,       ///< instant: stream aborted mid-flight
   kShed,         ///< instant: rejected by admission control (terminal)
   kFinish,       ///< instant: finish delivered (`detail` names the reason)

@@ -1,9 +1,12 @@
 #include "serving/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "obs/slo.hpp"
@@ -35,6 +38,46 @@ std::string_view PlacementPolicyName(PlacementPolicy policy) {
     case PlacementPolicy::kPrefixAffinity: return "prefix-affinity";
   }
   return "unknown";
+}
+
+std::string_view PrefixFetchPolicyName(PrefixFetchPolicy policy) {
+  switch (policy) {
+    case PrefixFetchPolicy::kAuto: return "auto";
+    case PrefixFetchPolicy::kAlwaysFetch: return "always";
+    case PrefixFetchPolicy::kNeverFetch: return "never";
+  }
+  return "unknown";
+}
+
+Status ValidateClusterRoles(const ClusterConfig& config, int num_cards) {
+  if (config.shard_roles.empty()) return Status::Ok();
+  if (static_cast<int>(config.shard_roles.size()) != num_cards) {
+    return InvalidArgument(
+        "shard_roles has " + std::to_string(config.shard_roles.size()) +
+        " entries for " + std::to_string(num_cards) + " cards");
+  }
+  int prefill_capable = 0;
+  int prefill = 0;
+  int decode = 0;
+  for (ShardRole role : config.shard_roles) {
+    if (role != ShardRole::kDecode) ++prefill_capable;
+    if (role == ShardRole::kPrefill) ++prefill;
+    if (role == ShardRole::kDecode) ++decode;
+  }
+  if (prefill_capable == 0) {
+    return InvalidArgument(
+        "shard_roles needs at least one prefill-capable card "
+        "(unified or prefill): decode shards never run first-pass prefill");
+  }
+  if (prefill > 0 && decode == 0) {
+    return InvalidArgument(
+        "prefill shards need at least one decode shard to ship KV to");
+  }
+  if (decode > 0 && prefill == 0) {
+    return InvalidArgument(
+        "decode shards need at least one prefill shard to feed them");
+  }
+  return Status::Ok();
 }
 
 double ClusterReport::imbalance() const {
@@ -96,6 +139,12 @@ ClusterSession::ClusterSession(const accel::Program& program,
         config_.kv_pool_bytes_per_card[ci] > 0) {
       shard_config.kv_pool_bytes = config_.kv_pool_bytes_per_card[ci];
     }
+    if (!config_.shard_roles.empty()) {
+      shard_config.role = config_.shard_roles[ci];
+    }
+    if (shard_config.role != ShardRole::kDecode) {
+      placeable_.push_back(ci);
+    }
     shard_config.kv_pool_bytes =
         DeriveKvPoolBytes(program, cards_.cards[ci], shard_config.kv_pool_bytes);
     const std::uint64_t block_bytes =
@@ -133,6 +182,22 @@ ClusterSession::ClusterSession(const accel::Program& program,
           if (on_finish_) on_finish_(stream, reason, outcome, t);
         });
   }
+  // Every shard's local DMA and every cross-card KV move queue on one
+  // shared station model; the directory mirrors each pool's index.
+  interconnect_ = std::make_unique<Interconnect>(cards_);
+  directory_ = std::make_unique<PrefixDirectory>();
+  handoff_pending_tokens_.assign(shards_.size(), 0);
+  for (int c = 0; c < n; ++c) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    shards_[ci]->set_interconnect(interconnect_.get(), c);
+    if (c < 64) directory_->Attach(c, &shards_[ci]->mutable_pool());
+    if (shards_[ci]->role() == ShardRole::kPrefill) {
+      shards_[ci]->set_handoff_hook(
+          [this, c](KvHandoff handoff, sim::Cycles ready) {
+            HandleHandoff(std::move(handoff), ready, c);
+          });
+    }
+  }
   // Admission control starts from a full bucket; the first refill delta
   // is measured from t = 0.
   bucket_tokens_ = config_.shard.admission.burst_tokens;
@@ -159,6 +224,28 @@ ClusterSession::ClusterSession(const accel::Program& program,
           "speedllm_shed_requests_total",
           "Requests rejected by admission control", "requests",
           {{"tier", tier_name}});
+    }
+    if (n > 1) {
+      transfer_metrics_ = true;
+      link_metric_ids_.assign(
+          static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+      for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+          if (s == d) continue;
+          link_metric_ids_[static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(d)] =
+              reg.AddCounter(
+                  "speedllm_kv_transfer_bytes_total",
+                  "KV bytes shipped card-to-card over the interconnect",
+                  "bytes",
+                  {{"src", std::to_string(s)}, {"dst", std::to_string(d)}});
+        }
+      }
+      remote_hit_metric_id_ = reg.AddCounter(
+          "speedllm_remote_prefix_hits_total",
+          "Admissions served by fetching a remote card's cached prefix",
+          "requests", {});
     }
   }
 }
@@ -292,6 +379,37 @@ Status ClusterSession::Cancel(std::size_t stream_index) {
     return FailedPrecondition("stream " + std::to_string(stream_index) +
                               " already finished");
   }
+  if (auto hit = handoff_in_flight_.find(stream_index);
+      hit != handoff_in_flight_.end()) {
+    // Prefill finished and the KV pages are mid-transfer: the prefill
+    // shard already released the sequence and the decode shard has not
+    // adopted it. Drop the handoff and finish the stream here with the
+    // outcome it carried (TTFT was stamped on the prefill shard; no
+    // token was ever emitted).
+    KvHandoff handoff = std::move(hit->second);
+    handoff_in_flight_.erase(hit);
+    handoff_pending_tokens_[static_cast<std::size_t>(rec.shard)] -=
+        handoff.request->max_new_tokens -
+        static_cast<std::int64_t>(handoff.outcome.generated.size());
+    rec.finished = true;
+    rec.cancelled = true;
+    const double now_s = now_seconds();
+    RequestOutcome outcome = std::move(handoff.outcome);
+    outcome.finish_reason = FinishReason::kCancelled;
+    outcome.completion_seconds = now_s;
+    const auto [it, inserted] =
+        unplaced_outcomes_.emplace(stream_index, std::move(outcome));
+    (void)inserted;
+    if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+      telemetry_->trace()->Record(RouterEvent(
+          obs::RequestEventKind::kCancel,
+          static_cast<std::int64_t>(stream_index), rec.shard, now_s));
+    }
+    if (on_finish_) {
+      on_finish_(stream_index, FinishReason::kCancelled, it->second, now_s);
+    }
+    return Status::Ok();
+  }
   if (!rec.placed) {
     // The arrival event has not run yet: suppress it and synthesize the
     // outcome here (no shard ever saw this request). The arrival is
@@ -339,7 +457,6 @@ void ClusterSession::Place(std::size_t stream_index) {
     return;
   }
   const std::size_t card = PickCard(*rec.request);
-  rec.placed = true;
   rec.shard = static_cast<std::int32_t>(card);
   if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
     obs::RequestEvent ev = RouterEvent(
@@ -349,13 +466,23 @@ void ClusterSession::Place(std::size_t stream_index) {
     ev.detail = PlacementPolicyName(config_.placement);
     telemetry_->trace()->Record(std::move(ev));
   }
+  // Remote-prefix arbitration may defer Submit to the fetch transfer's
+  // end; the record stays unplaced while the fetch is in flight so a
+  // cancel takes the unplaced path and the deferred Submit is skipped.
+  if (MaybeFetchPrefix(stream_index, card)) return;
+  rec.placed = true;
   shards_[card]->Submit(*rec.request, stream_index, sampler_config_);
 }
 
 std::size_t ClusterSession::PickCard(const ServingRequest& request) {
+  // Arrivals only land on prefill-capable cards (everything but
+  // kDecode): decode specialists receive work exclusively as KV
+  // handoffs. In unified mode `placeable_` is every card, so the
+  // policies below behave exactly as before.
+  const std::vector<std::size_t>& cards = placeable_;
   switch (config_.placement) {
     case PlacementPolicy::kRoundRobin:
-      return rr_counter_++ % shards_.size();
+      return cards[rr_counter_++ % cards.size()];
     case PlacementPolicy::kLeastOutstandingTokens: {
       // Tier-aware when tiers are enabled: a card is scored by the work
       // this request would actually wait behind -- tokens owed at its
@@ -368,12 +495,12 @@ std::size_t ClusterSession::PickCard(const ServingRequest& request) {
                    ? shards_[c]->outstanding_tokens_at_or_above(request.tier)
                    : shards_[c]->outstanding_tokens();
       };
-      std::size_t best = 0;
-      std::int64_t best_tokens = load(0);
-      for (std::size_t c = 1; c < shards_.size(); ++c) {
-        const std::int64_t t = load(c);
+      std::size_t best = cards.front();
+      std::int64_t best_tokens = load(best);
+      for (std::size_t k = 1; k < cards.size(); ++k) {
+        const std::int64_t t = load(cards[k]);
         if (t < best_tokens) {
-          best = c;
+          best = cards[k];
           best_tokens = t;
         }
       }
@@ -384,11 +511,11 @@ std::size_t ClusterSession::PickCard(const ServingRequest& request) {
       // request's full footprint outright; when no card can, fall back
       // to the most headroom overall (the shard's preemption machinery
       // absorbs the pressure). Ties break toward the lowest card id.
-      std::size_t best = 0;
-      std::int64_t best_free = shards_[0]->projected_free_kv_blocks();
+      std::size_t best = cards.front();
+      std::int64_t best_free = shards_[best]->projected_free_kv_blocks();
       std::size_t covering = shards_.size();
       std::int64_t covering_free = 0;
-      for (std::size_t c = 0; c < shards_.size(); ++c) {
+      for (std::size_t c : cards) {
         const std::int64_t f = shards_[c]->projected_free_kv_blocks();
         if (f > best_free) {
           best = c;
@@ -407,10 +534,10 @@ std::size_t ClusterSession::PickCard(const ServingRequest& request) {
       // shared blocks without re-prefilling them. Ties (typically "no
       // card has anything cached") break toward the most projected-free
       // blocks, then the lowest card id.
-      std::size_t best = 0;
+      std::size_t best = cards.front();
       std::int64_t best_tokens = -1;
       std::int64_t best_free = 0;
-      for (std::size_t c = 0; c < shards_.size(); ++c) {
+      for (std::size_t c : cards) {
         const std::int64_t cached =
             shards_[c]
                 ->pool()
@@ -455,7 +582,9 @@ void ClusterSession::Rebalance(std::size_t donor) {
         shards_[donor]->projected_free_kv_blocks();
     std::size_t target = donor;
     std::int64_t target_free = donor_free;
-    for (std::size_t c = 0; c < shards_.size(); ++c) {
+    // Only prefill-capable cards can take a queued (never-prefilled)
+    // request; decode shards relieve pressure via handoff adoption only.
+    for (std::size_t c : placeable_) {
       if (c == donor) continue;
       const std::int64_t f = shards_[c]->projected_free_kv_blocks();
       if (f > target_free) {
@@ -481,6 +610,164 @@ void ClusterSession::Rebalance(std::size_t donor) {
   }
 }
 
+void ClusterSession::RecordTransfer(std::size_t stream_index,
+                                    std::int32_t src, std::int32_t dst,
+                                    std::int64_t bytes, sim::Cycles start,
+                                    sim::Cycles end) {
+  if (transfer_metrics_) {
+    telemetry_->metrics()->Add(
+        link_metric_ids_[static_cast<std::size_t>(src) * shards_.size() +
+                         static_cast<std::size_t>(dst)],
+        static_cast<double>(bytes));
+  }
+  if (telemetry_ == nullptr || telemetry_->trace() == nullptr) return;
+  // Paired send/recv events share one window and byte count so
+  // cross-card traffic shows up on BOTH cards' timelines and the
+  // pairing is checkable (tools/check_telemetry.py).
+  obs::RequestEvent send;
+  send.kind = obs::RequestEventKind::kKvTransfer;
+  send.stream = static_cast<std::int64_t>(stream_index);
+  send.card = src;
+  send.start_seconds = static_cast<double>(start) / (clock_mhz_ * 1e6);
+  send.end_seconds = static_cast<double>(end) / (clock_mhz_ * 1e6);
+  send.bytes = bytes;
+  send.detail = "send";
+  obs::RequestEvent recv = send;
+  recv.card = dst;
+  recv.detail = "recv";
+  telemetry_->trace()->Record(std::move(send));
+  telemetry_->trace()->Record(std::move(recv));
+}
+
+void ClusterSession::HandleHandoff(KvHandoff handoff, sim::Cycles ready,
+                                   std::int32_t src) {
+  // Destination: the decode card owing the fewest outstanding tokens
+  // (lowest card id on ties) -- deterministic, and it balances remaining
+  // decode work far better than KV headroom does when pools are large
+  // relative to the working set.
+  std::int32_t dst = -1;
+  std::int64_t dst_owed = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    if (shards_[c]->role() != ShardRole::kDecode) continue;
+    const std::int64_t owed = shards_[c]->outstanding_tokens() +
+                              handoff_pending_tokens_[c];
+    if (owed < dst_owed) {
+      dst = static_cast<std::int32_t>(c);
+      dst_owed = owed;
+    }
+  }
+  assert(dst >= 0 && "handoff hooks are only installed when a decode "
+                     "card exists (ValidateClusterRoles)");
+  const std::size_t stream = handoff.stream_index;
+  const std::int64_t bytes = handoff.kv_bytes;
+  const std::int64_t owed_tokens =
+      handoff.request->max_new_tokens -
+      static_cast<std::int64_t>(handoff.outcome.generated.size());
+  handoff_pending_tokens_[static_cast<std::size_t>(dst)] += owed_tokens;
+  const hw::TransferTiming window = interconnect_->Transfer(
+      ready, static_cast<std::uint64_t>(bytes), src, dst);
+  records_[stream].shard = dst;
+  RecordTransfer(stream, src, dst, bytes, window.start, window.end);
+  ++handoff_transfers_;
+  handoff_in_flight_.emplace(stream, std::move(handoff));
+  engine_.ScheduleAt(window.end, [this, dst, stream, owed_tokens] {
+    auto it = handoff_in_flight_.find(stream);
+    if (it == handoff_in_flight_.end()) return;  // cancelled mid-flight
+    KvHandoff arrived = std::move(it->second);
+    handoff_in_flight_.erase(it);
+    handoff_pending_tokens_[static_cast<std::size_t>(dst)] -= owed_tokens;
+    shards_[static_cast<std::size_t>(dst)]->AdoptHandoff(std::move(arrived));
+  });
+}
+
+bool ClusterSession::MaybeFetchPrefix(std::size_t stream_index,
+                                      std::size_t dst) {
+  if (config_.prefix_fetch == PrefixFetchPolicy::kNeverFetch) return false;
+  if (shards_.size() < 2 || dst >= 64) return false;
+  const ShardScheduler& shard = *shards_[dst];
+  const KvPoolConfig& pool_config = shard.pool().config();
+  if (!pool_config.enable_prefix_cache) return false;
+  const ServingRequest& request = *records_[stream_index].request;
+  // Same cap as local admission: at least the last prompt token always
+  // prefills, so its forward pass has KV to attend to.
+  const std::int64_t cap =
+      static_cast<std::int64_t>(request.prompt.size()) - 1;
+  if (cap <= 0) return false;
+  const std::int64_t local_tokens =
+      shard.pool().MatchCachedPrefix(request.prompt, cap).matched_tokens;
+  const PrefixDirectory::Location loc = directory_->Locate(
+      request.prompt, cap, KvChainSeed(pool_config.dtype),
+      pool_config.block_size_tokens, std::uint64_t{1} << dst);
+  if (loc.matched_tokens <= local_tokens) return false;
+  const std::int32_t src = std::countr_zero(loc.card_mask);
+  const std::int64_t delta_tokens = loc.matched_tokens - local_tokens;
+  const std::int64_t local_blocks =
+      local_tokens / pool_config.block_size_tokens;
+  const std::int64_t bytes =
+      (loc.matched_blocks - local_blocks) *
+      static_cast<std::int64_t>(pool_config.block_bytes());
+  const sim::Cycles now = engine_.now();
+  const sim::Cycles fetch_end = interconnect_->EstimateTransferEnd(
+      now, static_cast<std::uint64_t>(bytes), src,
+      static_cast<std::int32_t>(dst));
+  const double fetch_seconds =
+      static_cast<double>(fetch_end - now) / (clock_mhz_ * 1e6);
+  const double recompute_seconds =
+      shard.EstimateRecomputeSeconds(delta_tokens);
+  const bool fetched =
+      config_.prefix_fetch == PrefixFetchPolicy::kAlwaysFetch ||
+      fetch_seconds <= recompute_seconds;
+  fetch_log_.push_back({stream_index, src, static_cast<std::int32_t>(dst),
+                        delta_tokens, bytes, fetch_seconds,
+                        recompute_seconds, fetched});
+  if (!fetched) return false;
+  const hw::TransferTiming window = interconnect_->Transfer(
+      now, static_cast<std::uint64_t>(bytes), src,
+      static_cast<std::int32_t>(dst));
+  RecordTransfer(stream_index, src, static_cast<std::int32_t>(dst), bytes,
+                 window.start, window.end);
+  if (transfer_metrics_) {
+    telemetry_->metrics()->Add(remote_hit_metric_id_, 1.0);
+  }
+  ++remote_hits_;
+  remote_hit_tokens_ += delta_tokens;
+  const std::int64_t fetch_tokens = loc.matched_tokens;
+  engine_.ScheduleAt(
+      window.end, [this, stream_index, dst, fetch_tokens, delta_tokens] {
+        StreamRecord& rec = records_[stream_index];
+        if (rec.cancelled) return;  // cancelled while the fetch flew
+        // The fetched pages land as ownerless cached blocks (no local
+        // DMA: the interconnect already charged the write leg), then
+        // the normal admission path maps them as a local cache hit.
+        shards_[dst]->InstallCachedPrefix(rec.request->prompt, fetch_tokens);
+        if (telemetry_ != nullptr && telemetry_->trace() != nullptr) {
+          obs::RequestEvent ev = RouterEvent(
+              obs::RequestEventKind::kRemoteHit,
+              static_cast<std::int64_t>(stream_index),
+              static_cast<std::int32_t>(dst), now_seconds());
+          ev.tokens = delta_tokens;
+          telemetry_->trace()->Record(std::move(ev));
+        }
+        rec.placed = true;
+        shards_[dst]->Submit(*rec.request, stream_index, sampler_config_);
+      });
+  return true;
+}
+
+PrefixDirectorySnapshot ClusterSession::ExportPrefixDirectory() const {
+  return directory_->Export();
+}
+
+void ClusterSession::ImportPrefixDirectory(
+    const PrefixDirectorySnapshot& snapshot) {
+  for (const PrefixDirectorySnapshot::Chain& chain : snapshot.chains) {
+    const std::size_t card = static_cast<std::size_t>(chain.card);
+    if (chain.card < 0 || card >= shards_.size()) continue;
+    shards_[card]->InstallCachedPrefix(
+        chain.tokens, static_cast<std::int64_t>(chain.tokens.size()));
+  }
+}
+
 Status ClusterSession::Finalize() const {
   for (const auto& shard : shards_) {
     SPEEDLLM_RETURN_IF_ERROR(shard->Finalize());
@@ -495,6 +782,21 @@ ClusterReport ClusterSession::Harvest() {
     report.shard_of_request.push_back(rec.shard);
   }
   report.rebalanced_requests = rebalanced_;
+  report.kv_transfer_bytes = interconnect_->total_transfer_bytes();
+  report.kv_transfers = interconnect_->num_transfers();
+  report.kv_handoffs = handoff_transfers_;
+  report.remote_prefix_hits = remote_hits_;
+  report.remote_prefix_hit_tokens = remote_hit_tokens_;
+  for (std::size_t c = 0; c < shards_.size(); ++c) {
+    const std::int32_t card = static_cast<std::int32_t>(c);
+    report.card_transfer_out_bytes.push_back(
+        interconnect_->transfer_out_bytes(card));
+    report.card_transfer_in_bytes.push_back(
+        interconnect_->transfer_in_bytes(card));
+    report.card_local_dma_bytes.push_back(
+        interconnect_->local_dma_bytes(card));
+  }
+  report.prefix_fetch_log = std::move(fetch_log_);
   report.merged.outcomes.resize(records_.size());
   report.card_utilization.resize(shards_.size(), 0.0);
 
@@ -599,6 +901,7 @@ StatusOr<ClusterReport> ClusterRouter::Run(
     const std::vector<ServingRequest>& requests,
     const llama::SamplerConfig& sampler_config) {
   SPEEDLLM_RETURN_IF_ERROR(cards_.Validate());
+  SPEEDLLM_RETURN_IF_ERROR(ValidateClusterRoles(config_, num_cards()));
   if (requests.empty()) {
     ClusterReport report;
     report.shard_reports.resize(static_cast<std::size_t>(num_cards()));

@@ -39,6 +39,7 @@
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
 #include "obs/telemetry.hpp"
+#include "serving/interconnect.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -62,6 +63,25 @@ enum class PlacementPolicy {
 /// Human-readable policy name ("round_robin", ...) for tables and logs.
 std::string_view PlacementPolicyName(PlacementPolicy policy);
 
+/// Whether admission may fetch a prompt's cached prefix from a remote
+/// card's pool over the interconnect instead of recomputing it locally.
+/// Token streams are byte-identical under every policy -- fetching only
+/// moves timing (transfer time instead of prefill compute).
+enum class PrefixFetchPolicy {
+  /// Fetch when the estimated transfer time (bytes over the link model,
+  /// given current station occupancy) is at most the estimated local
+  /// recompute time; otherwise recompute.
+  kAuto,
+  /// Fetch whenever any remote card holds a longer cached prefix than
+  /// the placed card (arbitration seam: forces the fetch branch).
+  kAlwaysFetch,
+  /// Ignore the remote index at admission (forces the recompute branch).
+  kNeverFetch,
+};
+
+/// Human-readable fetch-policy name ("auto" / "always" / "never").
+std::string_view PrefixFetchPolicyName(PrefixFetchPolicy policy);
+
 /// Cluster-level knobs: placement policy, per-card scheduler config,
 /// optional per-card KV pool sizes, rebalancing, and telemetry.
 struct ClusterConfig {
@@ -79,7 +99,22 @@ struct ClusterConfig {
   /// metrics). Off by default; SchedulerConfig::record_ticks implies
   /// tracing so the tick_log compat view keeps working.
   obs::TelemetryConfig telemetry;
+  /// Per-card shard roles for disaggregated prefill/decode serving.
+  /// Empty means every card is ShardRole::kUnified; otherwise one entry
+  /// per card (ValidateClusterRoles). Prefill shards ship finished KV to
+  /// a decode shard over the interconnect as a costed transfer.
+  std::vector<ShardRole> shard_roles;
+  /// Remote-prefix arbitration at admission (see PrefixFetchPolicy).
+  PrefixFetchPolicy prefix_fetch = PrefixFetchPolicy::kAuto;
 };
+
+/// Validates the cluster-level disaggregation knobs against a card
+/// count: `shard_roles` must be empty or one entry per card, at least
+/// one card must be prefill-capable (kUnified or kPrefill), and prefill
+/// and decode specialists must come in (at least) pairs -- a kPrefill
+/// card needs somewhere to ship KV, and a kDecode card needs someone to
+/// feed it.
+Status ValidateClusterRoles(const ClusterConfig& config, int num_cards);
 
 /// Merged + per-card results of one cluster timeline.
 struct ClusterReport {
@@ -95,6 +130,41 @@ struct ClusterReport {
   std::vector<double> card_utilization;
   /// Queued requests migrated between cards by the rebalancer.
   std::int64_t rebalanced_requests = 0;
+
+  /// One admission-time remote-prefix arbitration, logged for BOTH
+  /// branches so tests can assert the chosen branch against the
+  /// estimates that drove it.
+  struct PrefixFetchDecision {
+    std::size_t stream_index = 0;      ///< request being admitted
+    std::int32_t src_card = -1;        ///< remote holder considered
+    std::int32_t dst_card = -1;        ///< card the request was placed on
+    std::int64_t tokens = 0;           ///< extra prefix tokens on offer
+    std::int64_t bytes = 0;            ///< KV bytes the fetch would move
+    double fetch_seconds_estimate = 0.0;      ///< modeled transfer time
+    double recompute_seconds_estimate = 0.0;  ///< modeled local prefill
+    bool fetched = false;              ///< branch actually taken
+  };
+
+  /// Total bytes moved card-to-card over the interconnect (handoffs +
+  /// prefix fetches).
+  std::int64_t kv_transfer_bytes = 0;
+  /// Count of card-to-card interconnect transfers.
+  std::int64_t kv_transfers = 0;
+  /// Prefill->decode KV handoffs (disaggregated mode only).
+  std::int64_t kv_handoffs = 0;
+  /// Remote prefix fetches actually performed at admission.
+  std::int64_t remote_prefix_hits = 0;
+  /// Prompt tokens satisfied by remote fetches instead of recompute.
+  std::int64_t remote_prefix_hit_tokens = 0;
+  /// Per-card bytes sent over outgoing interconnect links.
+  std::vector<std::int64_t> card_transfer_out_bytes;
+  /// Per-card bytes received over incoming interconnect links.
+  std::vector<std::int64_t> card_transfer_in_bytes;
+  /// Per-card local DMA bytes queued through the shared HBM channel
+  /// (COW/restore/swap traffic, now contending with transfers).
+  std::vector<std::int64_t> card_local_dma_bytes;
+  /// Every remote-prefix arbitration, in admission order (both branches).
+  std::vector<PrefixFetchDecision> prefix_fetch_log;
 
   /// Max-over-mean of per-card token counts: 1.0 is perfectly balanced,
   /// N means one card did everything.
@@ -172,6 +242,22 @@ class ClusterSession {
   /// Merged + per-card reports over one coherent timeline. Call once.
   ClusterReport Harvest();
 
+  /// The shared card-to-card interconnect (station occupancy, per-link
+  /// byte counters). Alive for the session's lifetime.
+  const Interconnect& interconnect() const { return *interconnect_; }
+  /// Cluster-wide prefix index over every card's content-addressed KV
+  /// pool. Alive for the session's lifetime.
+  const PrefixDirectory& prefix_directory() const { return *directory_; }
+  /// Snapshot of every card's live cached-prefix chains, suitable for
+  /// ImportPrefixDirectory into a fresh session (index persistence
+  /// across api::Engine restarts).
+  PrefixDirectorySnapshot ExportPrefixDirectory() const;
+  /// Re-seeds per-card KV caches from a snapshot taken by
+  /// ExportPrefixDirectory. Cost-free (simulated t=0 warmup, no DMA):
+  /// the blocks are assumed already resident from the previous life.
+  /// Call before submitting any requests.
+  void ImportPrefixDirectory(const PrefixDirectorySnapshot& snapshot);
+
  private:
   struct StreamRecord {
     const ServingRequest* request = nullptr;
@@ -198,6 +284,21 @@ class ClusterSession {
   /// request (no-op when metrics are off or the finish is not terminal
   /// success).
   void ObserveSloMetrics(const RequestOutcome& outcome, FinishReason reason);
+  /// Receives a finished-prefill KV handoff from prefill shard `src`,
+  /// picks the decode card with the most projected-free KV blocks,
+  /// charges the transfer on the interconnect, and schedules adoption at
+  /// the transfer's end.
+  void HandleHandoff(KvHandoff handoff, sim::Cycles ready, std::int32_t src);
+  /// Admission-time remote-prefix arbitration for `stream_index` placed
+  /// on `dst`. Returns true when a fetch was chosen: the transfer is
+  /// charged and Submit is deferred to the transfer's end (the caller
+  /// must not Submit). Logs the decision either way.
+  bool MaybeFetchPrefix(std::size_t stream_index, std::size_t dst);
+  /// Records the send/recv kKvTransfer event pair and per-link metrics
+  /// for one interconnect transfer window.
+  void RecordTransfer(std::size_t stream_index, std::int32_t src,
+                      std::int32_t dst, std::int64_t bytes, sim::Cycles start,
+                      sim::Cycles end);
 
   const accel::Program& program_;
   const llama::Weights& weights_;
@@ -210,6 +311,25 @@ class ClusterSession {
   sim::Engine engine_;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::vector<std::unique_ptr<ShardScheduler>> shards_;
+  // Shared card-to-card link + HBM-channel model; every shard's local
+  // DMA and every KV transfer queue on the same stations.
+  std::unique_ptr<Interconnect> interconnect_;
+  // Cluster-wide prefix index fed by per-pool cache listeners.
+  std::unique_ptr<PrefixDirectory> directory_;
+  // Cards that may receive placed arrivals (everything but kDecode).
+  std::vector<std::size_t> placeable_;
+  // Handoffs in transit on the interconnect, keyed by stream index;
+  // Cancel intercepts them here before adoption.
+  std::map<std::size_t, KvHandoff> handoff_in_flight_;
+  // Decode tokens still owed by in-flight handoffs, per destination card:
+  // several handoffs dispatched at the same tick close must not all pick
+  // the same "least loaded" card, so the destination choice counts work
+  // that has been routed but not yet adopted.
+  std::vector<std::int64_t> handoff_pending_tokens_;
+  std::vector<ClusterReport::PrefixFetchDecision> fetch_log_;
+  std::int64_t handoff_transfers_ = 0;
+  std::int64_t remote_hits_ = 0;
+  std::int64_t remote_hit_tokens_ = 0;
   std::vector<StreamRecord> records_;
   /// Outcomes of requests cancelled before their placement event ran
   /// (no shard ever saw them).
@@ -229,6 +349,11 @@ class ClusterSession {
   std::array<obs::MetricsRegistry::MetricId, kNumTiers> slo_missed_ids_{};
   std::array<obs::MetricsRegistry::MetricId, kNumTiers> shed_ids_{};
   bool slo_metrics_ = false;
+  // Per-directed-link transfer byte counters (src*n+dst) plus the
+  // remote-hit counter; registered only when metrics are on and n > 1.
+  std::vector<obs::MetricsRegistry::MetricId> link_metric_ids_;
+  obs::MetricsRegistry::MetricId remote_hit_metric_id_ = 0;
+  bool transfer_metrics_ = false;
 };
 
 /// Offline multi-card runner: one ClusterSession fed a complete

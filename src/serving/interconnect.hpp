@@ -1,0 +1,205 @@
+// SpeedLLM -- simulated card-to-card interconnect and cluster-wide
+// prefix-cache federation (the disaggregation layer).
+//
+// Two pieces live here. serving::Interconnect queues every KV byte that
+// moves -- card-local COW/restore/swap DMA and cross-card KV transfers
+// -- on per-card hw::HbmStack stations plus one serial link station per
+// directed card pair, so concurrent moves serialize honestly instead of
+// being charged additively (the PR-5 model). A cross-card transfer is
+// store-and-forward: read out of the source card's HBM channel group,
+// cross the link, write into the destination's group. KV traffic rides
+// the KV channel group of each stack; weight streams occupy disjoint
+// groups per the U280 HBM switch model (hw/hbm.hpp), so the contention
+// that matters -- KV transfer vs. KV DMA on one card -- is modeled
+// station-accurately while uncontended moves keep the exact PR-5 cost.
+//
+// serving::PrefixDirectory is the cluster-wide prefix index: it mirrors
+// every card's content-address index via KvCacheListener callbacks
+// (KvBlockPool hash-chain inserts/evicts), answers "which cards hold
+// this prompt's longest cached prefix" at admission, and exports a
+// token-level snapshot that survives api::Engine restarts. Admission
+// arbitration (remote-fetch vs. local-recompute) lives in
+// serving::ClusterSession; this file supplies the mechanism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "hw/hbm.hpp"
+#include "llama/sampler.hpp"
+#include "serving/kv_pool.hpp"
+#include "serving/request.hpp"
+#include "sim/station.hpp"
+
+namespace speedllm::serving {
+
+/// Queues KV byte movement on shared per-card HBM stations and per-link
+/// stations. All timing is in kernel-clock cycles on the cluster's
+/// shared discrete-event clock; callers convert to seconds via
+/// hw::U280Config::cycles_to_seconds.
+class Interconnect {
+ public:
+  /// Builds one HBM channel-group station set per card and one serial
+  /// link station per directed card pair from `cards` (which must
+  /// validate). The config must outlive nothing -- it is copied.
+  explicit Interconnect(const hw::MultiCardConfig& cards);
+
+  /// Queues a card-local DMA move of `bytes` (COW / restore / swap) on
+  /// `card`'s HBM channel group, starting no earlier than `ready`.
+  /// Uncontended, the window ends exactly `dma_setup + hbm latency +
+  /// ceil(bytes / aggregate bandwidth)` cycles after `ready` -- the
+  /// PR-5 additive cost -- but a busy channel pushes the start out.
+  hw::TransferTiming LocalDma(sim::Cycles ready, std::uint64_t bytes,
+                              std::int32_t card);
+
+  /// Queues a cross-card KV transfer of `bytes` from `src` to `dst`:
+  /// source HBM read, link crossing, destination HBM write, each leg
+  /// waiting for its station. Returns the full window (start = source
+  /// read start, end = destination write end).
+  hw::TransferTiming Transfer(sim::Cycles ready, std::uint64_t bytes,
+                              std::int32_t src, std::int32_t dst);
+
+  /// Non-mutating estimate of Transfer's completion cycle given current
+  /// station occupancy -- the fetch side of the admission arbiter's
+  /// remote-fetch vs. local-recompute comparison.
+  sim::Cycles EstimateTransferEnd(sim::Cycles ready, std::uint64_t bytes,
+                                  std::int32_t src, std::int32_t dst) const;
+
+  /// Cards this interconnect spans.
+  std::int32_t num_cards() const {
+    return static_cast<std::int32_t>(stacks_.size());
+  }
+  /// Cumulative card-local DMA bytes queued through `card`'s stations --
+  /// reconciles against that card's KvPoolStats::dma_bytes_moved.
+  std::int64_t local_dma_bytes(std::int32_t card) const {
+    return local_dma_bytes_[static_cast<std::size_t>(card)];
+  }
+  /// Cumulative bytes shipped over the directed link `src` -> `dst`.
+  std::int64_t link_bytes(std::int32_t src, std::int32_t dst) const {
+    return link_bytes_[LinkIndex(src, dst)];
+  }
+  /// Cumulative bytes shipped out of `card` over any link.
+  std::int64_t transfer_out_bytes(std::int32_t card) const;
+  /// Cumulative bytes shipped into `card` over any link.
+  std::int64_t transfer_in_bytes(std::int32_t card) const;
+  /// Total cross-card bytes over all links.
+  std::int64_t total_transfer_bytes() const;
+  /// Number of cross-card transfers completed or scheduled.
+  std::int64_t num_transfers() const { return num_transfers_; }
+
+ private:
+  std::size_t LinkIndex(std::int32_t src, std::int32_t dst) const {
+    return static_cast<std::size_t>(src) * stacks_.size() +
+           static_cast<std::size_t>(dst);
+  }
+  sim::Cycles LinkCycles(std::uint64_t bytes) const;
+
+  hw::InterconnectConfig config_;
+  std::vector<hw::HbmConfig> hbm_;                    // per card
+  std::vector<std::unique_ptr<hw::HbmStack>> stacks_; // per card
+  std::vector<sim::Station> links_;                   // src * n + dst
+  std::vector<std::int64_t> local_dma_bytes_;
+  std::vector<std::int64_t> link_bytes_;
+  std::int64_t num_transfers_ = 0;
+};
+
+/// A prefill-complete sequence in flight between a prefill shard and a
+/// decode shard: everything the destination needs to continue decoding
+/// with a byte-identical token stream. The sampler travels by value so
+/// its RNG stream continues exactly where the prefill shard left it.
+struct KvHandoff {
+  /// The original request (owned by the cluster; outlives the handoff).
+  const ServingRequest* request = nullptr;
+  /// Global request stream index.
+  std::size_t stream_index = 0;
+  /// Mid-stream sampler state (already consumed the first token's draw).
+  llama::Sampler sampler{llama::SamplerConfig{}};
+  /// Prompt tokens already forwarded on the prefill shard; the decode
+  /// shard rebuilds its executor KV from these at zero simulated compute
+  /// (the KV pages arrive over the interconnect).
+  std::vector<std::int32_t> fed;
+  /// First sampled token, not yet committed or emitted.
+  std::int32_t pending_token = -1;
+  /// Outcome accumulated so far (arrival/admission/TTFT stamped on the
+  /// prefill shard; completion is stamped where decoding finishes).
+  RequestOutcome outcome;
+  /// Physical KV payload shipped, dtype-aware: whole blocks at the
+  /// pool's block_bytes() (int8 pools ship roughly half of fp16's).
+  std::int64_t kv_bytes = 0;
+};
+
+/// Token-level image of the cluster-wide prefix index: which full-block
+/// prompt prefixes each card held. Serializable across api::Engine
+/// restarts -- importing it warm-starts each card's pool (and thereby
+/// the directory itself) at zero simulated cost.
+struct PrefixDirectorySnapshot {
+  /// One card-resident cached prefix chain.
+  struct Chain {
+    /// Card whose pool held the chain.
+    std::int32_t card = 0;
+    /// Full token prefix, a whole number of blocks long.
+    std::vector<std::int32_t> tokens;
+  };
+  /// Maximal chains per card, deterministically ordered.
+  std::vector<Chain> chains;
+};
+
+/// Cluster-wide prefix index over the per-card content-addressed pools.
+/// Attach() subscribes it to a pool's index changes; Locate() walks the
+/// same dtype-seeded hash chain the pools use, so a hit here is exactly
+/// a hit some card's MatchCachedPrefix would report. Supports up to 64
+/// cards (card sets are bitmasks).
+class PrefixDirectory {
+ public:
+  PrefixDirectory();
+  ~PrefixDirectory();
+  PrefixDirectory(const PrefixDirectory&) = delete;
+  PrefixDirectory& operator=(const PrefixDirectory&) = delete;
+
+  /// Result of a cluster-wide longest-prefix probe.
+  struct Location {
+    /// Prompt tokens covered by the deepest chain some card fully holds.
+    std::int64_t matched_tokens = 0;
+    /// Full blocks backing them.
+    std::int64_t matched_blocks = 0;
+    /// Bitmask of cards holding the entire contiguous prefix.
+    std::uint64_t card_mask = 0;
+  };
+
+  /// Subscribes to `pool`'s index changes as `card` and records the
+  /// pool's dtype chain seed (for snapshot root detection). The pool
+  /// must outlive this directory or be detached first (the directory
+  /// detaches every attached pool on destruction).
+  void Attach(std::int32_t card, KvBlockPool* pool);
+
+  /// Longest prefix of `tokens` (capped at `max_tokens`) fully held by
+  /// at least one card outside `exclude_mask`, walking the chain from
+  /// `chain_seed` in `block_size_tokens` steps. Cards whose pool dtype
+  /// differs from the seed's dtype never match (their chains hash
+  /// differently), so a fetch candidate always has compatible blocks.
+  Location Locate(std::span<const std::int32_t> tokens,
+                  std::int64_t max_tokens, std::uint64_t chain_seed,
+                  std::uint32_t block_size_tokens,
+                  std::uint64_t exclude_mask = 0) const;
+
+  /// Token-level snapshot of every card's maximal cached chains.
+  PrefixDirectorySnapshot Export() const;
+
+  /// Distinct chain hashes currently indexed.
+  std::int64_t entries() const;
+
+ private:
+  struct CardListener;
+  struct Impl;
+  void OnInsert(std::int32_t card, std::uint64_t chain_hash,
+                std::uint64_t parent_hash,
+                std::span<const std::int32_t> block_tokens);
+  void OnEvict(std::int32_t card, std::uint64_t chain_hash);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace speedllm::serving

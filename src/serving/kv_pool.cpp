@@ -32,6 +32,11 @@ std::uint64_t MixBlock(std::uint64_t h,
 
 }  // namespace
 
+std::uint64_t KvChainAdvance(std::uint64_t h,
+                             std::span<const std::int32_t> block_tokens) {
+  return MixBlock(h, block_tokens);
+}
+
 std::string_view KvCacheDtypeName(KvCacheDtype dtype) {
   switch (dtype) {
     case KvCacheDtype::kFp16: return "fp16";
@@ -151,6 +156,40 @@ PrefixMatch KvBlockPool::MatchCachedPrefix(
   return match;
 }
 
+std::int64_t KvBlockPool::InstallCachedPrefix(
+    std::span<const std::int32_t> tokens, std::int64_t max_tokens) {
+  if (!config_.enable_prefix_cache) return 0;
+  const std::int64_t bs = config_.block_size_tokens;
+  const std::int64_t limit =
+      std::min(static_cast<std::int64_t>(tokens.size()), max_tokens);
+  std::uint64_t h = chain_seed_;
+  std::int64_t full = 0;
+  while ((full + 1) * bs <= limit) {
+    const auto block_tokens = tokens.subspan(
+        static_cast<std::size_t>(full * bs), static_cast<std::size_t>(bs));
+    const std::uint64_t next = MixBlock(h, block_tokens);
+    if (cache_.find(next) == cache_.end()) {
+      const std::int32_t block = AllocateBlock();
+      if (block < 0) break;  // pool saturated with live owners
+      BlockMeta& m = meta_[static_cast<std::size_t>(block)];
+      m.refcount = 0;
+      m.cached = true;
+      m.hash = next;
+      m.lru_stamp = lru_tick_++;
+      lru_.emplace(m.lru_stamp, block);
+      cache_.emplace(next, block);
+      ++stats_.cache_insertions;
+      ++stats_.remote_install_blocks;
+      if (listener_ != nullptr) {
+        listener_->OnCacheInsert(next, h, block_tokens);
+      }
+    }
+    h = next;
+    ++full;
+  }
+  return full * bs;
+}
+
 Status KvBlockPool::Register(std::uint64_t seq) {
   if (seqs_.count(seq)) {
     return FailedPrecondition("sequence " + std::to_string(seq) +
@@ -252,6 +291,7 @@ std::int32_t KvBlockPool::AllocateBlock() {
     BlockMeta& m = meta_[static_cast<std::size_t>(b)];
     assert(m.refcount == 0 && m.cached && "LRU held a live block");
     cache_.erase(m.hash);
+    if (listener_ != nullptr) listener_->OnCacheEvict(m.hash);
     m.cached = false;
     m.hash = 0;
     ++stats_.cache_evictions;
@@ -293,9 +333,12 @@ void KvBlockPool::DropBlockRef(std::int32_t block) {
 }
 
 void KvBlockPool::SealTailBlock(SeqState& state) {
+  const std::uint64_t parent = state.chain_hash;
   state.chain_hash = MixBlock(state.chain_hash, state.tail);
-  state.tail.clear();
-  if (!config_.enable_prefix_cache) return;
+  if (!config_.enable_prefix_cache) {
+    state.tail.clear();
+    return;
+  }
   const std::int32_t block = state.blocks.back();
   BlockMeta& m = meta_[static_cast<std::size_t>(block)];
   assert(!m.cached && m.refcount == 1 && "sealing a non-private tail");
@@ -306,9 +349,13 @@ void KvBlockPool::SealTailBlock(SeqState& state) {
     m.cached = true;
     m.hash = state.chain_hash;
     ++stats_.cache_insertions;
+    if (listener_ != nullptr) {
+      listener_->OnCacheInsert(state.chain_hash, parent, state.tail);
+    }
   }
   // Equal content already cached (e.g. the source of a copy-on-write):
   // this physical copy stays private and is simply freed on release.
+  state.tail.clear();
 }
 
 Status KvBlockPool::Append(std::uint64_t seq, std::int32_t token) {

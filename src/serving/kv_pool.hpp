@@ -80,6 +80,30 @@ std::uint32_t KvQuantMetadataBytesPerBlock(const llama::ModelConfig& config,
 /// must never alias in a cache index.
 std::uint64_t KvChainSeed(KvCacheDtype dtype);
 
+/// Advances a chain hash by one full block of token content -- the same
+/// mix every KvBlockPool uses for its content-address index. Exposed so
+/// a cluster-wide directory (serving::PrefixDirectory) can walk the
+/// identical chain without a pool instance.
+std::uint64_t KvChainAdvance(std::uint64_t h,
+                             std::span<const std::int32_t> block_tokens);
+
+/// Observer of one pool's content-address index. The cluster-wide
+/// prefix directory implements this to mirror which chain hashes each
+/// card currently holds. Callbacks fire synchronously from inside the
+/// pool's bookkeeping; implementations must not reenter the pool.
+class KvCacheListener {
+ public:
+  virtual ~KvCacheListener() = default;
+  /// A full block was content-addressed. `chain_hash` is the chain value
+  /// *after* the block, `parent_hash` the value before it, and
+  /// `block_tokens` the block's token content.
+  virtual void OnCacheInsert(std::uint64_t chain_hash,
+                             std::uint64_t parent_hash,
+                             std::span<const std::int32_t> block_tokens) = 0;
+  /// A cached block was evicted (its hash left the index).
+  virtual void OnCacheEvict(std::uint64_t chain_hash) = 0;
+};
+
 /// Geometry and feature switches of one KvBlockPool.
 struct KvPoolConfig {
   /// Total budget carved from HBM for this pool, bytes.
@@ -141,6 +165,7 @@ struct KvPoolStats {
   std::int64_t cow_copies = 0;           ///< copy-on-write block copies
   std::int64_t cache_insertions = 0;     ///< full blocks content-addressed
   std::int64_t cache_evictions = 0;      ///< LRU entries discarded for reuse
+  std::int64_t remote_install_blocks = 0; ///< blocks installed by remote fetch
 
   // ----- simulated DMA traffic -----
   // Bytes the pool's bookkeeping implies actually move through HBM.
@@ -228,6 +253,26 @@ class KvBlockPool {
   /// process the final prompt token for logits.
   PrefixMatch MatchCachedPrefix(std::span<const std::int32_t> tokens,
                                 std::int64_t max_tokens) const;
+
+  /// Installs the full blocks of `tokens` (capped at `max_tokens`) into
+  /// the content-address index as ownerless evictable blocks, as if a
+  /// sequence with that prefix had just released them -- the landing pad
+  /// for a remote prefix fetch (the bytes arrived over the interconnect
+  /// and now sit in this card's HBM) and for warm-starting a pool from a
+  /// persisted directory snapshot. Already-cached blocks are skipped;
+  /// installation stops early when no block can be allocated. Returns
+  /// the number of prefix tokens cached after the call (including
+  /// previously cached ones). No DMA is charged here: a cross-card fetch
+  /// is costed by the interconnect, and a warm start models content that
+  /// survived in HBM. No-op returning 0 when caching is disabled.
+  std::int64_t InstallCachedPrefix(std::span<const std::int32_t> tokens,
+                                   std::int64_t max_tokens);
+
+  /// Registers `listener` for content-address index changes (nullptr
+  /// detaches). The pool does not own it.
+  void set_cache_listener(KvCacheListener* listener) {
+    listener_ = listener;
+  }
 
   // ----- sequence lifecycle -----
   /// Registers `seq` with an empty block table. Fails on duplicates.
@@ -340,6 +385,7 @@ class KvBlockPool {
   std::uint64_t lru_tick_ = 0;
   std::map<std::uint64_t, SeqState> seqs_;
   KvPoolStats stats_;
+  KvCacheListener* listener_ = nullptr;
 };
 
 }  // namespace speedllm::serving

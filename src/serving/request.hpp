@@ -127,6 +127,11 @@ struct RequestOutcome {
   std::int32_t prompt_tokens = 0;
   /// Times this request was swapped out of the KV pool.
   std::int32_t preemptions = 0;
+  /// 1 when this request's finished prefill KV was shipped from a
+  /// prefill shard to a decode shard over the interconnect; 0 in unified
+  /// mode (a request hands off at most once -- it then lives on the
+  /// decode shard for good).
+  std::int32_t handoffs = 0;
   /// Priority tier the request ran (or was shed) at.
   RequestTier tier = RequestTier::kStandard;
   /// Terminal state of the request.

@@ -17,6 +17,15 @@ std::string_view BatchPolicyName(BatchPolicy policy) {
   return "unknown";
 }
 
+std::string_view ShardRoleName(ShardRole role) {
+  switch (role) {
+    case ShardRole::kUnified: return "unified";
+    case ShardRole::kPrefill: return "prefill";
+    case ShardRole::kDecode: return "decode";
+  }
+  return "unknown";
+}
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     const accel::Program& program, const llama::Weights& weights,
     const hw::U280Config& u280, SchedulerConfig config)

@@ -51,6 +51,23 @@ enum class BatchPolicy {
 /// "decode-priority") for tables and logs.
 std::string_view BatchPolicyName(BatchPolicy policy);
 
+/// Role a shard plays in a disaggregated cluster. Unified shards (the
+/// default) run the classic combined loop. Prefill shards admit new
+/// requests and run chunked prefill only: when a sequence finishes its
+/// prompt (first token sampled, TTFT stamped), its KV pages are shipped
+/// to a decode shard as a costed interconnect transfer. Decode shards
+/// never admit first-pass prefill; their only intake is adopted
+/// handoffs, so their ticks carry pure decode batches. Token streams
+/// are byte-identical across role assignments -- only timing moves.
+enum class ShardRole : std::uint8_t {
+  kUnified = 0,  ///< combined prefill + decode (classic shard)
+  kPrefill = 1,  ///< prefill-only; ships finished KV to a decode shard
+  kDecode = 2,   ///< decode-only; adopts handoffs, never prefills
+};
+
+/// Human-readable role name ("unified" / "prefill" / "decode").
+std::string_view ShardRoleName(ShardRole role);
+
 /// Cluster-level admission control (load shedding). When enabled, every
 /// arriving request draws `prompt + max_new_tokens` tokens from a
 /// deterministic token bucket refilled at `rate_tokens_per_second` of
@@ -138,6 +155,9 @@ struct SchedulerConfig {
   /// identically to an N-card one). The batch-offline
   /// ContinuousBatchScheduler facade predates placement and never sheds.
   AdmissionConfig admission;
+  /// This shard's disaggregation role; set per card by ClusterSession
+  /// from ClusterConfig::shard_roles. See ShardRole.
+  ShardRole role = ShardRole::kUnified;
 };
 
 /// One simulated card's batch-offline serving loop: validates a request

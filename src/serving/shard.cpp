@@ -217,7 +217,8 @@ Status ShardScheduler::Finalize() const {
   if (!error_.ok()) return error_;
   for (const Sequence& seq : seqs_) {
     if (seq.state != SeqState::kDone && seq.state != SeqState::kMigrated &&
-        seq.state != SeqState::kCancelled) {
+        seq.state != SeqState::kCancelled &&
+        seq.state != SeqState::kHandedOff) {
       return Internal("scheduler stalled: request " +
                       std::to_string(seq.stream_index) + " never completed");
     }
@@ -229,7 +230,12 @@ ServingReport ShardScheduler::TakeReport(
     std::vector<std::size_t>* stream_indices) {
   std::vector<std::size_t> order;
   for (std::size_t i = 0; i < seqs_.size(); ++i) {
-    if (seqs_[i].state != SeqState::kMigrated) order.push_back(i);
+    // Migrated and handed-off sequences report from their final shard
+    // (the outcome travels with them), never from here.
+    if (seqs_[i].state != SeqState::kMigrated &&
+        seqs_[i].state != SeqState::kHandedOff) {
+      order.push_back(i);
+    }
   }
   std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     return seqs_[a].stream_index < seqs_[b].stream_index;
@@ -473,6 +479,91 @@ std::int64_t ShardScheduler::RestoreCachedPrefix(std::size_t seq_id) {
   return restored;
 }
 
+void ShardScheduler::ExtractHandoff(std::size_t seq_id, sim::Cycles ready) {
+  Sequence& seq = seqs_[seq_id];
+  KvHandoff handoff;
+  handoff.request = seq.request;
+  handoff.stream_index = seq.stream_index;
+  handoff.sampler = std::move(seq.sampler);
+  handoff.pending_token = seq.pending_token;
+  // Whole blocks ship, at this pool's dtype-aware block_bytes (an int8
+  // pool hands off roughly half the bytes an fp16 one does).
+  handoff.kv_bytes =
+      pool_.BlocksForTokens(static_cast<std::int64_t>(seq.fed.size())) *
+      static_cast<std::int64_t>(pool_.config().block_bytes());
+  ++seq.outcome.handoffs;
+  handoff.outcome = std::move(seq.outcome);
+  handoff.fed = std::move(seq.fed);
+  // Release local references; sealed full blocks stay in this card's
+  // prefix cache (the directory keeps advertising them), and the
+  // interconnect's source-read leg pays for extracting the pages.
+  Status st = pool_.Release(seq_id);
+  assert(st.ok());
+  (void)st;
+  ReleaseSlot(seq);
+  residents_.erase(std::find(residents_.begin(), residents_.end(), seq_id));
+  seq.state = SeqState::kHandedOff;
+  seq.pending_token = -1;
+  // The decode budget is owed by the destination now.
+  AddOutstanding(
+      handoff.request->tier,
+      -(handoff.request->max_new_tokens -
+        static_cast<std::int64_t>(handoff.outcome.generated.size())));
+  handoff_hook_(std::move(handoff), ready);
+}
+
+void ShardScheduler::AdoptHandoff(KvHandoff handoff) {
+  if (!error_.ok()) return;
+  Sequence seq{std::move(handoff.sampler)};
+  seq.request = handoff.request;
+  seq.stream_index = handoff.stream_index;
+  seq.fed = std::move(handoff.fed);
+  seq.pending_token = handoff.pending_token;
+  seq.outcome = std::move(handoff.outcome);
+  seq.wait_since_tick = tick_index_;
+  // Admitted on the prefill shard: TTFT is stamped, the rebalancer must
+  // not steal it, and its first local admission replays shipped KV
+  // instead of prefilling.
+  seq.ever_admitted = true;
+  seq.adopt_pending = true;
+  // Every fed token was processed at least once (on the prefill shard):
+  // if a later preemption forces recompute here, those tokens count as
+  // recomputed work, never as fresh throughput.
+  seq.high_water = static_cast<std::int32_t>(seq.fed.size());
+  // The replay subtracts per token exactly like a restore/prefill would,
+  // so fed tokens enter the backlog alongside the decode budget.
+  AddOutstanding(seq.request->tier,
+                 static_cast<std::int64_t>(seq.fed.size()) +
+                     seq.request->max_new_tokens -
+                     static_cast<std::int64_t>(seq.outcome.generated.size()));
+  queued_demand_blocks_ += BlocksForRequest(*seq.request);
+  seqs_.push_back(std::move(seq));
+  waiting_.push_back(seqs_.size() - 1);
+  if (!tick_pending_) ScheduleTick(engine_.now());
+}
+
+bool ShardScheduler::ReplayAdoptedKv(std::size_t seq_id) {
+  // Blocks this card already caches (a shared prefix) map as shared --
+  // the same restore path a local cache hit takes -- and the rest append
+  // fresh. All forward replay is zero simulated compute: the shipped
+  // pages are already in HBM, paid for by the interconnect transfer.
+  if (RestoreCachedPrefix(seq_id) < 0) return false;
+  Sequence& seq = seqs_[seq_id];
+  accel::Executor& exec = *slots_[static_cast<std::size_t>(seq.slot)];
+  while (seq.cursor < static_cast<std::int32_t>(seq.fed.size())) {
+    const std::int32_t token = seq.fed[static_cast<std::size_t>(seq.cursor)];
+    if (!EnsureKvToken(seq_id, token)) return false;
+    auto logits = exec.Forward(token, seq.cursor);
+    if (!logits.ok()) {
+      error_ = logits.status();
+      return false;
+    }
+    ++seq.cursor;
+    AddOutstanding(seq.request->tier, -1);
+  }
+  return true;
+}
+
 int ShardScheduler::AcquireSlot() {
   if (!free_slots_.empty()) {
     int slot = free_slots_.back();
@@ -510,31 +601,45 @@ bool ShardScheduler::ForwardToken(Sequence& seq, std::int32_t token,
   return true;
 }
 
+Interconnect& ShardScheduler::interconnect() {
+  if (interconnect_ != nullptr) return *interconnect_;
+  if (own_interconnect_ == nullptr) {
+    hw::MultiCardConfig one;
+    one.cards.push_back(u280_);
+    own_interconnect_ = std::make_unique<Interconnect>(one);
+    card_id_ = 0;
+  }
+  return *own_interconnect_;
+}
+
 std::int64_t ShardScheduler::ChargeDma(const char* cause,
                                        std::size_t seq_id) {
   const std::int64_t moved = pool_.stats().dma_bytes_moved - dma_bytes_seen_;
   dma_bytes_seen_ = pool_.stats().dma_bytes_moved;
   if (moved <= 0) return 0;
   double seconds = 0.0;
+  double base_s = u280_.cycles_to_seconds(engine_.now());
   if (config_.charge_dma_cost) {
-    const hw::HbmConfig& hbm = u280_.hbm;
-    const std::uint64_t bytes_per_cycle = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(hbm.num_channels) *
-               hbm.bytes_per_cycle_per_channel);
-    const sim::Cycles cycles =
-        hbm.latency_cycles + hbm.dma_setup_cycles +
-        (static_cast<std::uint64_t>(moved) + bytes_per_cycle - 1) /
-            bytes_per_cycle;
-    seconds = u280_.cycles_to_seconds(cycles);
+    // The move queues on this card's shared HBM DMA stations, so it
+    // serializes honestly behind concurrent traffic (earlier moves this
+    // tick, cross-card KV transfers) instead of being charged
+    // additively. The tick is billed only the window past what it
+    // already paid (`dma_charged_until_`), which makes back-to-back
+    // uncontended moves cost exactly the old per-move sum.
+    const sim::Cycles base = std::max(engine_.now(), dma_charged_until_);
+    const hw::TransferTiming window = interconnect().LocalDma(
+        engine_.now(), static_cast<std::uint64_t>(moved), card_id_);
+    dma_charged_until_ = window.end;
+    seconds = u280_.cycles_to_seconds(window.end - base);
+    base_s = u280_.cycles_to_seconds(base);
     tick_marginal_ += seconds;
     report_.dma_time_seconds += seconds;
   }
   if (telemetry_.tracing()) {
-    const double now_s = u280_.cycles_to_seconds(engine_.now());
     obs::RequestEvent ev = MakeEvent(
         obs::RequestEventKind::kDmaTransfer,
         static_cast<std::int64_t>(seqs_[seq_id].stream_index), tick_index_,
-        now_s, now_s + seconds);
+        base_s, base_s + seconds);
     ev.bytes = moved;
     ev.detail = cause;
     telemetry_.Record(std::move(ev));
@@ -608,7 +713,8 @@ Status ShardScheduler::Abort(std::size_t stream_index) {
   std::size_t seq_id = seqs_.size();
   for (std::size_t i = 0; i < seqs_.size(); ++i) {
     if (seqs_[i].stream_index == stream_index &&
-        seqs_[i].state != SeqState::kMigrated) {
+        seqs_[i].state != SeqState::kMigrated &&
+        seqs_[i].state != SeqState::kHandedOff) {
       seq_id = i;
       break;
     }
@@ -888,6 +994,19 @@ void ShardScheduler::RunTick() {
               seq.outcome.arrival_seconds, start_s));
         }
       }
+      if (seq.adopt_pending) {
+        // First local admission of an adopted handoff: map the shipped
+        // KV at zero forward cost and join the decode set next tick.
+        seq.adopt_pending = false;
+        queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+        const bool replayed = ReplayAdoptedKv(cand);
+        if (!error_.ok()) return;
+        restored_this_tick += seq.cursor;
+        if (!replayed) continue;  // pool dry mid-replay: the tail
+                                  // recomputes as ordinary prefill later
+        seq.state = SeqState::kDecode;
+        continue;
+      }
       const std::int64_t restored = RestoreCachedPrefix(cand);
       if (restored < 0) return;
       restored_this_tick += restored;
@@ -912,6 +1031,7 @@ void ShardScheduler::RunTick() {
   std::vector<std::size_t> ttft_marks;
   std::vector<std::size_t> decode_executed;
   std::vector<std::pair<std::size_t, std::int32_t>> prefill_executed;
+  std::vector<std::size_t> handoff_ready;
 
   for (std::size_t seq_id : decode_plan) {
     Sequence& seq = seqs_[seq_id];
@@ -982,6 +1102,13 @@ void ShardScheduler::RunTick() {
           }
         }
         seq.state = SeqState::kDecode;
+        if (config_.role == ShardRole::kPrefill && handoff_hook_) {
+          // Prefill-role shard: ship the finished KV to a decode shard
+          // at tick close (after TTFT is stamped). A mid-tick preemption
+          // revokes the plan -- the KV is gone, so it recomputes and
+          // hands off on a later tick.
+          handoff_ready.push_back(seq_id);
+        }
         break;
       }
     }
@@ -1037,6 +1164,12 @@ void ShardScheduler::RunTick() {
     if (e.token < 0 && seqs_[e.seq_id].outcome.completion_seconds == 0.0) {
       seqs_[e.seq_id].outcome.completion_seconds = end_s;
     }
+  }
+  // Ship prefill-complete sequences after their TTFT stamps are final;
+  // the KV pages are extractable once the tick's work is done.
+  for (std::size_t seq_id : handoff_ready) {
+    if (seqs_[seq_id].state != SeqState::kDecode) continue;  // preempted
+    ExtractHandoff(seq_id, end_cycles);
   }
 
   ++report_.ticks;

@@ -31,6 +31,7 @@
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
 #include "obs/telemetry.hpp"
+#include "serving/interconnect.hpp"
 #include "serving/kv_pool.hpp"
 #include "serving/request.hpp"
 #include "serving/scheduler.hpp"
@@ -120,6 +121,61 @@ class ShardScheduler {
   /// inside a tick (hook callbacks are safe).
   Status Abort(std::size_t stream_index);
 
+  // ----- disaggregation (ClusterSession wiring) -----
+  /// Fires when this prefill-role shard finishes a sequence's prompt:
+  /// the handoff carries everything the decode shard needs, and `ready`
+  /// is the engine cycle the KV pages are extractable (the tick's end).
+  /// The hook owns routing the transfer and calling AdoptHandoff on the
+  /// destination. Without a hook a prefill-role shard falls back to
+  /// unified behavior (it decodes its own sequences), so a standalone
+  /// shard never strands work.
+  using HandoffHook = std::function<void(KvHandoff handoff, sim::Cycles ready)>;
+  /// Installs the handoff hook. Must be set before the first tick runs.
+  void set_handoff_hook(HandoffHook hook) { handoff_hook_ = std::move(hook); }
+
+  /// Attaches the cluster's shared interconnect and this shard's card id.
+  /// All COW/restore/swap DMA then queues on `interconnect`'s per-card
+  /// HBM stations (serializing with concurrent KV transfers) instead of
+  /// being charged additively. A shard without an attached interconnect
+  /// lazily builds a private single-card one, so standalone timing is
+  /// identical either way. Must be set before the first tick runs.
+  void set_interconnect(Interconnect* interconnect, std::int32_t card) {
+    interconnect_ = interconnect;
+    card_id_ = card;
+  }
+
+  /// Adopts a prefill-complete sequence shipped from a prefill shard
+  /// (its KV pages have already arrived: call this at the transfer's end
+  /// time). The sequence queues for a resident slot and joins the decode
+  /// set without re-running prefill -- its KV is mapped at zero forward
+  /// cost -- and its token stream continues byte-identically.
+  void AdoptHandoff(KvHandoff handoff);
+
+  /// Estimated seconds to recompute `tokens` prefill tokens locally:
+  /// the fraction of amortized full-tick shared cost the tokens occupy.
+  /// The fetch-vs-recompute admission arbiter compares this against the
+  /// interconnect's transfer estimate.
+  double EstimateRecomputeSeconds(std::int64_t tokens) const {
+    return shared_seconds_ * static_cast<double>(tokens) /
+           static_cast<double>(config_.max_batch_tokens);
+  }
+
+  /// Installs `tokens`' full-block prefix into this shard's prefix cache
+  /// as ownerless evictable blocks (KvBlockPool::InstallCachedPrefix):
+  /// the landing pad for a remote prefix fetch or a directory-snapshot
+  /// warm start. No DMA is charged here -- the caller accounts the move.
+  std::int64_t InstallCachedPrefix(std::span<const std::int32_t> tokens,
+                                   std::int64_t max_tokens) {
+    return pool_.InstallCachedPrefix(tokens, max_tokens);
+  }
+
+  /// Mutable pool access for cluster-level wiring (PrefixDirectory
+  /// attachment). Scheduling state stays shard-owned.
+  KvBlockPool& mutable_pool() { return pool_; }
+
+  /// This shard's disaggregation role (from SchedulerConfig::role).
+  ShardRole role() const { return config_.role; }
+
   // ----- telemetry -----
   /// Attaches the cluster's telemetry channel (lifecycle trace sink +
   /// per-card metric ids). Must be set before the first tick runs. When
@@ -204,6 +260,7 @@ class ShardScheduler {
     kDone,
     kMigrated,
     kCancelled,
+    kHandedOff,  // shipped to a decode shard; outcome travels with it
   };
 
   struct Sequence {
@@ -226,6 +283,10 @@ class ShardScheduler {
     std::int64_t admission_order = -1;
     std::int64_t wait_since_tick = 0;
     bool ever_admitted = false;
+    // One-shot: an adopted handoff's first admission maps its shipped KV
+    // at zero forward cost instead of prefilling. Cleared on admission;
+    // a later preemption recomputes normally (the shipped KV is gone).
+    bool adopt_pending = false;
     RequestOutcome outcome;
 
     explicit Sequence(llama::Sampler s) : sampler(std::move(s)) {}
@@ -277,6 +338,20 @@ class ShardScheduler {
   void PerturbLogitsForQuant(const Sequence& seq,
                              std::span<float> logits) const;
   void Preempt(std::size_t victim);
+  /// Ships `seq_id` (prefill complete, first token sampled and TTFT
+  /// stamped) to the cluster's handoff hook: releases its KV/slot here,
+  /// marks it kHandedOff, and hands the hook a KvHandoff with the moved
+  /// sampler so the decode shard's stream continues byte-identically.
+  void ExtractHandoff(std::size_t seq_id, sim::Cycles ready);
+  /// Maps an adopted handoff's shipped KV onto pool blocks and replays
+  /// the slot executor at zero simulated compute (the pages arrived over
+  /// the interconnect; the transfer already paid). Returns false on a
+  /// hard error or pool exhaustion mid-replay.
+  bool ReplayAdoptedKv(std::size_t seq_id);
+  /// The attached cluster interconnect, or a lazily-built private
+  /// single-card one (standalone shards): either way DMA queues on
+  /// stations and uncontended cost matches the PR-5 additive model.
+  Interconnect& interconnect();
   int AcquireSlot();
   void ReleaseSlot(Sequence& seq);
   bool ForwardToken(Sequence& seq, std::int32_t token, std::int32_t pos,
@@ -302,6 +377,11 @@ class ShardScheduler {
   std::vector<int> free_slots_;
   std::vector<float> sample_scratch_;
   std::function<void()> kv_pressure_hook_;
+  HandoffHook handoff_hook_;
+  Interconnect* interconnect_ = nullptr;      // cluster-shared stations
+  std::unique_ptr<Interconnect> own_interconnect_;  // standalone fallback
+  std::int32_t card_id_ = 0;
+  sim::Cycles dma_charged_until_ = 0;  // end of the last time-charged DMA
   obs::ShardChannel telemetry_;
   // record_ticks fallback recorder when no external trace is attached
   // (single-card ContinuousBatchScheduler path).

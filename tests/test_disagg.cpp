@@ -1,0 +1,400 @@
+// Unit tests for the disaggregation layer (serving/interconnect.hpp):
+// the shared-station interconnect cost model, prefill/decode shard
+// roles with KV handoffs, the cluster-wide prefix directory with
+// remote-fetch arbitration, and prefix-index persistence across
+// api::Engine restarts. The headline invariant everywhere: token
+// streams are byte-identical to unified mode -- roles, fetch policy,
+// and interconnect contention move timing, never tokens.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "compiler/compiler.hpp"
+#include "runtime/variants.hpp"
+#include "serving/cluster.hpp"
+#include "serving/interconnect.hpp"
+#include "serving/workload.hpp"
+
+namespace speedllm::serving {
+namespace {
+
+struct Fixture {
+  llama::ModelConfig config = llama::ModelConfig::Tiny();
+  llama::Weights weights = llama::GenerateSyntheticWeights(config, 808);
+  hw::U280Config u280 = hw::U280Config::Default();
+
+  accel::Program Compile() {
+    auto r = compiler::Compile(
+        config, runtime::OptionsFor(runtime::Variant::kSpeedLLM), u280);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value().program;
+  }
+};
+
+std::vector<ServingRequest> MixedTrace(const llama::ModelConfig& config,
+                                       int n, std::uint64_t seed = 4242) {
+  Rng rng(seed);
+  WorkloadConfig wc;
+  wc.num_requests = n;
+  wc.rate_rps = 3000.0;
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 10;
+  wc.min_new_tokens = 4;
+  wc.max_new_tokens = 10;
+  wc.vocab_size = config.vocab_size;
+  return PoissonTrace(rng, wc);
+}
+
+/// Most prompts open with one of two shared 24-token prefixes; block
+/// size 8 in the tests below, so cross-card shareable full blocks exist.
+std::vector<ServingRequest> SharedTrace(const llama::ModelConfig& config,
+                                        int n) {
+  Rng rng(555);
+  SharedPrefixConfig spc;
+  spc.num_requests = n;
+  spc.rate_rps = 2000.0;
+  spc.shared_fraction = 0.75;
+  spc.num_prefixes = 2;
+  spc.prefix_tokens = 24;
+  spc.min_suffix_tokens = 2;
+  spc.max_suffix_tokens = 6;
+  spc.min_new_tokens = 4;
+  spc.max_new_tokens = 8;
+  spc.vocab_size = config.vocab_size;
+  return SharedPrefixTrace(rng, spc);
+}
+
+std::vector<ShardRole> Roles(int cards) {
+  // Half prefill, half decode (2 -> p,d; 4 -> p,p,d,d).
+  std::vector<ShardRole> roles(static_cast<std::size_t>(cards),
+                               ShardRole::kPrefill);
+  for (int c = cards / 2; c < cards; ++c) {
+    roles[static_cast<std::size_t>(c)] = ShardRole::kDecode;
+  }
+  return roles;
+}
+
+// ---------------- interconnect cost model ----------------
+
+TEST(InterconnectTest, UncontendedLocalDmaMatchesAdditiveCost) {
+  hw::U280Config u280 = hw::U280Config::Default();
+  hw::MultiCardConfig cards = hw::MultiCardConfig::Homogeneous(u280, 1);
+  Interconnect ic(cards);
+  const hw::HbmConfig& hbm = u280.hbm;
+  const std::uint64_t bytes = 1 << 20;
+  const std::uint64_t agg =
+      static_cast<std::uint64_t>(hbm.num_channels) *
+      hbm.bytes_per_cycle_per_channel;
+  const sim::Cycles expect = hbm.dma_setup_cycles + hbm.latency_cycles +
+                             (bytes + agg - 1) / agg;
+  const hw::TransferTiming t = ic.LocalDma(1000, bytes, 0);
+  EXPECT_EQ(t.start, 1000u);
+  EXPECT_EQ(t.end, 1000 + expect);
+  EXPECT_EQ(ic.local_dma_bytes(0), static_cast<std::int64_t>(bytes));
+}
+
+TEST(InterconnectTest, ConcurrentLocalDmaSerializesOnTheSharedChannel) {
+  hw::U280Config u280 = hw::U280Config::Default();
+  hw::MultiCardConfig cards = hw::MultiCardConfig::Homogeneous(u280, 1);
+  Interconnect ic(cards);
+  const std::uint64_t bytes = 1 << 18;
+  const hw::TransferTiming a = ic.LocalDma(0, bytes, 0);
+  const sim::Cycles single = a.end;
+  // Issued at the same ready time, the second move queues behind the
+  // first: together they take exactly twice one move's cost, not the
+  // additive-per-tick overlap of the old model.
+  const hw::TransferTiming b = ic.LocalDma(0, bytes, 0);
+  EXPECT_EQ(b.end, 2 * single);
+}
+
+TEST(InterconnectTest, CrossCardTransferCrossesReadLinkWrite) {
+  hw::U280Config u280 = hw::U280Config::Default();
+  hw::MultiCardConfig cards = hw::MultiCardConfig::Homogeneous(u280, 2);
+  Interconnect ic(cards);
+  const std::uint64_t bytes = 1 << 16;
+  const sim::Cycles estimate = ic.EstimateTransferEnd(0, bytes, 0, 1);
+  const hw::TransferTiming t = ic.Transfer(0, bytes, 0, 1);
+  EXPECT_EQ(t.end, estimate);  // uncontended estimate is exact
+  // Strictly more than a local move (link latency + second HBM leg).
+  Interconnect fresh(cards);
+  EXPECT_GT(t.end, fresh.LocalDma(0, bytes, 0).end);
+  EXPECT_EQ(ic.link_bytes(0, 1), static_cast<std::int64_t>(bytes));
+  EXPECT_EQ(ic.transfer_out_bytes(0), static_cast<std::int64_t>(bytes));
+  EXPECT_EQ(ic.transfer_in_bytes(1), static_cast<std::int64_t>(bytes));
+  EXPECT_EQ(ic.num_transfers(), 1);
+}
+
+// ---------------- role validation ----------------
+
+TEST(DisaggTest, ValidateClusterRolesRejectsBadAssignments) {
+  ClusterConfig config;
+  EXPECT_TRUE(ValidateClusterRoles(config, 3).ok());  // empty = unified
+  config.shard_roles = {ShardRole::kPrefill, ShardRole::kDecode};
+  EXPECT_TRUE(ValidateClusterRoles(config, 2).ok());
+  EXPECT_FALSE(ValidateClusterRoles(config, 3).ok());  // size mismatch
+  config.shard_roles = {ShardRole::kDecode, ShardRole::kDecode};
+  EXPECT_FALSE(ValidateClusterRoles(config, 2).ok());  // nobody prefills
+  config.shard_roles = {ShardRole::kPrefill, ShardRole::kUnified};
+  EXPECT_FALSE(ValidateClusterRoles(config, 2).ok());  // no decode target
+  config.shard_roles = {ShardRole::kUnified, ShardRole::kDecode};
+  EXPECT_FALSE(ValidateClusterRoles(config, 2).ok());  // no prefill feeder
+  config.shard_roles = {ShardRole::kUnified, ShardRole::kUnified};
+  EXPECT_TRUE(ValidateClusterRoles(config, 2).ok());
+}
+
+// ---------------- byte-identity property tests ----------------
+
+TEST(DisaggTest, TokenStreamsIdenticalToUnifiedAcrossRolesDtypesCaching) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = MixedTrace(f.config, 10);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.9f;  // stochastic sampling: the strictest check
+  sc.seed = 13;
+
+  ContinuousBatchScheduler single(prog, f.weights, f.u280);
+  auto baseline = single.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (KvCacheDtype dtype : {KvCacheDtype::kFp16, KvCacheDtype::kInt8}) {
+    for (bool cache : {false, true}) {
+      for (int cards : {1, 2, 4}) {
+        ClusterConfig config;
+        config.shard.kv_cache_dtype = dtype;
+        config.shard.enable_prefix_cache = cache;
+        if (cards > 1) config.shard_roles = Roles(cards);
+        ClusterRouter router(prog, f.weights,
+                             hw::MultiCardConfig::Homogeneous(f.u280, cards),
+                             config);
+        auto report = router.Run(reqs, sc);
+        ASSERT_TRUE(report.ok())
+            << cards << " cards dtype " << static_cast<int>(dtype)
+            << " cache " << cache << ": " << report.status().ToString();
+        ASSERT_EQ(report->merged.outcomes.size(), reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          EXPECT_EQ(report->merged.outcomes[i].generated,
+                    baseline->outcomes[i].generated)
+              << cards << " cards dtype " << static_cast<int>(dtype)
+              << " cache " << cache << " request " << i;
+        }
+        if (cards > 1) {
+          // Disaggregated mode genuinely hands off: every completed
+          // request crossed the interconnect exactly once.
+          EXPECT_GT(report->kv_handoffs, 0);
+          EXPECT_GT(report->kv_transfer_bytes, 0);
+          for (const RequestOutcome& outcome : report->merged.outcomes) {
+            EXPECT_EQ(outcome.handoffs, 1);
+          }
+          // Decode specialists never run first-pass prefill, yet serve
+          // every request's decode: all completions land on them.
+          for (std::int32_t card : report->shard_of_request) {
+            EXPECT_GE(card, cards / 2);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DisaggTest, StreamsIdenticalUnderEveryFetchPolicy) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = SharedTrace(f.config, 14);
+  llama::SamplerConfig sc;
+  sc.temperature = 0.8f;
+  sc.seed = 21;
+
+  ContinuousBatchScheduler single(prog, f.weights, f.u280);
+  auto baseline = single.Run(reqs, sc);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (PrefixFetchPolicy policy :
+       {PrefixFetchPolicy::kAuto, PrefixFetchPolicy::kAlwaysFetch,
+        PrefixFetchPolicy::kNeverFetch}) {
+    ClusterConfig config;
+    config.shard.block_size_tokens = 8;
+    config.prefix_fetch = policy;
+    ClusterRouter router(prog, f.weights,
+                         hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+    auto report = router.Run(reqs, sc);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(report->merged.outcomes[i].generated,
+                baseline->outcomes[i].generated)
+          << PrefixFetchPolicyName(policy) << " request " << i;
+    }
+  }
+}
+
+// ---------------- remote-fetch arbitration ----------------
+
+TEST(DisaggTest, FetchPolicySeamsForceEachArbitrationBranch) {
+  Fixture f;
+  auto prog = f.Compile();
+  auto reqs = SharedTrace(f.config, 14);
+  llama::SamplerConfig sc;
+  sc.seed = 21;
+
+  auto run = [&](PrefixFetchPolicy policy) {
+    ClusterConfig config;
+    config.shard.block_size_tokens = 8;
+    config.placement = PlacementPolicy::kRoundRobin;  // splits prefixes
+    config.prefix_fetch = policy;
+    ClusterRouter router(prog, f.weights,
+                         hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+    auto report = router.Run(reqs, sc);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(*report);
+  };
+
+  const ClusterReport never = run(PrefixFetchPolicy::kNeverFetch);
+  EXPECT_EQ(never.remote_prefix_hits, 0);
+  EXPECT_TRUE(never.prefix_fetch_log.empty());
+
+  const ClusterReport always = run(PrefixFetchPolicy::kAlwaysFetch);
+  EXPECT_GT(always.remote_prefix_hits, 0);
+  EXPECT_GT(always.remote_prefix_hit_tokens, 0);
+  EXPECT_GT(always.kv_transfer_bytes, 0);
+  bool saw_fetch = false;
+  for (const auto& d : always.prefix_fetch_log) {
+    if (d.fetched) saw_fetch = true;
+    EXPECT_GT(d.tokens, 0);
+    EXPECT_GT(d.bytes, 0);
+    EXPECT_NE(d.src_card, d.dst_card);
+  }
+  EXPECT_TRUE(saw_fetch);
+
+  const ClusterReport aut = run(PrefixFetchPolicy::kAuto);
+  // The arbitration invariant: a chosen fetch never costs more than the
+  // recompute it replaced (by the model's own estimates).
+  for (const auto& d : aut.prefix_fetch_log) {
+    if (d.fetched) {
+      EXPECT_LE(d.fetch_seconds_estimate, d.recompute_seconds_estimate)
+          << "stream " << d.stream_index;
+    }
+  }
+}
+
+// ---------------- DMA reconciliation ----------------
+
+TEST(DisaggTest, InterconnectLocalDmaReconcilesWithPoolStats) {
+  Fixture f;
+  auto prog = f.Compile();
+  // A tight pool forces preemption/restore and COW traffic.
+  auto reqs = SharedTrace(f.config, 16);
+  llama::SamplerConfig sc;
+  sc.seed = 5;
+  ClusterConfig config;
+  config.shard.block_size_tokens = 8;
+  config.shard.charge_dma_cost = true;
+  const std::uint64_t tight = 10ull * 8 * KvBytesPerToken(f.config);
+  config.kv_pool_bytes_per_card = {tight, tight};
+  ClusterRouter router(prog, f.weights,
+                       hw::MultiCardConfig::Homogeneous(f.u280, 2), config);
+  auto report = router.Run(reqs, sc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Every COW/restore/swap byte the pools report was queued through the
+  // interconnect's shared channel stations -- nothing is double-charged
+  // and nothing bypasses the queue.
+  const std::int64_t queued = std::accumulate(
+      report->card_local_dma_bytes.begin(),
+      report->card_local_dma_bytes.end(), std::int64_t{0});
+  EXPECT_GT(report->merged.dma_bytes_moved, 0);
+  EXPECT_EQ(queued, report->merged.dma_bytes_moved);
+}
+
+// ---------------- prefix-directory persistence ----------------
+
+TEST(DisaggTest, PrefixDirectorySurvivesEngineRestart) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.seed = 9;
+
+  api::EngineConfig ec;
+  ec.num_cards = 2;
+  ec.scheduler.block_size_tokens = 8;
+  ec.sampler = sc;
+
+  // First life: serve shared-prefix traffic, then snapshot the index.
+  PrefixDirectorySnapshot snapshot;
+  {
+    api::Engine engine(prog, f.weights, f.u280, ec);
+    for (const ServingRequest& r : SharedTrace(f.config, 8)) {
+      auto h = engine.Submit(r);
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+    }
+    engine.RunToCompletion();
+    snapshot = engine.ExportPrefixDirectory();
+    EXPECT_FALSE(snapshot.chains.empty());
+    auto report = engine.Finish();
+    ASSERT_TRUE(report.ok());
+  }
+
+  // Second life, cold: the same probe request re-prefills everything.
+  auto probe_trace = SharedTrace(f.config, 8);
+  const ServingRequest& probe = probe_trace.front();
+  std::vector<std::int32_t> cold_tokens;
+  {
+    api::Engine engine(prog, f.weights, f.u280, ec);
+    auto h = engine.Submit(probe);
+    ASSERT_TRUE(h.ok());
+    engine.RunToCompletion();
+    auto report = engine.Finish();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->merged.prefix_cache_hit_tokens, 0);
+    cold_tokens = report->merged.outcomes[0].generated;
+  }
+
+  // Second life, warm-started from the snapshot: immediate prefix hit,
+  // identical tokens.
+  {
+    api::Engine engine(prog, f.weights, f.u280, ec);
+    engine.ImportPrefixDirectory(snapshot);
+    auto h = engine.Submit(probe);
+    ASSERT_TRUE(h.ok());
+    engine.RunToCompletion();
+    auto report = engine.Finish();
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->merged.prefix_cache_hit_tokens, 0);
+    EXPECT_EQ(report->merged.outcomes[0].generated, cold_tokens);
+  }
+}
+
+TEST(DisaggTest, ExportImportRoundTripsThroughTheDirectory) {
+  Fixture f;
+  auto prog = f.Compile();
+  llama::SamplerConfig sc;
+  sc.seed = 9;
+  api::EngineConfig ec;
+  ec.num_cards = 2;
+  ec.scheduler.block_size_tokens = 8;
+  ec.sampler = sc;
+
+  PrefixDirectorySnapshot first;
+  {
+    api::Engine engine(prog, f.weights, f.u280, ec);
+    for (const ServingRequest& r : SharedTrace(f.config, 8)) {
+      ASSERT_TRUE(engine.Submit(r).ok());
+    }
+    engine.RunToCompletion();
+    first = engine.ExportPrefixDirectory();
+    ASSERT_TRUE(engine.Finish().ok());
+  }
+  // Importing a snapshot then re-exporting reproduces every chain the
+  // fresh engine installed (the listeners rebuilt the directory).
+  api::Engine engine(prog, f.weights, f.u280, ec);
+  engine.ImportPrefixDirectory(first);
+  PrefixDirectorySnapshot second = engine.ExportPrefixDirectory();
+  ASSERT_EQ(second.chains.size(), first.chains.size());
+  for (std::size_t i = 0; i < first.chains.size(); ++i) {
+    EXPECT_EQ(second.chains[i].card, first.chains[i].card);
+    EXPECT_EQ(second.chains[i].tokens, first.chains[i].tokens);
+  }
+}
+
+}  // namespace
+}  // namespace speedllm::serving

@@ -10,7 +10,12 @@ trace
   * every timestamp and duration is finite and non-negative,
   * every legacy-async begin (``ph: "b"``) has a matching end (``"e"``)
     with the same (cat, id, name) and end_ts >= begin_ts,
-  * flow arrows come in complete chains (an ``s`` and an ``f`` per id).
+  * flow arrows come in complete chains (an ``s`` and an ``f`` per id),
+  * card-to-card KV transfers come in send/recv pairs: every
+    ``kv_transfer`` slice with ``detail: "send"`` has a matching
+    ``"recv"`` slice sharing the same stream, time window, and byte
+    count on a *different* card lane, and vice versa (the exporter
+    emits both endpoints of each interconnect transfer).
 
 metrics
   * every sample's value count equals the scalar series count,
@@ -120,6 +125,44 @@ def check_trace(trace, errors):
     for fid, roles in flow_roles.items():
         if "s" not in roles or "f" not in roles:
             errors.append(f"flow id {fid}: incomplete chain (saw {roles})")
+    check_kv_transfer_pairing(events, errors)
+
+
+def check_kv_transfer_pairing(events, errors):
+    """Every interconnect transfer must appear on both cards' lanes.
+
+    The exporter emits each card-to-card KV move as two ``kv_transfer``
+    slices -- ``detail: "send"`` on the source card's DMA lane and
+    ``detail: "recv"`` on the destination's -- sharing one time window,
+    stream, and byte count. Transfers sharing (stream, ts, dur, bytes)
+    are grouped; each group needs equally many sends and recvs, and a
+    lone pair must sit on two different lanes (no self-transfers).
+    """
+    groups = {}  # (stream, ts, dur, bytes) -> {"send": [tid...], ...}
+    for i, ev in enumerate(events):
+        if ev.get("name") != "kv_transfer":
+            continue
+        args = ev.get("args", {})
+        detail = args.get("detail")
+        if detail not in ("send", "recv"):
+            errors.append(f"traceEvents[{i}]: kv_transfer detail must be "
+                          f"'send' or 'recv', got {detail!r}")
+            continue
+        key = (args.get("stream"), ev.get("ts"), ev.get("dur"),
+               args.get("bytes"))
+        groups.setdefault(key, {"send": [], "recv": []})[detail].append(
+            ev.get("tid"))
+    for (stream, ts, dur, bytes_), sides in groups.items():
+        n_send, n_recv = len(sides["send"]), len(sides["recv"])
+        if n_send != n_recv:
+            errors.append(
+                f"kv_transfer stream {stream} at ts {ts} ({bytes_} bytes): "
+                f"{n_send} send(s) vs {n_recv} recv(s)")
+        elif n_send == 1 and sides["send"][0] == sides["recv"][0]:
+            errors.append(
+                f"kv_transfer stream {stream} at ts {ts}: send and recv "
+                f"on the same lane (tid {sides['send'][0]}) -- "
+                f"self-transfer or mislabeled endpoint")
 
 
 def check_metrics(metrics, errors):
