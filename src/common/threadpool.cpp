@@ -4,6 +4,15 @@
 
 namespace speedllm {
 
+namespace {
+// True while the current thread is executing a batch task (worker threads
+// and the dispatching caller's own share alike). Nested ParallelFor /
+// ParallelRun calls observe it and run inline, which both avoids deadlock
+// and keeps nested work deterministic. Thread-local rather than a pool
+// member so a second external caller is never mistaken for a nested one.
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -30,16 +39,27 @@ void ThreadPool::WorkerLoop(unsigned worker_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Task task;
+    const std::function<void(std::size_t)>* item_fn = nullptr;
+    std::size_t n_items = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = epoch_;
+      item_fn = item_fn_;
+      n_items = n_items_;
       task = tasks_[worker_index];
     }
-    if (task.fn != nullptr && task.begin < task.end) {
+    t_in_pool_task = true;
+    if (item_fn != nullptr) {
+      for (std::size_t i = next_item_.fetch_add(1); i < n_items;
+           i = next_item_.fetch_add(1)) {
+        (*item_fn)(i);
+      }
+    } else if (task.fn != nullptr && task.begin < task.end) {
       (*task.fn)(task.begin, task.end);
     }
+    t_in_pool_task = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) cv_done_.notify_all();
@@ -52,19 +72,15 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (n <= 0) return;
   const unsigned total_threads = num_threads();
-  // Run inline when the pool has no workers, the range is tiny, or we are
-  // already inside a parallel region (avoids deadlock on re-entry).
-  bool inline_only;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    inline_only = workers_.empty() || in_parallel_region_ ||
-                  n < static_cast<std::int64_t>(2 * total_threads);
-    if (!inline_only) in_parallel_region_ = true;
-  }
-  if (inline_only) {
+  // Run inline when the pool has no workers, the range is tiny, or this
+  // thread is already inside a pool task (nested call).
+  if (t_in_pool_task || workers_.empty() ||
+      n < static_cast<std::int64_t>(2 * total_threads)) {
     fn(0, n);
     return;
   }
+  // Concurrent external callers take turns; each gets the whole pool.
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
 
   const std::int64_t chunks = std::min<std::int64_t>(total_threads, n);
   const std::int64_t base = n / chunks;
@@ -77,6 +93,7 @@ void ThreadPool::ParallelFor(
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    item_fn_ = nullptr;
     unsigned launched = 0;
     for (std::int64_t c = 1; c < chunks; ++c) {
       tasks_[launched].fn = &fn;
@@ -95,12 +112,49 @@ void ThreadPool::ParallelFor(
   cv_task_.notify_all();
 
   // The calling thread runs chunk 0.
+  t_in_pool_task = true;
   fn(0, chunk_begin(1));
+  t_in_pool_task = false;
 
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [&] { return pending_ == 0; });
-    in_parallel_region_ = false;
+  }
+}
+
+void ThreadPool::ParallelRun(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (t_in_pool_task || workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    item_fn_ = &fn;
+    n_items_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    for (auto& task : tasks_) {
+      task.fn = nullptr;
+      task.begin = task.end = 0;
+    }
+    pending_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  cv_task_.notify_all();
+
+  t_in_pool_task = true;
+  for (std::size_t i = next_item_.fetch_add(1); i < n;
+       i = next_item_.fetch_add(1)) {
+    fn(i);
+  }
+  t_in_pool_task = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    item_fn_ = nullptr;
   }
 }
 

@@ -3,9 +3,13 @@
 // The CPU reference model and the quantized kernels split matmul rows
 // across a fixed pool of workers (fork/join, static partitioning -- the
 // shapes are regular so dynamic scheduling buys nothing and costs sync).
+// The parallel shard-tick driver reuses the same pool with ParallelRun
+// (one task per index, dynamic pickup) for its per-lane dispatch.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -14,8 +18,15 @@
 
 namespace speedllm {
 
-/// Fixed-size fork/join thread pool. ParallelFor blocks until all chunks
-/// complete; nested ParallelFor calls from within a task run inline.
+/// Fixed-size fork/join thread pool.
+///
+/// Both entry points block until the whole batch completes. Nested calls
+/// from inside a pool task run inline on the calling worker (detected via
+/// a thread-local flag, so detection works even when the nested call
+/// arrives through a different code path than the outer one). Distinct
+/// external threads may call into the same pool concurrently: callers
+/// serialize on an internal mutex, so each batch still gets the full pool
+/// rather than silently degrading to inline execution.
 class ThreadPool {
  public:
   /// threads == 0 picks hardware_concurrency (at least 1).
@@ -30,8 +41,16 @@ class ThreadPool {
   /// Runs fn(begin, end) over [0, n) split into roughly equal contiguous
   /// chunks, one per pool thread (the calling thread works too). Blocks
   /// until every chunk finishes. fn must be safe to call concurrently.
+  /// Small ranges (n < 2 * num_threads()) run inline on the caller.
   void ParallelFor(std::int64_t n,
                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Runs fn(i) for every i in [0, n), one index per task with dynamic
+  /// pickup (workers and the calling thread race on a shared counter).
+  /// Unlike ParallelFor there is no inline-below-threshold heuristic:
+  /// even n == 2 fans out, which is what the parallel tick driver needs
+  /// when each index is a long-running shard lane of uneven cost.
+  void ParallelRun(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool sized to the machine; lazily constructed.
   static ThreadPool& Global();
@@ -46,14 +65,17 @@ class ThreadPool {
   void WorkerLoop(unsigned worker_index);
 
   std::vector<std::thread> workers_;
+  std::mutex caller_mu_;          // serializes concurrent external callers
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
-  std::vector<Task> tasks_;       // one slot per worker; valid when epoch_ advances
-  std::uint64_t epoch_ = 0;       // bumped per ParallelFor batch
+  std::vector<Task> tasks_;       // range mode: one slot per worker
+  const std::function<void(std::size_t)>* item_fn_ = nullptr;  // item mode
+  std::size_t n_items_ = 0;
+  std::atomic<std::size_t> next_item_{0};
+  std::uint64_t epoch_ = 0;       // bumped per batch
   unsigned pending_ = 0;          // workers still running current batch
   bool shutdown_ = false;
-  bool in_parallel_region_ = false;
 };
 
 }  // namespace speedllm

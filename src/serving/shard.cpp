@@ -159,6 +159,7 @@ void ShardScheduler::Submit(const ServingRequest& request,
                  static_cast<std::int64_t>(request.prompt.size()) +
                      request.max_new_tokens);
   queued_demand_blocks_ += BlocksForRequest(request);
+  ++never_admitted_waiting_;
   seqs_.push_back(std::move(seq));
   waiting_.push_back(seqs_.size() - 1);
   if (!tick_pending_) ScheduleTick(engine_.now());
@@ -207,6 +208,7 @@ ShardScheduler::StealNewestQueued(const StreamPredicate& eligible) {
                    -(static_cast<std::int64_t>(seq.request->prompt.size()) +
                      seq.request->max_new_tokens));
     queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+    --never_admitted_waiting_;
     waiting_.erase(std::next(it).base());
     return std::pair{seq.request, seq.stream_index};
   }
@@ -308,7 +310,11 @@ ServingReport ShardScheduler::TakeReport(
 
 void ShardScheduler::ScheduleTick(sim::Cycles at) {
   tick_pending_ = true;
-  engine_.ScheduleAt(at, [this] { RunTick(); });
+  // Lane-tagged so RunParallel may tick shards concurrently; the
+  // predicate declines whenever this tick could reach outside the shard
+  // (handoff or a live rebalance trigger -- see TickParallelSafe).
+  engine_.ScheduleAt(at, lane_, [this] { return TickParallelSafe(); },
+                     [this] { RunTick(); });
 }
 
 // -------------------------------------------------------------- planning
@@ -759,6 +765,7 @@ Status ShardScheduler::Abort(std::size_t stream_index) {
       waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq_id));
       if (!seq.ever_admitted) {
         queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+        --never_admitted_waiting_;
       }
     } else {
       Status st = pool_.Release(seq_id);
@@ -987,6 +994,7 @@ void ShardScheduler::RunTick() {
         seq.outcome.admission_seconds = start_s;
         // No longer queued demand: its blocks now come out of the pool.
         queued_demand_blocks_ -= BlocksForRequest(*seq.request);
+        --never_admitted_waiting_;
         if (telemetry_.tracing()) {
           telemetry_.Record(MakeEvent(
               obs::RequestEventKind::kQueueWait,
@@ -1222,7 +1230,10 @@ void ShardScheduler::RunTick() {
     // cards' overlapping ticks. Defer the snapshot to an event at the
     // tick's end: the event queue then serializes samples in time order.
     if (telemetry_.OnTickEnd(sample)) {
-      engine_.ScheduleAt(end_cycles, [this, end_s] {
+      // Lane-tagged and always safe: registry writes stage through
+      // obs::TelemetryStage under RunParallel, so this only touches
+      // lane-owned state plus the staged side channel.
+      engine_.ScheduleAt(end_cycles, lane_, nullptr, [this, end_s] {
         telemetry_.SampleNow(end_s);
       });
     }
@@ -1235,7 +1246,10 @@ void ShardScheduler::RunTick() {
     pending_emissions_.insert(pending_emissions_.end(),
                               tick_emissions_.begin(), tick_emissions_.end());
     tick_emissions_.clear();
-    engine_.ScheduleAt(end_cycles, [this] { DeliverEmissions(); });
+    // Lane-tagged, but only safe while no user emission hooks can run
+    // (hook code may Submit/Abort across shards).
+    engine_.ScheduleAt(end_cycles, lane_, emissions_parallel_safe_,
+                       [this] { DeliverEmissions(); });
   }
 
   if (!residents_.empty() || !waiting_.empty()) ScheduleTick(end_cycles);
