@@ -1,6 +1,7 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -54,6 +55,16 @@ Engine::Engine(const accel::Program& program, const llama::Weights& weights,
   if (setup_.ok()) {
     setup_ = serving::ValidateClusterRoles(ToClusterConfig(config_),
                                            cards_.num_cards());
+  }
+  if (setup_.ok()) {
+    // Out-of-range knobs are clamped by NormalizeSchedulerConfig; only
+    // non-finite values are unrecoverable.
+    const serving::SpeculativeConfig& spec = config_.scheduler.speculative;
+    if (spec.enable && (!std::isfinite(spec.acceptance_rate) ||
+                        !std::isfinite(spec.draft_cost_ratio))) {
+      setup_ = InvalidArgument(
+          "speculative acceptance_rate / draft_cost_ratio must be finite");
+    }
   }
   if (!setup_.ok()) return;
   session_ = std::make_unique<serving::ClusterSession>(

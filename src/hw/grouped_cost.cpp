@@ -1,0 +1,39 @@
+#include "hw/grouped_cost.hpp"
+
+#include <algorithm>
+
+namespace speedllm::hw {
+
+GroupedKernelCostModel::GroupedKernelCostModel(double shared_step_seconds,
+                                               double shared_share_cap)
+    : shared_step_seconds_(shared_step_seconds),
+      shared_share_cap_(shared_share_cap) {}
+
+void GroupedKernelCostModel::BeginGroup() {
+  max_shared_ = 0.0;
+  marginal_ = 0.0;
+}
+
+double GroupedKernelCostModel::AddProblem(double seconds) {
+  // The amortisable share of this problem: the launch-invariant weight
+  // stream, but never more than the configured cap of the problem's own
+  // cost -- a tiny problem cannot amortise a stream it never read.
+  const double shared = std::min(shared_step_seconds_, shared_share_cap_ * seconds);
+  max_shared_ = std::max(max_shared_, shared);
+  const double marginal = seconds - shared;
+  marginal_ += marginal;
+  return marginal;
+}
+
+void GroupedKernelCostModel::AddDraftRows(std::int64_t rows,
+                                          double proxy_seconds,
+                                          double cost_ratio) {
+  if (rows <= 0) return;
+  marginal_ += static_cast<double>(rows) * proxy_seconds * cost_ratio;
+}
+
+void GroupedKernelCostModel::AddSerialSeconds(double seconds) {
+  marginal_ += seconds;
+}
+
+}  // namespace speedllm::hw

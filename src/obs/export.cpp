@@ -267,6 +267,8 @@ std::string ToChromeTraceJson(const RequestTraceRecorder& trace,
                         EventArgs(e)));
         break;
       case RequestEventKind::kRemoteHit:
+      case RequestEventKind::kDraftPropose:
+      case RequestEventKind::kVerifyAccept:
         emit.Item(Instant(name, kServingPid, tid, ts, EventArgs(e)));
         mark(e, e.start_seconds);
         break;

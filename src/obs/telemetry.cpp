@@ -23,6 +23,8 @@ std::string_view RequestEventKindName(RequestEventKind kind) {
     case RequestEventKind::kShed: return "shed";
     case RequestEventKind::kFinish: return "finish";
     case RequestEventKind::kTick: return "tick";
+    case RequestEventKind::kDraftPropose: return "draft_propose";
+    case RequestEventKind::kVerifyAccept: return "verify_accept";
   }
   return "unknown";
 }
@@ -226,6 +228,10 @@ bool ShardChannel::OnTickEnd(const ShardTickSample& sample) {
                  static_cast<double>(sample.cum_dma_bytes));
   registry_->Set(ids_.preemptions_total,
                  static_cast<double>(sample.cum_preemptions));
+  registry_->Add(ids_.spec_draft_tokens_total,
+                 static_cast<double>(sample.spec_draft_tokens));
+  registry_->Add(ids_.spec_accepted_tokens_total,
+                 static_cast<double>(sample.spec_accepted_tokens));
   ++ticks_seen_;
   return ticks_seen_ % sample_every_ticks_ == 0;
 }
@@ -307,6 +313,13 @@ ShardChannel Telemetry::MakeShardChannel(std::int32_t card) {
     ids.preemptions_total = metrics_->AddCounter(
         "speedllm_preemptions_total", "Sequences preempted (swapped out)",
         "preemptions", labels);
+    ids.spec_draft_tokens_total = metrics_->AddCounter(
+        "speedllm_spec_draft_tokens_total",
+        "Speculative draft tokens proposed", "tokens", labels);
+    ids.spec_accepted_tokens_total = metrics_->AddCounter(
+        "speedllm_spec_accepted_tokens_total",
+        "Speculative draft tokens accepted and committed by verify",
+        "tokens", labels);
   }
   return ShardChannel(trace_.get(), metrics_.get(), card, ids, ttft_hist_,
                       tpot_hist_, config_.sample_every_ticks);

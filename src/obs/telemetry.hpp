@@ -55,6 +55,8 @@ enum class RequestEventKind {
   kShed,         ///< instant: rejected by admission control (terminal)
   kFinish,       ///< instant: finish delivered (`detail` names the reason)
   kTick,         ///< span: one scheduler tick on a card (shard-level)
+  kDraftPropose, ///< instant: speculative draft proposed `tokens` tokens
+  kVerifyAccept, ///< instant: verify committed `tokens` accepted drafts
 };
 
 /// Stable lower-snake name for `kind` ("decode_token", "tick", ...) --
@@ -280,6 +282,8 @@ struct ShardMetricIds {
   MetricsRegistry::MetricId cache_lookup_tokens_total = 0;  ///< eligible
   MetricsRegistry::MetricId dma_bytes_total = 0;     ///< KV bytes moved
   MetricsRegistry::MetricId preemptions_total = 0;   ///< swap-outs
+  MetricsRegistry::MetricId spec_draft_tokens_total = 0;  ///< drafts proposed
+  MetricsRegistry::MetricId spec_accepted_tokens_total = 0;  ///< drafts kept
 };
 
 /// Everything a ShardScheduler reports at the end of one tick; the
@@ -297,6 +301,8 @@ struct ShardTickSample {
   std::int64_t cum_cache_lookup_tokens = 0;  ///< pool stat, cumulative
   std::int64_t cum_dma_bytes = 0;     ///< pool stat, cumulative
   std::int64_t cum_preemptions = 0;   ///< pool stat, cumulative
+  std::int64_t spec_draft_tokens = 0;     ///< drafts proposed this tick
+  std::int64_t spec_accepted_tokens = 0;  ///< drafts committed this tick
 };
 
 /// A shard's cheap handle into the telemetry sinks: a trace recorder

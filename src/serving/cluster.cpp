@@ -863,6 +863,9 @@ ClusterReport ClusterSession::Harvest() {
     m.cache_evictions += shard.cache_evictions;
     m.dma_bytes_moved += shard.dma_bytes_moved;
     m.dma_time_seconds += shard.dma_time_seconds;
+    m.spec_draft_tokens += shard.spec_draft_tokens;
+    m.spec_accepted_tokens += shard.spec_accepted_tokens;
+    m.spec_wasted_tokens += shard.spec_wasted_tokens;
     m.peak_kv_blocks += shard.peak_kv_blocks;
     m.kv_block_capacity += shard.kv_block_capacity;
     m.kv_capacity_bytes += shard.kv_capacity_bytes;

@@ -398,8 +398,80 @@ Status KvBlockPool::Append(std::uint64_t seq, std::int32_t token) {
   }
   state.tail.push_back(token);
   ++state.tokens;
-  if (state.tokens % bs == 0) SealTailBlock(state);
+  if (state.speculating) ++stats_.spec_draft_tokens;
+  if (state.tokens % bs == 0) {
+    if (state.speculating) {
+      // Draft content must never enter the content-address index: the
+      // tokens are a draft model's guesses, not committed stream
+      // content. Advance the chain shape (rollback restores it) but
+      // skip the cache insert and its listener.
+      state.chain_hash = MixBlock(state.chain_hash, state.tail);
+      state.tail.clear();
+    } else {
+      SealTailBlock(state);
+    }
+  }
   return Status::Ok();
+}
+
+Status KvBlockPool::BeginSpeculation(std::uint64_t seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) {
+    return NotFound("sequence " + std::to_string(seq) +
+                    " not registered in KV pool");
+  }
+  SeqState& state = it->second;
+  if (state.speculating) {
+    return FailedPrecondition("sequence " + std::to_string(seq) +
+                              " already has an open draft phase");
+  }
+  state.speculating = true;
+  state.spec_tokens = state.tokens;
+  state.spec_num_blocks = state.blocks.size();
+  state.spec_chain_hash = state.chain_hash;
+  state.spec_tail = state.tail;
+  ++stats_.spec_phases;
+  return Status::Ok();
+}
+
+Status KvBlockPool::RollbackSpeculation(std::uint64_t seq) {
+  auto it = seqs_.find(seq);
+  if (it == seqs_.end()) {
+    return NotFound("sequence " + std::to_string(seq) +
+                    " not registered in KV pool");
+  }
+  SeqState& state = it->second;
+  if (!state.speculating) {
+    return FailedPrecondition("sequence " + std::to_string(seq) +
+                              " has no open draft phase");
+  }
+  // Draft-only blocks past the snapshot were allocated with sealing
+  // suppressed, so nobody else could ever have acquired them: refcount
+  // is exactly one and they are not cached, which makes DropBlockRef
+  // return them straight to the free list.
+  while (state.blocks.size() > state.spec_num_blocks) {
+    const std::int32_t block = state.blocks.back();
+    assert(meta_[static_cast<std::size_t>(block)].refcount == 1 &&
+           !meta_[static_cast<std::size_t>(block)].cached &&
+           "draft-only block leaked a reference or a cache entry");
+    DropBlockRef(block);
+    state.blocks.pop_back();
+    ++stats_.spec_rollback_blocks;
+  }
+  // If a copy-on-write replaced the snapshot's tail block mid-phase, the
+  // private copy stays: it holds the committed prefix content, exactly
+  // the after-COW state a non-speculative write would have left.
+  state.tokens = state.spec_tokens;
+  state.chain_hash = state.spec_chain_hash;
+  state.tail = std::move(state.spec_tail);
+  state.spec_tail.clear();
+  state.speculating = false;
+  return Status::Ok();
+}
+
+bool KvBlockPool::InSpeculation(std::uint64_t seq) const {
+  auto it = seqs_.find(seq);
+  return it != seqs_.end() && it->second.speculating;
 }
 
 Status KvBlockPool::Release(std::uint64_t seq, bool preempted) {

@@ -180,6 +180,11 @@ struct KvPoolStats {
   std::int64_t restore_dma_bytes = 0;
   /// Bytes of privately-owned KV written out by preemption swap-outs.
   std::int64_t swap_dma_bytes = 0;
+
+  // ----- speculative decoding (draft phases) -----
+  std::int64_t spec_phases = 0;          ///< BeginSpeculation calls
+  std::int64_t spec_draft_tokens = 0;    ///< tokens appended inside a draft phase
+  std::int64_t spec_rollback_blocks = 0; ///< draft-only blocks freed by rollback
 };
 
 /// Result of a cached-prefix probe/acquisition.
@@ -299,6 +304,30 @@ class KvBlockPool {
   /// (callers preempt and retry).
   Status Append(std::uint64_t seq, std::int32_t token);
 
+  /// Opens a draft (speculative) phase for `seq`: snapshots the
+  /// sequence's {token count, block table length, chain hash, unsealed
+  /// tail} so every Append made until RollbackSpeculation can be undone.
+  /// While the phase is open, just-filled tails are *not* sealed into
+  /// the content-address index (draft content must never pollute the
+  /// prefix cache) and draft-only blocks are never shareable, so their
+  /// refcount stays exactly one. Copy-on-write of a shared pre-mark tail
+  /// still happens (and still counts DMA bytes) -- the private copy
+  /// survives rollback holding the committed prefix, exactly the
+  /// after-COW state a non-speculative write would have produced.
+  /// Fails on unknown `seq` or a nested phase. Release mid-phase is
+  /// legal (a Cancel mid-verify) and frees draft blocks with the rest.
+  Status BeginSpeculation(std::uint64_t seq);
+
+  /// Closes `seq`'s draft phase: frees every draft-only block past the
+  /// snapshot (refcounts provably one, never cached) and restores the
+  /// snapshot state, leaving the sequence byte-identical -- same token
+  /// count, chain hash, and tail content -- to the moment
+  /// BeginSpeculation ran. Fails when no phase is open.
+  Status RollbackSpeculation(std::uint64_t seq);
+
+  /// True while `seq` has an open draft phase.
+  bool InSpeculation(std::uint64_t seq) const;
+
   /// Drops `seq`'s references and forgets it. Blocks whose refcount hits
   /// zero return to the free list, or to the evictable LRU list when
   /// they hold cached content; co-owners of shared blocks are never
@@ -353,6 +382,13 @@ class KvBlockPool {
     std::uint64_t chain_hash = 0;
     /// Token values in the unsealed tail; size == tokens % block_size.
     std::vector<std::int32_t> tail;
+    /// Draft phase open (BeginSpeculation without a rollback yet).
+    bool speculating = false;
+    /// Snapshot for RollbackSpeculation, valid while `speculating`.
+    std::int64_t spec_tokens = 0;
+    std::size_t spec_num_blocks = 0;
+    std::uint64_t spec_chain_hash = 0;
+    std::vector<std::int32_t> spec_tail;
   };
 
   /// Longest run of cached full blocks prefixing `tokens`, bounded so no

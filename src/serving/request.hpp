@@ -289,6 +289,20 @@ struct ServingReport {
   /// Simulated time the moves cost (0 when charge_dma_cost is off).
   double dma_time_seconds = 0.0;
 
+  // Speculative decoding aggregates (SchedulerConfig::speculative; all
+  // zero with speculation off). Tokens committed by verify are counted
+  // in total_tokens like any decode token -- these slice out how the
+  // draft/verify pipeline spent its rows.
+  /// Draft tokens proposed (k per sequence per decode tick, clipped by
+  /// the request budget and pool capacity).
+  std::int64_t spec_draft_tokens = 0;
+  /// Extra tokens committed per tick beyond the baseline one -- the
+  /// latency speculation collapsed.
+  std::int64_t spec_accepted_tokens = 0;
+  /// Verify rows launched but not committed (rejected tails, post-stop
+  /// rows): work the packed launch still priced.
+  std::int64_t spec_wasted_tokens = 0;
+
   /// Per-tick batch composition (only when SchedulerConfig::record_ticks).
   std::vector<TickRecord> tick_log;
 

@@ -97,6 +97,35 @@ struct AdmissionConfig {
 /// explicit targets. Goodput in ServingReport is computed against these.
 using TierSloTargets = std::array<TierSlo, kNumTiers>;
 
+/// Draft-and-verify speculative decoding. Each decode tick a cheap draft
+/// model proposes up to `draft_tokens` tokens per sequence; the grouped
+/// verify pass prices the pending token plus every draft as one packed
+/// launch (see hw::GroupedKernelCostModel) and the accepted run commits
+/// in a single tick's latency. Acceptance is a deterministic model: a
+/// hash of (acceptance_seed, stream index, absolute token position)
+/// against `acceptance_rate`, so the accepted-token schedule is
+/// invariant across card count, placement, caching, dtype, roles, and
+/// parallel ticking. Committed tokens are always the target model's own
+/// greedy/sampled tokens -- speculation moves latency, never content --
+/// so streams are byte-identical with speculation on or off (locked by
+/// tests/test_speculative.cpp). Draft KV appends are rolled back through
+/// KvBlockPool::RollbackSpeculation and never enter the prefix cache.
+struct SpeculativeConfig {
+  /// Master switch; off (the default) keeps the one-token-per-tick path.
+  bool enable = false;
+  /// Draft proposals per sequence per decode tick (k). Clamped so a
+  /// sequence's verify group (1 + k rows) fits max_batch_tokens; 0
+  /// degenerates to the non-speculative path.
+  std::int32_t draft_tokens = 4;
+  /// Probability a draft position is accepted, in [0, 1]. 0 rejects
+  /// every draft (pure overhead), 1 accepts all k each tick.
+  double acceptance_rate = 0.7;
+  /// Cost of one draft-model row as a fraction of a target-model row.
+  double draft_cost_ratio = 0.15;
+  /// Seed of the deterministic acceptance hash.
+  std::uint64_t acceptance_seed = 0x5eedc0de;
+};
+
 /// Knobs of one card's continuous-batching scheduler (shared verbatim by
 /// the single-card facade, every cluster shard, and api::EngineConfig).
 struct SchedulerConfig {
@@ -158,6 +187,8 @@ struct SchedulerConfig {
   /// This shard's disaggregation role; set per card by ClusterSession
   /// from ClusterConfig::shard_roles. See ShardRole.
   ShardRole role = ShardRole::kUnified;
+  /// Draft-and-verify speculative decoding; see SpeculativeConfig.
+  SpeculativeConfig speculative;
 };
 
 /// One simulated card's batch-offline serving loop: validates a request

@@ -35,6 +35,15 @@ SchedulerConfig NormalizeSchedulerConfig(SchedulerConfig config) {
   config.max_batch_tokens = std::max(1, config.max_batch_tokens);
   config.prefill_chunk_tokens = std::max(1, config.prefill_chunk_tokens);
   config.block_size_tokens = std::max(1u, config.block_size_tokens);
+  // A sequence's verify group is 1 + draft_tokens rows; it must fit the
+  // per-tick token budget or no sequence could ever be planned.
+  config.speculative.draft_tokens =
+      std::clamp(config.speculative.draft_tokens, 0,
+                 config.max_batch_tokens - 1);
+  config.speculative.acceptance_rate =
+      std::clamp(config.speculative.acceptance_rate, 0.0, 1.0);
+  config.speculative.draft_cost_ratio =
+      std::max(0.0, config.speculative.draft_cost_ratio);
   return config;
 }
 
@@ -109,7 +118,8 @@ ShardScheduler::ShardScheduler(const accel::Program& program,
       pool_(MakeKvPoolConfig(
           program.model, config.kv_cache_dtype,
           DeriveKvPoolBytes(program, u280, config.kv_pool_bytes),
-          config.block_size_tokens, config.enable_prefix_cache)) {
+          config.block_size_tokens, config.enable_prefix_cache)),
+      tick_cost_(shared_seconds_, kSharedShareCap) {
   if (config_.record_ticks) {
     // tick_log compat: with no external telemetry attached the shard
     // records into a private trace so TakeReport can rebuild the log.
@@ -600,11 +610,109 @@ bool ShardScheduler::ForwardToken(Sequence& seq, std::int32_t token,
     return false;
   }
   const double f = exec.last_stats().seconds;
-  const double shared = std::min(shared_seconds_, kSharedShareCap * f);
-  tick_max_shared_ = std::max(tick_max_shared_, shared);
-  tick_marginal_ += f - shared;
+  last_forward_seconds_ = f;
+  tick_cost_.AddProblem(f);
   if (logits != nullptr) *logits = *logits_or;
   return true;
+}
+
+namespace {
+
+/// splitmix64-style avalanche; the acceptance model's mixing primitive.
+std::uint64_t SpecMix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Deterministic acceptance: hash (seed, stream, absolute position of
+/// the drafted token) to a uniform in [0, 1) and compare against the
+/// configured rate. Depends on nothing the cluster layout can change,
+/// so the accepted-token schedule -- hence every tick boundary the spec
+/// path produces -- is invariant across card count, placement, caching,
+/// dtype, roles, and parallel ticking.
+bool AcceptDraft(const SpeculativeConfig& spec, std::size_t stream,
+                 std::int64_t position) {
+  if (spec.acceptance_rate >= 1.0) return true;
+  if (spec.acceptance_rate <= 0.0) return false;
+  std::uint64_t h = SpecMix(spec.acceptance_seed ^
+                            SpecMix(static_cast<std::uint64_t>(stream) +
+                                    0x9e3779b97f4a7c15ull));
+  h = SpecMix(h ^ (static_cast<std::uint64_t>(position) + 1));
+  const double u =
+      static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+  return u < spec.acceptance_rate;
+}
+
+}  // namespace
+
+std::int32_t ShardScheduler::DraftAndAccept(std::size_t seq_id,
+                                            std::int32_t* drafted) {
+  *drafted = 0;
+  Sequence& seq = seqs_[seq_id];
+  const SpeculativeConfig& spec = config_.speculative;
+  // Drafting past the request's remaining budget is pure waste: the
+  // verify could never commit those rows.
+  const std::int64_t remaining =
+      seq.request->max_new_tokens -
+      static_cast<std::int64_t>(seq.outcome.generated.size());
+  const std::int32_t k = static_cast<std::int32_t>(std::min<std::int64_t>(
+      spec.draft_tokens, std::max<std::int64_t>(0, remaining - 1)));
+  if (k <= 0) return 0;
+  // The pending token's KV is already appended (EnsureKvToken ran), so
+  // drafts land at positions fed.size()+1 ... fed.size()+k. Their pool
+  // appends happen under a speculation phase: sealing into the prefix
+  // cache is suppressed and the rollback below restores the sequence
+  // byte-identically, so draft content never leaks refcounts or cache
+  // entries. A dry pool just cuts the draft short -- drafts never
+  // preempt anyone.
+  Status st = pool_.BeginSpeculation(seq_id);
+  assert(st.ok());
+  if (!st.ok()) {
+    error_ = st;
+    return 0;
+  }
+  const std::int64_t base_pos = static_cast<std::int64_t>(seq.fed.size()) + 1;
+  for (std::int32_t j = 0; j < k; ++j) {
+    // The draft model's guess: an arbitrary deterministic pseudo-token.
+    // Its value only passes through rolled-back pool accounting -- the
+    // verify commits the target model's own samples, never this.
+    const std::int32_t guess = static_cast<std::int32_t>(
+        SpecMix(spec.acceptance_seed ^
+                static_cast<std::uint64_t>(base_pos + j) * 0x100000001b3ull) %
+        static_cast<std::uint64_t>(program_.model.vocab_size));
+    Status ap = pool_.Append(seq_id, guess);
+    if (!ap.ok()) {
+      if (ap.code() == StatusCode::kResourceExhausted) break;
+      error_ = ap;
+      break;
+    }
+    ++*drafted;
+  }
+  ChargeDma("spec-draft", seq_id);
+  st = pool_.RollbackSpeculation(seq_id);
+  assert(st.ok());
+  if (!st.ok()) error_ = st;
+  if (!error_.ok()) return 0;
+  report_.spec_draft_tokens += *drafted;
+  if (telemetry_.tracing() && *drafted > 0) {
+    const double now_s = u280_.cycles_to_seconds(engine_.now());
+    obs::RequestEvent ev = MakeEvent(
+        obs::RequestEventKind::kDraftPropose,
+        static_cast<std::int64_t>(seq.stream_index), tick_index_, now_s,
+        now_s);
+    ev.tokens = *drafted;
+    telemetry_.Record(std::move(ev));
+  }
+  std::int32_t accepted = 0;
+  for (std::int32_t j = 0; j < *drafted; ++j) {
+    if (!AcceptDraft(spec, seq.stream_index, base_pos + j)) break;
+    ++accepted;
+  }
+  return accepted;
 }
 
 Interconnect& ShardScheduler::interconnect() {
@@ -638,7 +746,7 @@ std::int64_t ShardScheduler::ChargeDma(const char* cause,
     dma_charged_until_ = window.end;
     seconds = u280_.cycles_to_seconds(window.end - base);
     base_s = u280_.cycles_to_seconds(base);
-    tick_marginal_ += seconds;
+    tick_cost_.AddSerialSeconds(seconds);
     report_.dma_time_seconds += seconds;
   }
   if (telemetry_.tracing()) {
@@ -862,8 +970,7 @@ void ShardScheduler::RunTick() {
   ++tick_index_;
   kv_blocked_ = false;
   const double start_s = u280_.cycles_to_seconds(engine_.now());
-  tick_max_shared_ = 0.0;
-  tick_marginal_ = 0.0;
+  tick_cost_.BeginGroup();
 
   // ---- plan: decode set first, in admission order (rotating only when
   // the token budget cannot cover every decoding sequence). With tiers
@@ -871,6 +978,15 @@ void ShardScheduler::RunTick() {
   // funded tier decodes whole, and the rotation fairness applies only
   // within the first tier the budget cannot cover. A uniform-tier batch
   // is one group, so the plan is identical to tiers-off.
+  //
+  // With speculation on, a decode sequence's verify group is 1 + k rows
+  // (the pending token plus k drafts), so each planned sequence draws
+  // `spec_width` budget units; spec off is width 1, reproducing the
+  // historical plan exactly.
+  const bool spec_on =
+      config_.speculative.enable && config_.speculative.draft_tokens > 0;
+  const std::int32_t spec_width =
+      spec_on ? 1 + config_.speculative.draft_tokens : 1;
   std::int32_t budget = config_.max_batch_tokens;
   std::vector<std::size_t> decode_plan;
   {
@@ -879,7 +995,7 @@ void ShardScheduler::RunTick() {
       if (seqs_[r].state == SeqState::kDecode) decoding.push_back(r);
     }
     if (config_.enable_tiers &&
-        static_cast<std::int32_t>(decoding.size()) > budget) {
+        static_cast<std::int64_t>(decoding.size()) * spec_width > budget) {
       std::stable_sort(decoding.begin(), decoding.end(),
                        [this](std::size_t a, std::size_t b) {
                          return TierIndex(seqs_[a].request->tier) <
@@ -894,33 +1010,36 @@ void ShardScheduler::RunTick() {
           ++tier_end;
         }
         const std::size_t n = tier_end - tier_begin;
-        if (static_cast<std::int32_t>(n) <= budget) {
+        if (static_cast<std::int64_t>(n) * spec_width <= budget) {
           for (std::size_t k = tier_begin; k < tier_end; ++k) {
             decode_plan.push_back(decoding[k]);
           }
-          budget -= static_cast<std::int32_t>(n);
+          budget -= static_cast<std::int32_t>(n) * spec_width;
         } else {
+          const std::size_t slots = static_cast<std::size_t>(budget / spec_width);
           const std::size_t start = rr_offset_ % n;
-          for (std::int32_t k = 0; k < budget; ++k) {
-            decode_plan.push_back(
-                decoding[tier_begin + (start + static_cast<std::size_t>(k)) % n]);
+          for (std::size_t k = 0; k < slots; ++k) {
+            decode_plan.push_back(decoding[tier_begin + (start + k) % n]);
           }
-          rr_offset_ += static_cast<std::size_t>(budget);
-          budget = 0;
+          rr_offset_ += slots;
+          budget -= static_cast<std::int32_t>(slots) * spec_width;
+          break;
         }
         tier_begin = tier_end;
       }
-    } else if (static_cast<std::int32_t>(decoding.size()) <= budget) {
+    } else if (static_cast<std::int64_t>(decoding.size()) * spec_width <=
+               budget) {
       decode_plan = decoding;
-      budget -= static_cast<std::int32_t>(decode_plan.size());
+      budget -= static_cast<std::int32_t>(decode_plan.size()) * spec_width;
     } else {
       const std::size_t n = decoding.size();
+      const std::size_t slots = static_cast<std::size_t>(budget / spec_width);
       const std::size_t start = rr_offset_ % n;
-      for (std::int32_t k = 0; k < budget; ++k) {
+      for (std::size_t k = 0; k < slots; ++k) {
         decode_plan.push_back(decoding[(start + k) % n]);
       }
-      rr_offset_ += static_cast<std::size_t>(budget);
-      budget = 0;
+      rr_offset_ += slots;
+      budget -= static_cast<std::int32_t>(slots) * spec_width;
     }
   }
 
@@ -1041,6 +1160,8 @@ void ShardScheduler::RunTick() {
   std::vector<std::pair<std::size_t, std::int32_t>> prefill_executed;
   std::vector<std::size_t> handoff_ready;
 
+  const std::int64_t spec_draft_at_open = report_.spec_draft_tokens;
+  const std::int64_t spec_accept_at_open = report_.spec_accepted_tokens;
   for (std::size_t seq_id : decode_plan) {
     Sequence& seq = seqs_[seq_id];
     if (seq.state != SeqState::kDecode) continue;  // preempted mid-tick
@@ -1048,24 +1169,67 @@ void ShardScheduler::RunTick() {
       if (!error_.ok()) return;
       continue;  // deferred to a later tick
     }
-    const std::int32_t pos = static_cast<std::int32_t>(seq.fed.size());
-    std::span<const float> logits;
-    if (!ForwardToken(seq, seq.pending_token, pos, &logits)) return;
-    seq.fed.push_back(seq.pending_token);
-    seq.cursor = static_cast<std::int32_t>(seq.fed.size());
-    seq.high_water = std::max(seq.high_water, seq.cursor);
-    seq.outcome.generated.push_back(seq.pending_token);
-    tick_emissions_.push_back(
-        Emission{seq_id, seq.pending_token, FinishReason::kNone});
-    AddOutstanding(seq.request->tier, -1);  // one less decode token owed
-    ++report_.total_tokens;
-    decode_committed.push_back(seq_id);
-    decode_executed.push_back(seq_id);
-    if (!seq.budget_left()) {
-      FinishSequence(seq_id, FinishReason::kLength);
-    } else {
+    // Draft phase: propose k tokens, roll their KV back, and let the
+    // deterministic acceptance model decide how long a run this tick's
+    // verify group commits. Committed tokens are always the target
+    // model's own sampled tokens -- speculation collapses latency, never
+    // changes stream content -- so spec on/off streams are identical.
+    std::int32_t drafted = 0;
+    const std::int32_t accepted =
+        spec_on ? DraftAndAccept(seq_id, &drafted) : 0;
+    if (!error_.ok()) return;
+    const std::int32_t planned_commits = 1 + accepted;
+    std::int32_t commits = 0;
+    for (std::int32_t step = 0; step < planned_commits; ++step) {
+      if (step > 0 && !EnsureKvToken(seq_id, seq.pending_token)) {
+        if (!error_.ok()) return;
+        break;  // pool dry mid-verify: the rest commits on a later tick
+      }
+      const std::int32_t pos = static_cast<std::int32_t>(seq.fed.size());
+      std::span<const float> logits;
+      if (!ForwardToken(seq, seq.pending_token, pos, &logits)) return;
+      seq.fed.push_back(seq.pending_token);
+      seq.cursor = static_cast<std::int32_t>(seq.fed.size());
+      seq.high_water = std::max(seq.high_water, seq.cursor);
+      seq.outcome.generated.push_back(seq.pending_token);
+      tick_emissions_.push_back(
+          Emission{seq_id, seq.pending_token, FinishReason::kNone});
+      AddOutstanding(seq.request->tier, -1);  // one less decode token owed
+      ++report_.total_tokens;
+      decode_executed.push_back(seq_id);
+      ++commits;
+      if (step > 0) ++report_.spec_accepted_tokens;
+      if (!seq.budget_left()) {
+        FinishSequence(seq_id, FinishReason::kLength);
+        break;
+      }
       SampleNext(seq, logits);
-      if (ShouldStop(seq)) FinishSequence(seq_id, FinishReason::kStop);
+      if (ShouldStop(seq)) {
+        FinishSequence(seq_id, FinishReason::kStop);
+        break;
+      }
+    }
+    if (commits > 0) decode_committed.push_back(seq_id);
+    if (drafted > 0) {
+      // The verify group launched 1 + drafted rows; rows past the
+      // committed run are wasted work the packed launch still priced
+      // (each at the last committed row's cost), and the draft model's
+      // own k rows ride along at the configured cost ratio.
+      const std::int32_t wasted = 1 + drafted - commits;
+      for (std::int32_t w = 0; w < wasted; ++w) {
+        tick_cost_.AddProblem(last_forward_seconds_);
+      }
+      tick_cost_.AddDraftRows(drafted, last_forward_seconds_,
+                              config_.speculative.draft_cost_ratio);
+      report_.spec_wasted_tokens += wasted;
+      if (telemetry_.tracing()) {
+        obs::RequestEvent ev = MakeEvent(
+            obs::RequestEventKind::kVerifyAccept,
+            static_cast<std::int64_t>(seq.stream_index), tick_index_,
+            start_s, start_s);
+        ev.tokens = commits - 1;  // accepted drafts actually committed
+        telemetry_.Record(std::move(ev));
+      }
     }
   }
 
@@ -1144,7 +1308,7 @@ void ShardScheduler::RunTick() {
     return;
   }
 
-  const double tick_seconds = tick_max_shared_ + tick_marginal_;
+  const double tick_seconds = tick_cost_.group_seconds();
   const sim::Cycles tick_cycles =
       std::max<sim::Cycles>(1, SecondsToCycles(tick_seconds));
   const sim::Cycles end_cycles = engine_.now() + tick_cycles;
@@ -1225,6 +1389,9 @@ void ShardScheduler::RunTick() {
     sample.cum_cache_lookup_tokens = ps.prefix_lookup_tokens;
     sample.cum_dma_bytes = ps.dma_bytes_moved;
     sample.cum_preemptions = ps.preemption_releases;
+    sample.spec_draft_tokens = report_.spec_draft_tokens - spec_draft_at_open;
+    sample.spec_accepted_tokens =
+        report_.spec_accepted_tokens - spec_accept_at_open;
     // The tick event runs at its *start* cycles, so snapshotting the
     // registry here would interleave out of timestamp order with other
     // cards' overlapping ticks. Defer the snapshot to an event at the

@@ -27,6 +27,7 @@
 
 #include "accel/program.hpp"
 #include "common/status.hpp"
+#include "hw/grouped_cost.hpp"
 #include "hw/u280_config.hpp"
 #include "llama/sampler.hpp"
 #include "llama/weights.hpp"
@@ -383,6 +384,14 @@ class ShardScheduler {
   void ReleaseSlot(Sequence& seq);
   bool ForwardToken(Sequence& seq, std::int32_t token, std::int32_t pos,
                     std::span<const float>* logits);
+  /// Runs one decode sequence's draft phase: proposes up to the
+  /// configured k draft tokens as a KvBlockPool speculation phase
+  /// (rolled back before any verify commit, so draft content never
+  /// reaches the prefix cache), charges any DMA the drafts moved, and
+  /// evaluates the deterministic acceptance model. Returns the accepted
+  /// run length; `drafted` receives the proposals actually made (the
+  /// pool may cut a draft short when blocks run dry).
+  std::int32_t DraftAndAccept(std::size_t seq_id, std::int32_t* drafted);
   void SampleNext(Sequence& seq, std::span<const float> logits);
   bool ShouldStop(const Sequence& seq) const;
   void FinishSequence(std::size_t seq_id, FinishReason reason);
@@ -438,8 +447,11 @@ class ShardScheduler {
   std::size_t rr_offset_ = 0;
   sim::Cycles last_tick_end_cycles_ = 0;
   double busy_seconds_ = 0.0;
-  double tick_max_shared_ = 0.0;
-  double tick_marginal_ = 0.0;
+  // Per-tick grouped-launch cost accumulator: every forward row, wasted
+  // verify row, draft row, and serial DMA second of the current tick
+  // lands here; the tick's length is tick_cost_.group_seconds().
+  hw::GroupedKernelCostModel tick_cost_;
+  double last_forward_seconds_ = 0.0;  // cost of the newest forward row
   std::int64_t width_sum_ = 0;
   Status error_;
   ServingReport report_;

@@ -26,6 +26,7 @@
 
 #include "common/rng.hpp"
 #include "serving/kv_pool.hpp"
+#include "test_util.hpp"
 
 namespace speedllm::serving {
 namespace {
@@ -303,6 +304,7 @@ class StressHarness {
 
 TEST(KvPoolStressTest, ThousandsOfOpsHoldEveryInvariantWithCaching) {
   for (std::uint64_t seed : {11ull, 2024ull, 777777ull}) {
+    SPEEDLLM_SEED_TRACE("kv_pool_stress/caching", seed);
     StressHarness harness(seed, /*enable_prefix_cache=*/true);
     harness.Run(2000);
   }
@@ -310,6 +312,7 @@ TEST(KvPoolStressTest, ThousandsOfOpsHoldEveryInvariantWithCaching) {
 
 TEST(KvPoolStressTest, ThousandsOfOpsHoldEveryInvariantWithoutCaching) {
   for (std::uint64_t seed : {23ull, 4096ull}) {
+    SPEEDLLM_SEED_TRACE("kv_pool_stress/no-cache", seed);
     StressHarness harness(seed, /*enable_prefix_cache=*/false);
     harness.Run(1500);
   }
@@ -319,6 +322,7 @@ TEST(KvPoolStressTest, CowAndEvictionPathsAreActuallyExercised) {
   // The invariants above are only as good as the coverage: make sure the
   // cached-share, copy-on-write, and eviction paths all genuinely fire
   // under the default stress mix.
+  SPEEDLLM_SEED_TRACE("kv_pool_stress/coverage", 11);
   StressHarness harness(11, /*enable_prefix_cache=*/true);
   harness.Run(2000);
   const KvPoolStats& s = harness.stats();

@@ -1,14 +1,21 @@
 // Cross-module property suites: randomized round-trips and monotonicity
-// invariants that individual unit tests do not sweep.
+// invariants that individual unit tests do not sweep, plus the
+// scheduler fuzz harness: random (SchedulerConfig, workload, cancel
+// schedule) tuples replayed twice through api::Engine must produce
+// byte-identical streams and reports, and drain every KV pool.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "accel/executor.hpp"
+#include "api/engine.hpp"
 #include "common/rng.hpp"
 #include "compiler/compiler.hpp"
 #include "llama/tokenizer.hpp"
 #include "runtime/variants.hpp"
+#include "serving/workload.hpp"
+#include "test_util.hpp"
 
 namespace speedllm {
 namespace {
@@ -131,6 +138,161 @@ TEST(DeterminismTest, CyclesIdenticalAcrossRebuilds) {
             << runtime::VariantName(v);
       }
     }
+  }
+}
+
+// ---------------- Scheduler fuzz: replay determinism + pool drain ------
+//
+// Every knob of the serving stack -- batching policy, budgets, block
+// size, KV dtype, caching, DMA costing, preemption, tiers, speculative
+// decoding, card count, placement, rebalancing -- is drawn from one
+// logged seed, together with a Poisson workload and a mid-stream cancel
+// schedule. The tuple runs twice through api::Engine; the two replays
+// must agree byte-for-byte (streams, finish reasons, timing, report
+// counters), every card's KV pool must be fully drained at completion,
+// and the cross-run counters must satisfy the stack's global
+// invariants. A failure prints the seed (SPEEDLLM_SEED_TRACE).
+
+/// Everything one fuzz replay observes.
+struct FuzzRun {
+  std::vector<std::vector<std::int32_t>> streams;
+  std::vector<int> finishes;
+  double makespan = 0.0;
+  std::int64_t total_tokens = 0;
+  std::int64_t spec_draft = 0;
+  std::int64_t spec_accepted = 0;
+  std::int64_t dma_bytes = 0;
+  std::int64_t cancelled = 0;
+};
+
+void RunSchedulerFuzzOnce(const accel::Program& prog,
+                          const llama::Weights& weights,
+                          const hw::U280Config& u280, std::uint64_t seed,
+                          FuzzRun* out) {
+  Rng rng(seed);
+  api::EngineConfig config;
+  config.num_cards = static_cast<int>(1 + rng.NextBounded(4));
+  constexpr serving::PlacementPolicy kPlacements[] = {
+      serving::PlacementPolicy::kRoundRobin,
+      serving::PlacementPolicy::kLeastOutstandingTokens,
+      serving::PlacementPolicy::kBestFitFreeKv,
+      serving::PlacementPolicy::kPrefixAffinity};
+  config.placement = kPlacements[rng.NextBounded(4)];
+  config.rebalance_queued = rng.NextBounded(2) == 0;
+  serving::SchedulerConfig& s = config.scheduler;
+  constexpr serving::BatchPolicy kPolicies[] = {
+      serving::BatchPolicy::kFcfs, serving::BatchPolicy::kShortestPromptFirst,
+      serving::BatchPolicy::kDecodePriority};
+  s.policy = kPolicies[rng.NextBounded(3)];
+  s.max_batch_seqs = static_cast<std::int32_t>(2 + rng.NextBounded(7));
+  s.max_batch_tokens = static_cast<std::int32_t>(16 + rng.NextBounded(49));
+  s.prefill_chunk_tokens = static_cast<std::int32_t>(4 + rng.NextBounded(13));
+  s.block_size_tokens = 4u << rng.NextBounded(3);  // 4 / 8 / 16
+  s.kv_cache_dtype = rng.NextBounded(2) == 0 ? serving::KvCacheDtype::kFp16
+                                             : serving::KvCacheDtype::kInt8;
+  s.enable_prefix_cache = rng.NextBounded(2) == 0;
+  s.charge_dma_cost = rng.NextBounded(2) == 0;
+  s.allow_preemption = rng.NextBounded(2) == 0;
+  s.enable_tiers = rng.NextBounded(2) == 0;
+  s.speculative.enable = rng.NextBounded(2) == 0;
+  s.speculative.draft_tokens = static_cast<std::int32_t>(rng.NextBounded(7));
+  s.speculative.acceptance_rate = rng.NextDouble();
+  s.speculative.draft_cost_ratio = 0.3 * rng.NextDouble();
+  s.speculative.acceptance_seed = rng.NextU64();
+  config.sampler.temperature = rng.NextBounded(2) == 0 ? 0.9f : 0.0f;
+  config.sampler.seed = rng.NextU64();
+
+  serving::WorkloadConfig wc;
+  wc.num_requests = static_cast<int>(6 + rng.NextBounded(7));
+  wc.rate_rps = 500.0 + 3500.0 * rng.NextDouble();
+  wc.min_prompt_tokens = 3;
+  wc.max_prompt_tokens = 12;
+  wc.min_new_tokens = 2;
+  wc.max_new_tokens = 10;
+  wc.vocab_size = prog.model.vocab_size;
+  Rng workload_rng(seed ^ 0xabcdef0123456789ull);
+  const std::vector<serving::ServingRequest> reqs =
+      serving::PoissonTrace(workload_rng, wc);
+
+  // Cancel schedule: ~1 in 4 requests cancels itself after 1-4 tokens.
+  std::vector<int> cancel_after(reqs.size(), -1);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (rng.NextBounded(4) == 0) {
+      cancel_after[i] = static_cast<int>(1 + rng.NextBounded(4));
+    }
+  }
+
+  api::Engine engine(prog, weights, u280, config);
+  out->streams.assign(reqs.size(), {});
+  out->finishes.assign(reqs.size(), -1);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    api::StreamCallbacks cb;
+    cb.on_token = [out, &engine, &cancel_after, i](api::RequestHandle h,
+                                                   std::int32_t token,
+                                                   double) {
+      out->streams[i].push_back(token);
+      if (static_cast<int>(out->streams[i].size()) == cancel_after[i]) {
+        // The cancel may lose a race with this stream's own finish;
+        // both replays race identically, which is what's under test.
+        (void)engine.Cancel(h);
+      }
+    };
+    cb.on_finish = [out, i](api::RequestHandle, api::FinishReason reason,
+                            const serving::RequestOutcome&) {
+      out->finishes[i] = static_cast<int>(reason);
+    };
+    auto handle = engine.Submit(reqs[i], std::move(cb));
+    ASSERT_TRUE(handle.ok()) << "request " << i << ": "
+                             << handle.status().ToString();
+  }
+  engine.RunToCompletion();
+  ASSERT_TRUE(engine.idle());
+  // Pool drain invariant: every card returns every owned block.
+  for (int card = 0; card < config.num_cards; ++card) {
+    EXPECT_EQ(engine.kv_blocks_in_use(card), 0) << "card " << card;
+    const serving::KvPoolStats stats = engine.kv_pool_stats(card);
+    EXPECT_EQ(stats.sequence_registers, stats.sequence_releases)
+        << "card " << card;
+  }
+  auto report = engine.Finish();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  out->makespan = report->merged.makespan_seconds;
+  out->total_tokens = report->merged.total_tokens;
+  out->spec_draft = report->merged.spec_draft_tokens;
+  out->spec_accepted = report->merged.spec_accepted_tokens;
+  out->dma_bytes = report->merged.dma_bytes_moved;
+  out->cancelled = report->merged.cancelled_requests;
+  // Cross-field sanity that must hold for ANY configuration.
+  EXPECT_GE(out->spec_draft, out->spec_accepted);
+  EXPECT_GE(out->makespan, 0.0);
+}
+
+TEST(SchedulerFuzzTest, RandomConfigsReplayByteIdenticalAndDrainPools) {
+  auto model = llama::ModelConfig::Tiny();
+  auto weights = llama::GenerateSyntheticWeights(model, 808);
+  auto u280 = hw::U280Config::Default();
+  auto cr = compiler::Compile(model, runtime::OptionsFor(
+                                         runtime::Variant::kSpeedLLM),
+                              u280);
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  const accel::Program& prog = cr->program;
+  for (std::uint64_t seed : {1ull, 42ull, 777ull, 31337ull, 900913ull,
+                             0xdecafbadull}) {
+    SPEEDLLM_SEED_TRACE("scheduler_fuzz", seed);
+    FuzzRun first, second;
+    RunSchedulerFuzzOnce(prog, weights, u280, seed, &first);
+    if (::testing::Test::HasFatalFailure()) return;
+    RunSchedulerFuzzOnce(prog, weights, u280, seed, &second);
+    if (::testing::Test::HasFatalFailure()) return;
+    // The replay is the oracle: byte-identical everything.
+    EXPECT_EQ(second.streams, first.streams);
+    EXPECT_EQ(second.finishes, first.finishes);
+    EXPECT_EQ(second.makespan, first.makespan);
+    EXPECT_EQ(second.total_tokens, first.total_tokens);
+    EXPECT_EQ(second.spec_draft, first.spec_draft);
+    EXPECT_EQ(second.spec_accepted, first.spec_accepted);
+    EXPECT_EQ(second.dma_bytes, first.dma_bytes);
+    EXPECT_EQ(second.cancelled, first.cancelled);
   }
 }
 

@@ -1,0 +1,33 @@
+// Shared helpers for the randomized / seeded test harnesses.
+//
+// The one rule every seeded suite follows: a failure must print the RNG
+// seed that produced it, so the exact failing run can be replayed by
+// pasting the seed back into the harness. SPEEDLLM_SEED_TRACE is a
+// SCOPED_TRACE wrapper -- any gtest assertion that fires inside the
+// enclosing scope automatically carries the harness name and seed in its
+// failure message, with zero cost on the passing path.
+#ifndef SPEEDLLM_TESTS_TEST_UTIL_HPP_
+#define SPEEDLLM_TESTS_TEST_UTIL_HPP_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace speedllm::testutil {
+
+/// The canonical replay banner for a seeded harness failure. Keep the
+/// format stable ("<harness> seed=<n>"): people grep CI logs for it.
+inline std::string SeedMessage(const char* harness, std::uint64_t seed) {
+  return std::string(harness) + " seed=" + std::to_string(seed) +
+         " -- replay by running this harness with this seed";
+}
+
+}  // namespace speedllm::testutil
+
+/// Marks the current scope with the harness name and RNG seed: every
+/// assertion failure inside it prints the seed needed to replay the run.
+#define SPEEDLLM_SEED_TRACE(harness, seed) \
+  SCOPED_TRACE(::speedllm::testutil::SeedMessage(harness, seed))
+
+#endif  // SPEEDLLM_TESTS_TEST_UTIL_HPP_

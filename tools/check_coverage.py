@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Line-coverage floor for the serving layer.
+
+Runs ``gcov`` over the instrumented objects a ``-DSPEEDLLM_COVERAGE=ON``
+build produced (``*.gcno`` next to each object, ``*.gcda`` written by the
+test run), aggregates line coverage across every translation unit under
+a target source prefix (default ``src/serving/``), and fails when the
+aggregate falls below the floor.
+
+The floor is a ratchet against silently-untested scheduler surface: new
+serving code either comes with tests that execute it, or the lane goes
+red. It is NOT a per-file gate -- a new file can land below the floor as
+long as the aggregate holds -- so raising it after a test-heavy PR is a
+normal, reviewable diff.
+
+Usage (CI runs exactly this):
+    cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DSPEEDLLM_COVERAGE=ON
+    cmake --build build-cov -j && (cd build-cov && ctest -j 4)
+    python3 tools/check_coverage.py --build-dir build-cov \\
+        --source-prefix src/serving/ --min-line-coverage 85
+
+Stdlib + the gcov binary only; no gcovr/lcov dependency.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# gcov -n output, repeated per source file the object touches:
+#   File '/abs/path/to/shard.cpp'
+#   Lines executed:92.34% of 1234
+FILE_RE = re.compile(r"^File '(?P<path>[^']+)'")
+LINES_RE = re.compile(
+    r"^Lines executed:(?P<pct>[0-9.]+)% of (?P<total>\d+)")
+
+
+def find_gcda(build_dir):
+    """Every .gcda under build_dir (written when instrumented code ran)."""
+    hits = []
+    for root, _dirs, files in os.walk(build_dir):
+        hits.extend(os.path.join(root, f) for f in files
+                    if f.endswith(".gcda"))
+    return sorted(hits)
+
+
+def gcov_report(gcda, gcov_bin):
+    """Yields (source_path, executed_lines, total_lines) per file block.
+
+    ``gcov -n`` prints the per-file summary without writing .gcov files;
+    ``-o`` points it at the object directory holding the .gcno/.gcda
+    pair. A failing gcov invocation (version-mismatched .gcda, deleted
+    source) is reported and skipped rather than failing the gate: the
+    aggregate over the remaining units still bounds the floor.
+    """
+    proc = subprocess.run(
+        [gcov_bin, "-n", "-o", os.path.dirname(gcda), gcda],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"check_coverage: gcov failed on {gcda}: "
+              f"{proc.stderr.strip()}", file=sys.stderr)
+        return
+    current = None
+    for line in proc.stdout.splitlines():
+        m = FILE_RE.match(line)
+        if m:
+            current = m.group("path")
+            continue
+        m = LINES_RE.match(line)
+        if m and current is not None:
+            total = int(m.group("total"))
+            executed = round(float(m.group("pct")) / 100.0 * total)
+            yield current, executed, total
+            current = None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="instrumented build tree (default: build)")
+    parser.add_argument("--source-prefix", default="src/serving/",
+                        help="repo-relative prefix the floor applies to "
+                             "(default: src/serving/)")
+    parser.add_argument("--min-line-coverage", type=float, default=85.0,
+                        help="aggregate line-coverage floor in percent "
+                             "(default: 85)")
+    parser.add_argument("--gcov", default="gcov",
+                        help="gcov binary (default: gcov)")
+    args = parser.parse_args()
+
+    gcdas = find_gcda(args.build_dir)
+    if not gcdas:
+        sys.exit(f"check_coverage: no .gcda files under {args.build_dir} "
+                 "-- build with -DSPEEDLLM_COVERAGE=ON and run the tests "
+                 "first")
+
+    # One source file appears in many objects (each test links the
+    # library); keep the best-covered record per file. gcov merges .gcda
+    # across runs already, so records only differ when a stale object
+    # lingers -- max() is the right resolution either way.
+    per_file = {}
+    prefix = args.source_prefix
+    for gcda in gcdas:
+        for path, executed, total in gcov_report(gcda, args.gcov):
+            norm = os.path.normpath(path)
+            # Match the repo-relative prefix wherever the build rooted
+            # the absolute path.
+            if f"/{prefix}" not in norm.replace("\\", "/") + "/":
+                if not norm.replace("\\", "/").startswith(prefix):
+                    continue
+            name = norm[norm.replace("\\", "/").rfind(f"/{prefix}") + 1:] \
+                if f"/{prefix}" in norm.replace("\\", "/") else norm
+            best = per_file.get(name)
+            if best is None or executed > best[0]:
+                per_file[name] = (executed, total)
+
+    if not per_file:
+        sys.exit(f"check_coverage: no coverage records match prefix "
+                 f"'{prefix}' -- wrong --source-prefix or the tests never "
+                 "ran")
+
+    executed_sum = sum(e for e, _t in per_file.values())
+    total_sum = sum(t for _e, t in per_file.values())
+    aggregate = 100.0 * executed_sum / total_sum if total_sum else 0.0
+
+    width = max(len(n) for n in per_file)
+    for name in sorted(per_file):
+        executed, total = per_file[name]
+        pct = 100.0 * executed / total if total else 0.0
+        print(f"{name:<{width}}  {pct:6.2f}%  ({executed}/{total} lines)")
+    print(f"{'TOTAL':<{width}}  {aggregate:6.2f}%  "
+          f"({executed_sum}/{total_sum} lines)")
+
+    if aggregate < args.min_line_coverage:
+        sys.exit(f"check_coverage: FAIL: {prefix} line coverage "
+                 f"{aggregate:.2f}% is below the {args.min_line_coverage}% "
+                 "floor")
+    print(f"check_coverage: OK ({aggregate:.2f}% >= "
+          f"{args.min_line_coverage}%)")
+
+
+if __name__ == "__main__":
+    main()
